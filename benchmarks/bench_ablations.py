@@ -1,0 +1,112 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Beyond the paper's own ablations (Figs. 12-14), DESIGN.md lists three
+design choices worth quantifying:
+
+* **rc-attach** (§4.3): attaching inc/dec-rc to every primitive vs
+  treating recomputation as a standalone primitive;
+* **fine-tuning** (§4.2): the op-level refinement pass on/off;
+* **allocator over-estimation** (§3.3): the padded reserve vs a bare
+  maximum — measuring how often "predicted feasible" then OOMs on the
+  executor.
+"""
+
+from common import get_setup, print_header, print_table
+
+from repro.core import AcesoSearch, AcesoSearchOptions, SearchBudget
+from repro.parallel import balanced_config
+from repro.perfmodel import PerfModel
+
+BUDGET = {"max_estimates": 3_000}
+
+
+def _search_with(model_name, gpus, stages, **option_overrides):
+    graph, cluster, perf_model, _ = get_setup(model_name, gpus)
+    options = AcesoSearchOptions(**option_overrides)
+    search = AcesoSearch(graph, cluster, perf_model, options=options)
+    init = balanced_config(graph, cluster, stages)
+    return search.run(init, SearchBudget(**BUDGET))
+
+
+def test_ablation_rc_attach(benchmark):
+    """rc-attach never hurts and matters under memory pressure."""
+    def run():
+        on = _search_with("gpt3-6.7b", 8, 4, attach_recompute=True)
+        off = _search_with("gpt3-6.7b", 8, 4, attach_recompute=False)
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation: attach inc/dec-rc to every primitive (§4.3)")
+    print_table(
+        ["variant", "best objective", "feasible"],
+        [
+            ["rc-attach ON", f"{on.best_objective:.3f}", on.is_feasible],
+            ["rc-attach OFF", f"{off.best_objective:.3f}", off.is_feasible],
+        ],
+    )
+    assert on.is_feasible
+    assert on.best_objective <= off.best_objective * 1.02
+
+
+def test_ablation_finetune(benchmark):
+    """Op-level fine-tuning is a refinement: never worse, same budget."""
+    def run():
+        on = _search_with("gpt3-6.7b", 8, 4, enable_finetune=True)
+        off = _search_with("gpt3-6.7b", 8, 4, enable_finetune=False)
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation: op-level fine-tuning pass (§4.2)")
+    print_table(
+        ["variant", "best objective"],
+        [
+            ["fine-tuning ON", f"{on.best_objective:.3f}"],
+            ["fine-tuning OFF", f"{off.best_objective:.3f}"],
+        ],
+    )
+    assert on.best_objective <= off.best_objective * 1.02
+
+
+def test_ablation_allocator_reserve(benchmark):
+    """Unpadded reserve admits configs that then OOM when deployed."""
+
+    def run():
+        graph, cluster, _, executor = get_setup("gpt3-6.7b", 8)
+        rows = []
+        for factor in (0.0001, 1.0, 2.0):
+            model = PerfModel(
+                graph, cluster,
+                get_setup("gpt3-6.7b", 8)[2].database,
+                reserve_safety_factor=factor,
+            )
+            search = AcesoSearch(graph, cluster, model)
+            init = balanced_config(graph, cluster, 4)
+            result = search.run(init, SearchBudget(**BUDGET))
+            run_result = executor.run(result.best_config)
+            rows.append(
+                {
+                    "factor": factor,
+                    "predicted_feasible": result.is_feasible,
+                    "actually_oom": run_result.oom,
+                    "margin": (
+                        run_result.memory_limit - run_result.max_memory
+                    ) / 2**30,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Ablation: allocator reserve safety factor (§3.3)")
+    print_table(
+        ["safety factor", "predicted feasible", "actual OOM", "margin GB"],
+        [
+            [r["factor"], r["predicted_feasible"], r["actually_oom"],
+             f"{r['margin']:.2f}"]
+            for r in rows
+        ],
+    )
+    # The paper's padded reserve keeps deployments safe.
+    padded = rows[-1]
+    assert padded["predicted_feasible"] and not padded["actually_oom"]
+    # A bigger pad never leaves less margin than no pad.
+    assert rows[-1]["margin"] >= rows[0]["margin"] - 0.25

@@ -1,0 +1,38 @@
+"""Figure 1 — configuration-space growth with layers and mechanisms.
+
+Paper claim: the number of possible configurations grows exponentially
+with model layers, and each added mechanism (pipeline, recomputation)
+multiplies the space further (GPT on 16 devices).
+"""
+
+from common import print_header, print_series
+
+from repro.parallel import config_space_table
+
+# From 2 layers up: with a single layer pipeline parallelism adds no
+# choices, so the 2- and 3-mechanism counts coincide there.
+LAYER_COUNTS = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def test_fig01_config_space(benchmark):
+    table = benchmark(config_space_table, LAYER_COUNTS, 16)
+
+    print_header("Figure 1: log10(#configurations), GPT on 16 devices")
+    for series in ("2 mechanisms", "3 mechanisms", "4 mechanisms"):
+        print_series(series, LAYER_COUNTS, table[series], fmt="{:.1f}")
+
+    # Shape: strictly more configs with more mechanisms, exponential
+    # (linear-in-log) growth with layers.
+    for i, _ in enumerate(LAYER_COUNTS):
+        assert (
+            table["2 mechanisms"][i]
+            < table["3 mechanisms"][i]
+            < table["4 mechanisms"][i]
+        )
+    growth = [
+        b - a
+        for a, b in zip(table["4 mechanisms"], table["4 mechanisms"][1:])
+    ]
+    assert all(g > 0 for g in growth)
+    # The paper's headline: >10^1000 configurations at 1K layers.
+    assert table["4 mechanisms"][-1] > 1000

@@ -1,0 +1,48 @@
+"""Figure 8 (Exp#2) — configuration search cost, Aceso vs Alpa.
+
+Paper claim (C2): in every case Aceso uses less than 5% of Alpa's
+search time.  Alpa's cost here is its measured candidate count times a
+fixed per-compile charge (the DESIGN.md substitution for XLA
+compilation); Aceso's is the wall-clock of the slowest stage-count
+search (they run in parallel, §4.3).
+"""
+
+from common import get_comparison, ladder, print_header, print_table
+
+
+def _collect(families):
+    rows = []
+    ratios = []
+    for family in families:
+        for model_name, gpus in ladder(family):
+            comparison = get_comparison(model_name, gpus)
+            if "alpa" not in comparison.outcomes:
+                continue
+            alpa = comparison.outcomes["alpa"].search_seconds
+            aceso = comparison.outcomes["aceso"].search_seconds
+            if alpa <= 0 or alpa == float("inf"):
+                continue
+            ratio = aceso / alpa
+            ratios.append(ratio)
+            rows.append(
+                [
+                    f"{model_name}@{gpus}gpu",
+                    f"{alpa:.0f}s",
+                    f"{aceso:.1f}s",
+                    f"{100 * ratio:.1f}%",
+                ]
+            )
+    return rows, ratios
+
+
+def test_fig08_search_cost(benchmark):
+    rows, ratios = benchmark.pedantic(
+        _collect, args=(["gpt3", "wresnet"],), rounds=1, iterations=1
+    )
+
+    print_header("Figure 8: search cost (Alpa vs Aceso)")
+    print_table(["setting", "alpa", "aceso", "aceso/alpa"], rows)
+
+    assert rows, "no comparable settings"
+    # C2: Aceso under 5% of Alpa's search cost in every case.
+    assert all(r < 0.05 for r in ratios), ratios

@@ -1,0 +1,91 @@
+"""Figure 9 (Exp#3) — scalability to 1K-layer models on 8 GPUs.
+
+Paper claims (C3): Alpa's search cost grows with layer count and it
+fails compilation beyond 64 layers; Aceso always finishes within its
+budget and finds executable configurations at every depth, averaging
+~1.2x Alpa's throughput where both run.
+"""
+
+import os
+
+import pytest
+
+from common import get_setup, print_header, print_table
+
+from repro.baselines import AlpaCompilationError, alpa_search
+from repro.core import search_all_stage_counts
+
+SMALL_LAYERS = [16, 32, 64, 128, 256]
+PAPER_LAYERS = [16, 32, 64, 128, 256, 512, 1024]
+LAYERS = (
+    PAPER_LAYERS
+    if os.environ.get("REPRO_BENCH_SCALE", "small") == "paper"
+    else SMALL_LAYERS
+)
+GPUS = 8
+
+
+def _run_depth(num_layers):
+    graph, cluster, perf_model, executor = get_setup(
+        f"gpt-{num_layers}l", GPUS
+    )
+    multi = search_all_stage_counts(
+        graph, cluster, perf_model,
+        budget_per_count={"max_iterations": 10},
+    )
+    aceso_run = executor.run(multi.best.best_config)
+    aceso_thpt = aceso_run.throughput(graph.global_batch_size)
+    try:
+        alpa = alpa_search(graph, cluster, perf_model)
+        alpa_cost = alpa.simulated_search_seconds
+        alpa_run = executor.run(alpa.best_config)
+        alpa_thpt = alpa_run.throughput(graph.global_batch_size)
+    except AlpaCompilationError:
+        alpa_cost = None
+        alpa_thpt = None
+    return {
+        "layers": num_layers,
+        "aceso_cost": multi.parallel_seconds,
+        "aceso_thpt": aceso_thpt,
+        "alpa_cost": alpa_cost,
+        "alpa_thpt": alpa_thpt,
+    }
+
+
+def test_fig09_scalability(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run_depth(n) for n in LAYERS], rounds=1, iterations=1
+    )
+
+    print_header(f"Figure 9: scaling to deep models ({GPUS} GPUs)")
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r["layers"],
+                f"{r['aceso_cost']:.1f}s",
+                f"{r['aceso_thpt']:.2f}",
+                "FAIL" if r["alpa_cost"] is None else f"{r['alpa_cost']:.0f}s",
+                "x" if r["alpa_thpt"] is None else f"{r['alpa_thpt']:.2f}",
+            ]
+        )
+    print_table(
+        ["layers", "aceso search", "aceso thpt", "alpa search", "alpa thpt"],
+        rows,
+    )
+
+    # Aceso succeeds at every depth.
+    assert all(r["aceso_thpt"] > 0 for r in results)
+    # Alpa fails past 64 layers, succeeds at or under it.
+    for r in results:
+        if r["layers"] > 64:
+            assert r["alpa_cost"] is None, r
+        else:
+            assert r["alpa_cost"] is not None, r
+    # Alpa's cost grows with depth where it runs.
+    alpa_costs = [r["alpa_cost"] for r in results if r["alpa_cost"]]
+    assert alpa_costs == sorted(alpa_costs)
+    # Where both run, Aceso's plans are at least competitive.
+    both = [r for r in results if r["alpa_thpt"]]
+    speedups = [r["aceso_thpt"] / r["alpa_thpt"] for r in both]
+    assert all(s > 0.97 for s in speedups), speedups

@@ -1,0 +1,71 @@
+"""Figure 11 (Exp#5a) — heuristic efficiency distributions.
+
+Paper claims: across all search iterations, Heuristic-1 finds the right
+bottleneck on the first attempt ~90% of the time (Fig. 11a), and 68% of
+improving iterations need more than one hop (Fig. 11b) — i.e. the
+multi-hop machinery earns its keep.
+"""
+
+from common import emit, get_setup, print_header, print_table
+
+from repro.core import AcesoSearch, SearchBudget
+from repro.parallel import balanced_config
+
+SETTINGS = [
+    ("gpt3-350m", 4, 2),
+    ("gpt3-350m", 4, 4),
+    ("gpt3-1.3b", 4, 2),
+    ("gpt3-1.3b", 4, 4),
+    ("wresnet-500m", 4, 2),
+    ("t5-770m", 4, 4),
+]
+
+
+def _merged_traces():
+    bottleneck_hist = {}
+    hop_hist = {}
+    improving = 0
+    for model_name, gpus, stages in SETTINGS:
+        graph, cluster, perf_model, _ = get_setup(model_name, gpus)
+        search = AcesoSearch(graph, cluster, perf_model)
+        init = balanced_config(graph, cluster, stages)
+        result = search.run(init, SearchBudget(max_iterations=15))
+        for key, count in result.trace.bottleneck_histogram().items():
+            bottleneck_hist[key] = bottleneck_hist.get(key, 0) + count
+        for key, count in result.trace.hop_histogram().items():
+            hop_hist[key] = hop_hist.get(key, 0) + count
+        improving += sum(result.trace.bottleneck_histogram().values())
+    return bottleneck_hist, hop_hist, improving
+
+
+def test_fig11_heuristic_stats(benchmark):
+    bottleneck_hist, hop_hist, improving = benchmark.pedantic(
+        _merged_traces, rounds=1, iterations=1
+    )
+
+    print_header("Figure 11: heuristic efficiency distributions")
+    emit(f"improving iterations observed: {improving}")
+    print_table(
+        ["bottlenecks tried", "iterations", "share"],
+        [
+            [k, v, f"{100 * v / improving:.0f}%"]
+            for k, v in sorted(bottleneck_hist.items())
+        ],
+    )
+    print_table(
+        ["hops used", "iterations", "share"],
+        [
+            [k, v, f"{100 * v / improving:.0f}%"]
+            for k, v in sorted(hop_hist.items())
+        ],
+    )
+    first_try = bottleneck_hist.get(1, 0) / improving
+    multi_hop = sum(v for k, v in hop_hist.items() if k > 1) / improving
+    emit(f"first-try bottleneck rate: {100 * first_try:.0f}% (paper: 90%)")
+    emit(f"multi-hop share: {100 * multi_hop:.0f}% (paper: 68%)")
+
+    assert improving >= 20
+    # Shape: the first bottleneck usually suffices...
+    assert first_try > 0.6
+    # ...and a large share of improvements genuinely need >1 hop.
+    assert multi_hop > 0.3

@@ -1,0 +1,87 @@
+"""Figure 12 (Exp#5b) — convergence with and without Heuristic-2.
+
+Paper claims: given a generous budget both reach similar quality, but
+random primitive selection converges along a less efficient path and
+lands worse when the budget is tight.
+"""
+
+from common import emit, get_setup, print_header, print_series, print_table
+
+from repro.baselines import random_search
+from repro.core import AcesoSearch, SearchBudget
+from repro.parallel import balanced_config
+
+SETTINGS = [("gpt3-6.7b", 8, 4), ("wresnet-6.8b", 8, 4)]
+TIGHT_BUDGET = {"max_estimates": 2_500}
+RANDOM_SEEDS = (1, 2, 3)
+
+
+def _feasible_curve(result, cap: float = 1e6):
+    """Best-objective curve, truncated to the feasible region."""
+    return [b for _, b in result.trace.convergence if b < cap]
+
+
+def _run_setting(model_name, gpus, stages):
+    graph, cluster, perf_model, _ = get_setup(model_name, gpus)
+    init = balanced_config(graph, cluster, stages)
+    search = AcesoSearch(graph, cluster, perf_model)
+    with_h2 = search.run(init, SearchBudget(**TIGHT_BUDGET))
+    randoms = [
+        random_search(
+            graph, cluster, perf_model, init,
+            SearchBudget(**TIGHT_BUDGET), seed=seed,
+        )
+        for seed in RANDOM_SEEDS
+    ]
+    return with_h2, randoms
+
+
+def test_fig12_heuristic2_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: [ _run_setting(*s) for s in SETTINGS ],
+        rounds=1, iterations=1,
+    )
+
+    from repro.analysis import ascii_line_plot, downsample
+
+    print_header("Figure 12: convergence with/without Heuristic-2")
+    rows = []
+    for (model_name, gpus, _), (with_h2, randoms) in zip(SETTINGS, results):
+        xs = [f"{e:.2f}s" for e, _ in with_h2.trace.convergence]
+        ys = [b for _, b in with_h2.trace.convergence]
+        print_series(f"{model_name} heuristic-2", xs, ys)
+        curves = {"heuristic-2": _feasible_curve(with_h2)}
+        for i, run in enumerate(randoms):
+            curves[f"random-{i + 1}"] = _feasible_curve(run)
+        usable = {k: v for k, v in curves.items() if len(v) >= 2}
+        if usable:
+            emit(
+                ascii_line_plot(
+                    usable,
+                    title=f"{model_name}@{gpus}gpu convergence "
+                    f"(feasible region)",
+                    width=50,
+                    height=10,
+                )
+            )
+        rows.append(
+            [
+                f"{model_name}@{gpus}gpu",
+                f"{with_h2.best_objective:.3f}",
+                " / ".join(f"{r.best_objective:.3f}" for r in randoms),
+            ]
+        )
+    print_table(["setting", "with heuristic-2", "random x3"], rows)
+
+    # Paper claim: both reach similar configurations given budget, but
+    # random's path is less efficient.  Aggregate across settings: the
+    # heuristic tracks close to the random *mean* everywhere and beats
+    # it overall (individual random seeds can get lucky on one model).
+    gaps = []
+    for _, (with_h2, randoms) in zip(SETTINGS, results):
+        best_random = min(r.best_objective for r in randoms)
+        mean_random = sum(r.best_objective for r in randoms) / len(randoms)
+        assert with_h2.best_objective <= mean_random * 1.02
+        assert with_h2.best_objective <= best_random * 1.05
+        gaps.append(with_h2.best_objective / mean_random)
+    assert sum(gaps) / len(gaps) <= 1.005, gaps

@@ -1,0 +1,48 @@
+"""Figure 13 (Exp#6) — convergence under different MaxHops.
+
+Paper claims: very small MaxHops can get stuck sub-optimal (the search
+cannot express multi-step trades), very large MaxHops wastes the budget
+inside deep iterations; a moderate value (7) is a good default.
+"""
+
+from common import get_setup, print_header, print_table
+
+from repro.core import AcesoSearch, AcesoSearchOptions, SearchBudget
+from repro.parallel import balanced_config
+
+SETTINGS = [("gpt3-6.7b", 8, 4), ("gpt3-6.7b", 8, 8)]
+MAX_HOPS = [1, 3, 7, 11]
+BUDGET = {"max_estimates": 3_000}
+
+
+def _run_setting(model_name, gpus, stages):
+    graph, cluster, perf_model, _ = get_setup(model_name, gpus)
+    init = balanced_config(graph, cluster, stages)
+    finals = {}
+    for hops in MAX_HOPS:
+        options = AcesoSearchOptions(max_hops=hops)
+        search = AcesoSearch(graph, cluster, perf_model, options=options)
+        result = search.run(init, SearchBudget(**BUDGET))
+        finals[hops] = result.best_objective
+    return finals
+
+
+def test_fig13_maxhops(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run_setting(*s) for s in SETTINGS], rounds=1, iterations=1
+    )
+
+    print_header("Figure 13: best found iteration time per MaxHops")
+    rows = [
+        [f"{m}@{g}gpu"] + [f"{finals[h]:.3f}" for h in MAX_HOPS]
+        for (m, g, _), finals in zip(SETTINGS, results)
+    ]
+    print_table(["setting"] + [f"MaxHops={h}" for h in MAX_HOPS], rows)
+
+    for finals in results:
+        default = finals[7]
+        # The default never loses badly to any other depth...
+        assert all(default <= v * 1.10 for v in finals.values()), finals
+        # ...and a depth above 1 is never *required* to beat depth 7 by
+        # a large margin (the moderate choice is safe).
+        assert default <= finals[1] * 1.001 or finals[1] <= default * 1.10

@@ -1,0 +1,64 @@
+"""Figure 14 (Exp#7) — robustness to the initial configuration.
+
+Paper claims: starting from a balanced partition, an op-imbalanced
+partition, or a GPU-imbalanced allocation, the search converges to
+configurations of similar quality.
+"""
+
+from common import get_setup, print_header, print_table
+
+from repro.core import AcesoSearch, SearchBudget
+from repro.parallel import (
+    balanced_config,
+    imbalanced_gpu_config,
+    imbalanced_op_config,
+)
+
+SETTINGS = [("gpt3-1.3b", 4, 3), ("wresnet-2b", 8, 4)]
+BUDGET = {"max_estimates": 4_000}
+
+
+def _run_setting(model_name, gpus, stages):
+    graph, cluster, perf_model, _ = get_setup(model_name, gpus)
+    inits = {
+        "balanced": balanced_config(graph, cluster, stages),
+        "imbalance-op": imbalanced_op_config(graph, cluster, stages),
+        "imbalance-GPU": imbalanced_gpu_config(graph, cluster, stages),
+    }
+    finals = {}
+    starts = {}
+    for name, init in inits.items():
+        starts[name] = perf_model.objective(init)
+        search = AcesoSearch(graph, cluster, perf_model)
+        result = search.run(init, SearchBudget(**BUDGET))
+        finals[name] = result.best_objective
+    return starts, finals
+
+
+def test_fig14_init_robustness(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run_setting(*s) for s in SETTINGS], rounds=1, iterations=1
+    )
+
+    print_header("Figure 14: convergence from different initial configs")
+    names = ["balanced", "imbalance-op", "imbalance-GPU"]
+    rows = []
+    for (model_name, gpus, _), (starts, finals) in zip(SETTINGS, results):
+        rows.append(
+            [f"{model_name}@{gpus}gpu", "start"]
+            + [f"{starts[n]:.3f}" for n in names]
+        )
+        rows.append(
+            [f"{model_name}@{gpus}gpu", "final"]
+            + [f"{finals[n]:.3f}" for n in names]
+        )
+    print_table(["setting", ""] + names, rows)
+
+    for starts, finals in results:
+        best = min(finals.values())
+        # All three starts converge within 10% of the best final.
+        for name, value in finals.items():
+            assert value <= best * 1.10, (name, finals)
+        # And the bad starts actually improved (they were worse).
+        assert finals["imbalance-op"] <= starts["imbalance-op"]
+        assert finals["imbalance-GPU"] <= starts["imbalance-GPU"]

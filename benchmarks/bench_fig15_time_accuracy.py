@@ -1,0 +1,49 @@
+"""Figure 15 (Exp#8) — predicted vs actual iteration time.
+
+Paper claims (C4): the performance model predicts iteration time with
+average error ~2.7% on GPT-3 and ~7.3% on Wide-ResNet.  We evaluate
+the same way: for every Figure 7 setting, predict the winning
+configurations of each system and compare against ground-truth
+execution.
+"""
+
+from common import emit, get_comparison, ladder, print_header, print_table
+
+from repro.analysis import mean_abs_pct_error
+
+FAMILIES = ["gpt3", "wresnet"]
+ERROR_BUDGET = {"gpt3": 8.0, "wresnet": 12.0}  # percent, mean
+
+
+def _collect(family):
+    predicted, actual, labels = [], [], []
+    for model_name, gpus in ladder(family):
+        comparison = get_comparison(model_name, gpus)
+        for system, outcome in comparison.outcomes.items():
+            if outcome.failed or outcome.oom:
+                continue
+            predicted.append(outcome.predicted_time)
+            actual.append(outcome.actual_time)
+            labels.append(f"{model_name}@{gpus} {system}")
+    return predicted, actual, labels
+
+
+def test_fig15_time_accuracy(benchmark):
+    collected = benchmark.pedantic(
+        lambda: {f: _collect(f) for f in FAMILIES}, rounds=1, iterations=1
+    )
+
+    print_header("Figure 15: predicted vs actual iteration time")
+    for family in FAMILIES:
+        predicted, actual, labels = collected[family]
+        rows = [
+            [label, f"{p:.2f}s", f"{a:.2f}s", f"{100 * (p - a) / a:+.1f}%"]
+            for label, p, a in zip(labels, predicted, actual)
+        ]
+        print_table(["case", "predicted", "actual", "error"], rows)
+        error = mean_abs_pct_error(predicted, actual)
+        emit(f"{family} mean |error|: {error:.2f}% "
+              f"(paper: {'2.70' if family == 'gpt3' else '7.29'}%)")
+
+        assert len(predicted) >= 4
+        assert error < ERROR_BUDGET[family], (family, error)

@@ -1,0 +1,119 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every figure/table of the paper's evaluation has one bench module; they
+all pull cached model/cluster/search setups from here so expensive work
+(profiling, comparisons) is done once per pytest session.
+
+Scale control: ``REPRO_BENCH_SCALE=small`` (default) runs the 1-8 GPU
+settings; ``REPRO_BENCH_SCALE=paper`` runs the full ladder up to 32
+GPUs exactly as Table 2 / Figure 7 do.  Shapes (who wins, by roughly
+what factor) are asserted at both scales; absolute numbers differ from
+the paper because the substrate is a simulator (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.analysis import ComparisonResult, compare_systems
+from repro.cluster import paper_cluster
+from repro.ir.models import build_model
+from repro.perfmodel import PerfModel, build_perf_model
+from repro.profiling import SimulatedProfiler
+from repro.runtime import Executor
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+#: GPU count per ladder position (Exp#1 uses 1/4/8/16/32).
+LADDER_GPUS = [1, 4, 8, 16, 32]
+
+_MODEL_LADDERS: Dict[str, List[str]] = {
+    "gpt3": ["350m", "1.3b", "2.6b", "6.7b", "13b"],
+    "t5": ["770m", "3b", "6b", "11b", "22b"],
+    "wresnet": ["500m", "2b", "4b", "6.8b", "13b"],
+}
+
+#: How much of the ladder each scale covers.
+_SCALE_POSITIONS = {"small": [0, 1, 2], "paper": [0, 1, 2, 3, 4]}
+
+#: Aceso iteration budget per stage count at each scale.
+ACESO_ITERATIONS = {"small": 15, "paper": 25}[
+    SCALE if SCALE in ("small", "paper") else "small"
+]
+
+
+def ladder(model_family: str) -> List[Tuple[str, int]]:
+    """(model_name, num_gpus) settings for this scale."""
+    positions = _SCALE_POSITIONS.get(SCALE, _SCALE_POSITIONS["small"])
+    sizes = _MODEL_LADDERS[model_family]
+    return [
+        (f"{model_family}-{sizes[i]}", LADDER_GPUS[i]) for i in positions
+    ]
+
+
+@lru_cache(maxsize=None)
+def get_setup(model_name: str, num_gpus: int, seed: int = 0):
+    """(graph, cluster, perf_model, executor), cached per session."""
+    graph = build_model(model_name)
+    cluster = paper_cluster(num_gpus)
+    database = SimulatedProfiler(cluster, seed=seed).profile(graph)
+    perf_model = PerfModel(graph, cluster, database)
+    executor = Executor(graph, cluster, seed=seed)
+    return graph, cluster, perf_model, executor
+
+
+@lru_cache(maxsize=None)
+def get_comparison(model_name: str, num_gpus: int) -> ComparisonResult:
+    """Full three-system comparison, cached per session."""
+    _, cluster, perf_model, _ = get_setup(model_name, num_gpus)
+    return compare_systems(
+        model_name,
+        num_gpus,
+        cluster=cluster,
+        database=perf_model.database,
+        aceso_iterations=ACESO_ITERATIONS,
+    )
+
+
+# ----------------------------------------------------------------------
+# pretty printing — teed to stdout and benchmarks/results/<scale>.txt
+# so the regenerated figure/table data survives pytest's capturing.
+# ----------------------------------------------------------------------
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_PATH = os.path.join(RESULTS_DIR, f"figures_{SCALE}.txt")
+
+
+def emit(line: str = "") -> None:
+    """Write one line to stdout and the persistent results file."""
+    print(line)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(line + "\n")
+
+
+def print_header(title: str) -> None:
+    emit()
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)
+
+
+def print_table(headers: List[str], rows: List[List[str]]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    emit(line)
+    emit("-" * len(line))
+    for row in rows:
+        emit("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(name: str, xs, ys, fmt: str = "{:.3g}") -> None:
+    pairs = ", ".join(
+        f"{x}:{fmt.format(y)}" for x, y in zip(xs, ys)
+    )
+    emit(f"{name}: {pairs}")

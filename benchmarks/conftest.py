@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Makes the benches importable (adds this directory to ``sys.path``) and
+appends the regenerated figure/table data to the terminal report, so a
+plain ``pytest benchmarks/ --benchmark-only`` run carries the whole
+reproduction record even though pytest captures per-test stdout.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from common import RESULTS_PATH
+
+    path = Path(RESULTS_PATH)
+    if not path.exists():
+        return
+    terminalreporter.section("regenerated paper figures and tables")
+    terminalreporter.write(path.read_text())
+    terminalreporter.write_line(f"\n(persisted at {path})")

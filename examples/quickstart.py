@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: search a parallel plan for GPT-3 1.3B on 4 GPUs.
+
+Walks the full Aceso loop end to end:
+
+1. build the model IR and the (simulated) V100 cluster;
+2. profile the operators into a reusable database;
+3. run the iterative bottleneck-alleviation search over every
+   pipeline stage count;
+4. deploy the winner on the ground-truth executor and report
+   throughput and TFLOPS.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Executor,
+    SimulatedProfiler,
+    build_model,
+    build_perf_model,
+    paper_cluster,
+    search_all_stage_counts,
+    tflops_per_gpu,
+)
+
+
+def main() -> None:
+    # 1. Model + hardware.  Any registry name works (gpt3-*, t5-*,
+    #    wresnet-*, gpt-<N>l); the cluster mirrors the paper's testbed.
+    graph = build_model("gpt3-1.3b")
+    cluster = paper_cluster(4)
+    print(f"model:   {graph.describe()}")
+    print(f"cluster: {cluster.describe()}")
+
+    # 2. Profile once; the database is keyed by op signature, so the
+    #    24 identical transformer layers collapse to a handful of
+    #    measurements (and it can be saved/loaded for reuse).
+    profiler = SimulatedProfiler(cluster, seed=0)
+    database = profiler.profile(graph)
+    print(
+        f"profiled {database.num_ops} unique op signatures "
+        f"covering {graph.num_ops} ops"
+    )
+
+    # 3. Search.  One independent run per pipeline stage count (the
+    #    paper parallelizes these; their wall-clock cost is the slowest
+    #    single run).
+    perf_model = build_perf_model(graph, cluster, database=database)
+    result = search_all_stage_counts(
+        graph,
+        cluster,
+        perf_model,
+        budget_per_count={"max_iterations": 20},
+    )
+    best = result.best
+    print(
+        f"\nsearch done: {perf_model.num_estimates} configurations "
+        f"estimated, parallel cost {result.parallel_seconds:.1f}s"
+    )
+    print(f"predicted iteration time: {best.best_objective:.2f}s")
+    print(best.best_config.describe())
+
+    # 4. Deploy on the ground-truth executor (the stand-in for a real
+    #    cluster run) and report what the paper's Figure 7 reports.
+    executor = Executor(graph, cluster, seed=0)
+    run = executor.run(best.best_config)
+    throughput = run.throughput(graph.global_batch_size)
+    print(f"\nmeasured iteration time: {run.iteration_time:.2f}s")
+    print(
+        f"throughput: {throughput:.2f} samples/s  "
+        f"({tflops_per_gpu(graph, throughput, cluster.num_gpus):.1f} "
+        f"TFLOPS/GPU)"
+    )
+    print(f"pipeline bubble fraction: {run.bubble_fraction:.1%}")
+    print(f"peak memory per stage: "
+          f"{[f'{m / 2**30:.1f}GB' for m in run.stage_peak_memory]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario: prove the primitives are semantic-preserving — by training.
+
+Aceso's whole search rests on one guarantee (§3.2.1): reconfiguration
+primitives change *where and how* work runs, never *what* is computed.
+This example trains the same small model under every mechanism the
+primitives touch — data parallelism, tensor parallelism (column/row),
+pipeline parallelism with microbatching, and activation recomputation —
+using the real numpy training runtime, and verifies the losses and
+final weights match serial execution to floating-point accuracy.
+
+Run:  python examples/semantic_equivalence.py
+"""
+
+from repro.numrt import (
+    MLP,
+    dp_fn,
+    make_dataset,
+    max_weight_difference,
+    pp_fn,
+    rc_fn,
+    serial_fn,
+    tp_fn,
+    train,
+)
+
+
+def main() -> None:
+    model = MLP([32, 64, 32, 64, 16], seed=7)
+    x, target = make_dataset(48, 32, 16, seed=8)
+    steps = 8
+
+    reference = train(model, x, target, serial_fn, steps=steps)
+    print(
+        f"serial training, {steps} SGD steps: "
+        f"loss {reference.losses[0]:.5f} -> {reference.losses[-1]:.5f}"
+    )
+
+    mechanisms = [
+        ("data parallel x4 (inc-dp)", dp_fn(4)),
+        ("data parallel x8 (inc-dp)", dp_fn(8)),
+        ("tensor parallel x2 (inc-tp)", tp_fn(2)),
+        ("tensor parallel x4 (inc-tp)", tp_fn(4)),
+        ("pipeline 2 stages x 4 microbatches (op#/mbs)", pp_fn(2, 4)),
+        ("pipeline 4 stages x 8 microbatches (op#/mbs)", pp_fn(4, 8)),
+        ("recompute every layer (inc-rc)", rc_fn(1)),
+        ("recompute 2-layer segments (inc-rc)", rc_fn(2)),
+    ]
+
+    print(f"\n{'mechanism':<46} {'loss gap':>10} {'weight gap':>11}")
+    print("-" * 70)
+    all_ok = True
+    for name, grad_fn in mechanisms:
+        run = train(model, x, target, grad_fn, steps=steps)
+        loss_gap = max(
+            abs(a - b) for a, b in zip(reference.losses, run.losses)
+        )
+        weight_gap = max_weight_difference(reference.model, run.model)
+        ok = loss_gap < 1e-9 and weight_gap < 1e-9
+        all_ok &= ok
+        print(f"{name:<46} {loss_gap:>10.2e} {weight_gap:>11.2e}"
+              f"{'' if ok else '  MISMATCH'}")
+
+    assert all_ok, "a mechanism diverged from serial execution"
+    print(
+        "\nall mechanisms reproduced serial training exactly — "
+        "the search may apply any primitive without touching convergence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Evaluation metrics and cross-system comparison harness."""
+
+from .ascii_plots import ascii_bar_chart, ascii_line_plot, downsample
+from .compare import (
+    ComparisonResult,
+    SystemOutcome,
+    compare_systems,
+    evaluate_config,
+)
+from .metrics import (
+    geometric_mean,
+    mean_abs_pct_error,
+    normalize,
+    speedup,
+    tflops_per_gpu,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "ascii_bar_chart",
+    "ascii_line_plot",
+    "downsample",
+    "SystemOutcome",
+    "compare_systems",
+    "evaluate_config",
+    "geometric_mean",
+    "mean_abs_pct_error",
+    "normalize",
+    "speedup",
+    "tflops_per_gpu",
+]

@@ -1,0 +1,105 @@
+"""Terminal plotting for the figure-regeneration benches.
+
+The paper's figures are line/bar charts; the bench harness regenerates
+their *data* and renders it as ASCII so a text log carries the whole
+picture.  No external plotting dependency, deterministic output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def ascii_line_plot(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more y-series (shared implicit x) as ASCII art.
+
+    Series are drawn with distinct markers in legend order; the y-axis
+    is annotated with min/max.  Intended for convergence curves.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    all_values = [v for ys in series.values() for v in ys if v is not None]
+    if not all_values:
+        raise ValueError("series contain no values")
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    longest = max(len(ys) for ys in series.values())
+    if longest < 2:
+        raise ValueError("series need at least two points")
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(ys):
+            if value is None:
+                continue
+            x = round(i * (width - 1) / (longest - 1))
+            y = round((value - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:.3g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{lo:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "   " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart (for Figure 7-style grouped throughput)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("need at least one bar")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def downsample(xs: Sequence[float], ys: Sequence[float], points: int):
+    """Thin a long curve to ~``points`` entries, keeping endpoints."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    if len(xs) <= points:
+        return list(xs), list(ys)
+    step = (len(xs) - 1) / (points - 1)
+    indices = sorted({round(i * step) for i in range(points)})
+    return [xs[i] for i in indices], [ys[i] for i in indices]

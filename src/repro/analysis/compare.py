@@ -1,0 +1,179 @@
+"""End-to-end system comparison: the Exp#1/2 workhorse.
+
+``compare_systems`` runs all three planners (Megatron grid, Alpa-style
+solver, Aceso) on one (model, cluster) setting, deploys each winner on
+the ground-truth executor, and reports throughput, TFLOPS, and search
+cost — one column group of Figure 7/8 per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..baselines.alpa import AlpaCompilationError, AlpaOptions, alpa_search
+from ..baselines.megatron import megatron_grid_search
+from ..cluster.topology import ClusterSpec, paper_cluster
+from ..core.search import AcesoSearchOptions, search_all_stage_counts
+from ..ir.graph import OpGraph
+from ..ir.models.registry import build_model
+from ..parallel.config import ParallelConfig
+from ..perfmodel.model import PerfModel, build_perf_model
+from ..profiling.database import ProfileDatabase
+from ..runtime.executor import Executor
+from .metrics import tflops_per_gpu
+
+
+@dataclass
+class SystemOutcome:
+    """One system's result on one setting."""
+
+    name: str
+    config: Optional[ParallelConfig]
+    predicted_time: float
+    actual_time: float
+    throughput: float
+    tflops: float
+    search_seconds: float
+    oom: bool
+    failed: bool = False
+    failure_reason: str = ""
+
+
+@dataclass
+class ComparisonResult:
+    """All systems on one (model, cluster) setting."""
+
+    model_name: str
+    num_gpus: int
+    outcomes: Dict[str, SystemOutcome] = field(default_factory=dict)
+
+    def throughput(self, system: str) -> float:
+        return self.outcomes[system].throughput
+
+    def speedup(self, system: str, baseline: str) -> float:
+        base = self.outcomes[baseline].throughput
+        if base <= 0:
+            return float("inf")
+        return self.outcomes[system].throughput / base
+
+
+def evaluate_config(
+    name: str,
+    config: Optional[ParallelConfig],
+    graph: OpGraph,
+    perf_model: PerfModel,
+    executor: Executor,
+    search_seconds: float,
+    num_gpus: int,
+) -> SystemOutcome:
+    """Deploy one system's chosen config on the executor."""
+    if config is None:
+        return SystemOutcome(
+            name=name,
+            config=None,
+            predicted_time=float("inf"),
+            actual_time=float("inf"),
+            throughput=0.0,
+            tflops=0.0,
+            search_seconds=search_seconds,
+            oom=True,
+            failed=True,
+            failure_reason="no feasible configuration found",
+        )
+    report = perf_model.estimate(config)
+    run = executor.run(config)
+    throughput = run.throughput(graph.global_batch_size)
+    return SystemOutcome(
+        name=name,
+        config=config,
+        predicted_time=report.iteration_time,
+        actual_time=run.iteration_time,
+        throughput=throughput,
+        tflops=tflops_per_gpu(graph, throughput, num_gpus),
+        search_seconds=search_seconds,
+        oom=run.oom,
+    )
+
+
+def compare_systems(
+    model_name: str,
+    num_gpus: int,
+    *,
+    cluster: Optional[ClusterSpec] = None,
+    database: Optional[ProfileDatabase] = None,
+    aceso_iterations: int = 30,
+    aceso_options: Optional[AcesoSearchOptions] = None,
+    alpa_options: Optional[AlpaOptions] = None,
+    pick_top_k: int = 5,
+    seed: int = 0,
+    systems: Optional[List[str]] = None,
+) -> ComparisonResult:
+    """Run Megatron-LM, Alpa, and Aceso on one setting.
+
+    Aceso's top-``pick_top_k`` candidates are re-evaluated on the
+    executor and the fastest kept — the paper's §5.1 protocol for
+    absorbing performance-model error.
+    """
+    graph = build_model(model_name)
+    cluster = cluster or paper_cluster(num_gpus)
+    perf_model = build_perf_model(
+        graph, cluster, database=database, seed=seed
+    )
+    executor = Executor(graph, cluster, seed=seed)
+    wanted = systems or ["megatron", "alpa", "aceso"]
+    result = ComparisonResult(model_name=model_name, num_gpus=num_gpus)
+
+    if "megatron" in wanted:
+        grid = megatron_grid_search(graph, cluster, perf_model)
+        result.outcomes["megatron"] = evaluate_config(
+            "megatron", grid.best_config, graph, perf_model, executor,
+            search_seconds=0.0, num_gpus=num_gpus,
+        )
+
+    if "alpa" in wanted:
+        try:
+            alpa = alpa_search(
+                graph, cluster, perf_model, options=alpa_options
+            )
+            result.outcomes["alpa"] = evaluate_config(
+                "alpa", alpa.best_config, graph, perf_model, executor,
+                search_seconds=alpa.simulated_search_seconds,
+                num_gpus=num_gpus,
+            )
+        except AlpaCompilationError as error:
+            result.outcomes["alpa"] = SystemOutcome(
+                name="alpa",
+                config=None,
+                predicted_time=float("inf"),
+                actual_time=float("inf"),
+                throughput=0.0,
+                tflops=0.0,
+                search_seconds=float("inf"),
+                oom=False,
+                failed=True,
+                failure_reason=str(error),
+            )
+
+    if "aceso" in wanted:
+        multi = search_all_stage_counts(
+            graph,
+            cluster,
+            perf_model,
+            options=aceso_options,
+            budget_per_count={"max_iterations": aceso_iterations},
+        )
+        best_config = None
+        best_time = float("inf")
+        for _, candidate in multi.top_configs(pick_top_k):
+            run = executor.run(candidate)
+            if not run.oom and run.iteration_time < best_time:
+                best_time = run.iteration_time
+                best_config = candidate
+        if best_config is None:
+            best_config = multi.best.best_config
+        result.outcomes["aceso"] = evaluate_config(
+            "aceso", best_config, graph, perf_model, executor,
+            search_seconds=multi.parallel_seconds, num_gpus=num_gpus,
+        )
+    return result

@@ -1,0 +1,67 @@
+"""Throughput and accuracy metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.graph import OpGraph
+
+
+def tflops_per_gpu(
+    graph: OpGraph, throughput: float, num_gpus: int
+) -> float:
+    """Effective TFLOPS per GPU (the paper's Appendix A metric).
+
+    Uses the model's forward+backward FLOPs — recomputation FLOPs are
+    *excluded* ("effective TFLOPS"), exactly as the paper computes it.
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be positive")
+    if throughput < 0:
+        raise ValueError("throughput must be non-negative")
+    return (
+        graph.total_train_flops_per_sample * throughput / num_gpus / 1e12
+    )
+
+
+def speedup(candidate: float, baseline: float) -> float:
+    """``candidate / baseline`` with zero-baseline protection."""
+    if baseline <= 0:
+        return float("inf") if candidate > 0 else 1.0
+    return candidate / baseline
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Scale a series so its maximum is 1.0 (Fig. 7's normalization)."""
+    peak = max(values)
+    if peak <= 0:
+        return [0.0 for _ in values]
+    return [v / peak for v in values]
+
+
+def mean_abs_pct_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Average |predicted - actual| / actual, in percent."""
+    if len(predicted) != len(actual):
+        raise ValueError("series length mismatch")
+    if not predicted:
+        raise ValueError("empty series")
+    total = 0.0
+    for p, a in zip(predicted, actual):
+        if a == 0:
+            raise ValueError("actual value of zero")
+        total += abs(p - a) / abs(a)
+    return 100.0 * total / len(predicted)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for aggregating speedups)."""
+    if not values:
+        raise ValueError("empty series")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))

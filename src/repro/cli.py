@@ -1,0 +1,229 @@
+"""Command-line entry points.
+
+``repro-search`` runs the Aceso search on one model/cluster setting;
+``repro-compare`` runs all three systems and prints a comparison table.
+Both accept ``--json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis.compare import compare_systems
+from .analysis.metrics import tflops_per_gpu
+from .cluster.topology import paper_cluster
+from .core.search import search_all_stage_counts
+from .ir.models.registry import available_models, build_model
+from .perfmodel.model import build_perf_model
+from .runtime.executor import Executor
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        required=True,
+        help=f"model name, e.g. {available_models()[:3]} or gpt-<N>l",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=8, help="cluster size (default 8)"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=30,
+        help="search iterations per pipeline stage count (default 30)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+
+
+def search_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-search``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Aceso configuration search (iterative bottleneck "
+        "alleviation)",
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--stage-counts",
+        type=int,
+        nargs="*",
+        default=None,
+        help="pipeline stage counts to search (default: powers of two)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PLAN.json",
+        help="save the winning plan as a JSON deployment artifact",
+    )
+    args = parser.parse_args(argv)
+
+    graph = build_model(args.model)
+    cluster = paper_cluster(args.gpus)
+    perf_model = build_perf_model(graph, cluster, seed=args.seed)
+    multi = search_all_stage_counts(
+        graph,
+        cluster,
+        perf_model,
+        stage_counts=args.stage_counts,
+        budget_per_count={"max_iterations": args.iterations},
+    )
+    best = multi.best
+    executor = Executor(graph, cluster, seed=args.seed)
+    run = executor.run(best.best_config)
+    throughput = run.throughput(graph.global_batch_size)
+    payload = {
+        "model": args.model,
+        "gpus": args.gpus,
+        "predicted_iteration_time": best.best_objective,
+        "actual_iteration_time": run.iteration_time,
+        "throughput_samples_per_s": throughput,
+        "tflops_per_gpu": tflops_per_gpu(graph, throughput, args.gpus),
+        "search_seconds_parallel": multi.parallel_seconds,
+        "estimates": multi.num_estimates,
+        "config": best.best_config.describe(),
+    }
+    if args.output:
+        from .parallel.serialization import save_config
+
+        save_config(best.best_config, args.output)
+        payload["plan_file"] = args.output
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"model: {payload['model']}  cluster: {cluster.describe()}")
+        print(
+            f"predicted {payload['predicted_iteration_time']:.3f}s / "
+            f"measured {payload['actual_iteration_time']:.3f}s per iteration"
+        )
+        print(
+            f"throughput {throughput:.2f} samples/s "
+            f"({payload['tflops_per_gpu']:.1f} TFLOPS/GPU)"
+        )
+        print(
+            f"search cost {multi.parallel_seconds:.1f}s "
+            f"({multi.num_estimates} configurations estimated)"
+        )
+        print(payload["config"])
+    return 0
+
+
+def compare_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-compare``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Compare Megatron-LM / Alpa / Aceso on one setting",
+    )
+    _add_common(parser)
+    args = parser.parse_args(argv)
+
+    result = compare_systems(
+        args.model,
+        args.gpus,
+        aceso_iterations=args.iterations,
+        seed=args.seed,
+    )
+    if args.json:
+        payload = {
+            name: {
+                "throughput": o.throughput,
+                "tflops_per_gpu": o.tflops,
+                "search_seconds": o.search_seconds,
+                "oom": o.oom,
+                "failed": o.failed,
+            }
+            for name, o in result.outcomes.items()
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{args.model} on {args.gpus} GPUs")
+    header = f"{'system':<10} {'samples/s':>10} {'TFLOPS':>8} {'search':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, outcome in result.outcomes.items():
+        if outcome.failed:
+            print(f"{name:<10} {'FAILED':>10} {'-':>8} {'-':>10}")
+            continue
+        print(
+            f"{name:<10} {outcome.throughput:>10.2f} "
+            f"{outcome.tflops:>8.1f} {outcome.search_seconds:>9.1f}s"
+        )
+    return 0
+
+
+def estimate_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-estimate``: predict + measure a saved plan."""
+    parser = argparse.ArgumentParser(
+        prog="repro-estimate",
+        description="Evaluate a saved plan (from repro-search --output) "
+        "with the performance model and the ground-truth executor",
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "plan", help="path to a plan JSON written by repro-search --output"
+    )
+    args = parser.parse_args(argv)
+
+    from .parallel.serialization import load_config
+    from .parallel.validation import validate_config
+
+    graph = build_model(args.model)
+    cluster = paper_cluster(args.gpus)
+    config = load_config(args.plan)
+    validate_config(config, graph, cluster)
+    perf_model = build_perf_model(graph, cluster, seed=args.seed)
+    report = perf_model.estimate(config)
+    run = Executor(graph, cluster, seed=args.seed).run(config)
+    payload = {
+        "model": args.model,
+        "gpus": args.gpus,
+        "plan": args.plan,
+        "predicted_iteration_time": report.iteration_time,
+        "actual_iteration_time": run.iteration_time,
+        "predicted_peak_memory_gb": [
+            m / 2**30 for m in report.peak_memories
+        ],
+        "actual_peak_memory_gb": [
+            m / 2**30 for m in run.stage_peak_memory
+        ],
+        "predicted_oom": report.is_oom,
+        "actual_oom": run.oom,
+        "throughput_samples_per_s": run.throughput(
+            graph.global_batch_size
+        ),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(config.describe())
+        print(
+            f"predicted {report.iteration_time:.3f}s / measured "
+            f"{run.iteration_time:.3f}s per iteration"
+        )
+        print(
+            f"memory per stage (predicted/actual GB): "
+            + ", ".join(
+                f"{p:.1f}/{a:.1f}"
+                for p, a in zip(
+                    payload["predicted_peak_memory_gb"],
+                    payload["actual_peak_memory_gb"],
+                )
+            )
+        )
+        status = "OOM" if run.oom else "fits"
+        print(
+            f"deployment: {status}, "
+            f"{payload['throughput_samples_per_s']:.2f} samples/s"
+        )
+    return 0 if not run.oom else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(search_main())

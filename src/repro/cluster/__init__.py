@@ -1,0 +1,26 @@
+"""Hardware substrate: devices, topology, collective cost models."""
+
+from .collectives import CollectiveCostModel
+from .device import GB, DeviceSpec, a100, v100
+from .topology import (
+    DEFAULT_IB,
+    DEFAULT_NVLINK,
+    ClusterSpec,
+    LinkSpec,
+    paper_cluster,
+    single_node,
+)
+
+__all__ = [
+    "DEFAULT_IB",
+    "DEFAULT_NVLINK",
+    "GB",
+    "ClusterSpec",
+    "CollectiveCostModel",
+    "DeviceSpec",
+    "LinkSpec",
+    "a100",
+    "paper_cluster",
+    "single_node",
+    "v100",
+]

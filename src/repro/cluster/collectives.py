@@ -1,0 +1,95 @@
+"""alpha-beta cost models for collective communication.
+
+All large deep-learning collectives on NVLink/IB fabrics are well
+modelled by ring algorithms: an all-reduce of ``B`` bytes over ``n``
+ranks moves ``2 * (n-1)/n * B`` bytes through the slowest link, an
+all-gather / reduce-scatter moves half of that.  These formulas (plus
+per-step latency) are what NCCL's own tuner assumes and are accurate
+enough for planning purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import ClusterSpec, LinkSpec
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Collective cost oracle bound to one cluster topology.
+
+    Group placement convention: parallel groups occupy contiguous
+    device-id ranges starting at ``0`` (the planner's canonical
+    placement), so group size alone determines the bottleneck link.
+    """
+
+    cluster: ClusterSpec
+
+    def _link(self, group_size: int) -> LinkSpec:
+        return self.cluster.link_for_group_size(group_size)
+
+    def allreduce_time(self, num_bytes: float, group_size: int) -> float:
+        """Ring all-reduce time for ``num_bytes`` over ``group_size``."""
+        self._validate(num_bytes, group_size)
+        if group_size == 1 or num_bytes == 0:
+            return 0.0
+        link = self._link(group_size)
+        steps = 2 * (group_size - 1)
+        wire_bytes = 2.0 * (group_size - 1) / group_size * num_bytes
+        return steps * link.latency + wire_bytes / link.bandwidth
+
+    def allgather_time(self, num_bytes: float, group_size: int) -> float:
+        """Ring all-gather time; ``num_bytes`` is the *full* tensor."""
+        self._validate(num_bytes, group_size)
+        if group_size == 1 or num_bytes == 0:
+            return 0.0
+        link = self._link(group_size)
+        steps = group_size - 1
+        wire_bytes = (group_size - 1) / group_size * num_bytes
+        return steps * link.latency + wire_bytes / link.bandwidth
+
+    def reducescatter_time(self, num_bytes: float, group_size: int) -> float:
+        """Ring reduce-scatter time; same wire cost as all-gather."""
+        return self.allgather_time(num_bytes, group_size)
+
+    def broadcast_time(self, num_bytes: float, group_size: int) -> float:
+        """Pipelined-ring broadcast time."""
+        self._validate(num_bytes, group_size)
+        if group_size == 1 or num_bytes == 0:
+            return 0.0
+        link = self._link(group_size)
+        return (group_size - 1) * link.latency + num_bytes / link.bandwidth
+
+    def p2p_time(
+        self, num_bytes: float, src: int = 0, dst: int = 1
+    ) -> float:
+        """Point-to-point (pipeline send/recv) transfer time."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.cluster.p2p_link(src, dst).transfer_time(num_bytes)
+
+    def p2p_time_between_stages(
+        self, num_bytes: float, boundary_device: int
+    ) -> float:
+        """Transfer time across a stage boundary at ``boundary_device``.
+
+        When the boundary crosses a node edge the transfer uses the
+        inter-node link; otherwise NVLink.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        src = max(0, min(boundary_device, self.cluster.num_gpus - 1))
+        dst = max(0, min(boundary_device + 1, self.cluster.num_gpus - 1))
+        if src == dst:
+            return self.cluster.intra_node.transfer_time(num_bytes)
+        return self.p2p_time(num_bytes, src, dst)
+
+    @staticmethod
+    def _validate(num_bytes: float, group_size: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")

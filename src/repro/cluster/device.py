@@ -1,0 +1,84 @@
+"""Accelerator device model.
+
+A ``DeviceSpec`` captures the roofline characteristics the cost model
+needs: peak FLOP rates per precision (with an achievable-efficiency
+knob), memory capacity, memory bandwidth, and fixed per-kernel launch
+overhead.  The default matches the paper's NVIDIA V100-32GB testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator's capability envelope.
+
+    Attributes:
+        name: human-readable device name.
+        peak_flops: precision -> peak FLOP/s (tensor cores for fp16).
+        memory_bytes: usable HBM capacity in bytes.
+        memory_bandwidth: HBM bandwidth in bytes/s.
+        efficiency: fraction of peak sustained by large matmul kernels.
+        kernel_overhead: fixed seconds per kernel launch.
+    """
+
+    name: str = "V100-32GB"
+    peak_flops: Dict[str, float] = field(
+        default_factory=lambda: {"fp16": 125e12, "bf16": 125e12, "fp32": 15.7e12}
+    )
+    memory_bytes: int = 32 * GB
+    memory_bandwidth: float = 900e9
+    efficiency: float = 0.55
+    kernel_overhead: float = 8e-6
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if any(v <= 0 for v in self.peak_flops.values()):
+            raise ValueError("peak_flops entries must be positive")
+
+    def sustained_flops(self, precision: str) -> float:
+        """Achievable FLOP/s for compute-bound kernels at ``precision``."""
+        try:
+            peak = self.peak_flops[precision]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no peak FLOPs entry for {precision!r}"
+            ) from None
+        return peak * self.efficiency
+
+    def compute_time(
+        self, flops: float, bytes_moved: float, precision: str
+    ) -> float:
+        """Roofline kernel time: max of compute- and bandwidth-bound.
+
+        ``bytes_moved`` is the kernel's HBM traffic (reads + writes).
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        compute = flops / self.sustained_flops(precision)
+        memory = bytes_moved / self.memory_bandwidth
+        return max(compute, memory) + self.kernel_overhead
+
+
+def v100() -> DeviceSpec:
+    """The paper's evaluation device."""
+    return DeviceSpec()
+
+
+def a100() -> DeviceSpec:
+    """A newer device for what-if studies (not used in paper tables)."""
+    return DeviceSpec(
+        name="A100-40GB",
+        peak_flops={"fp16": 312e12, "bf16": 312e12, "fp32": 19.5e12},
+        memory_bytes=40 * GB,
+        memory_bandwidth=1555e9,
+        efficiency=0.5,
+    )

@@ -1,0 +1,161 @@
+"""Cluster topology: nodes of devices with intra/inter-node links.
+
+Matches the paper's testbed shape: servers of 8 GPUs connected by
+NVLink inside a node and 100 Gb/s InfiniBand between nodes.  The
+planner only needs, for any *device group*, the bottleneck bandwidth
+and latency of collectives spanning that group — ``ClusterSpec``
+answers those queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from .device import DeviceSpec, v100
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link class.
+
+    Attributes:
+        bandwidth: effective bytes/s available to one GPU using the link.
+        latency: seconds of fixed per-message cost.
+    """
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """alpha-beta time to move ``num_bytes`` point-to-point."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency + num_bytes / self.bandwidth
+
+
+#: NVLink effective per-GPU bandwidth inside a DGX-1-style node.
+DEFAULT_NVLINK = LinkSpec(bandwidth=130e9, latency=5e-6)
+#: 100 Gb/s InfiniBand per server, shared by that server's GPUs.
+DEFAULT_IB = LinkSpec(bandwidth=12.5e9, latency=20e-6)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``num_nodes`` x ``gpus_per_node``.
+
+    Device ids are dense integers, node-major: GPU ``i`` lives on node
+    ``i // gpus_per_node``.
+    """
+
+    num_nodes: int = 4
+    gpus_per_node: int = 8
+    device: DeviceSpec = field(default_factory=v100)
+    intra_node: LinkSpec = DEFAULT_NVLINK
+    inter_node: LinkSpec = DEFAULT_IB
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError("cluster dimensions must be positive")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, device_id: int) -> int:
+        """Node index hosting ``device_id``."""
+        if not 0 <= device_id < self.num_gpus:
+            raise IndexError(
+                f"device {device_id} out of range [0, {self.num_gpus})"
+            )
+        return device_id // self.gpus_per_node
+
+    def group_spans_nodes(self, devices: Sequence[int]) -> bool:
+        """Whether the device group touches more than one node."""
+        nodes = {self.node_of(d) for d in devices}
+        return len(nodes) > 1
+
+    def group_link(self, devices: Sequence[int]) -> LinkSpec:
+        """Bottleneck link class for a collective over ``devices``.
+
+        A group confined to one node communicates over NVLink.  A group
+        spanning nodes is bottlenecked by the inter-node NIC, which is
+        *shared* by all of the group's GPUs on one node, so the
+        effective per-GPU bandwidth shrinks accordingly.
+        """
+        if not devices:
+            raise ValueError("device group must be non-empty")
+        if not self.group_spans_nodes(devices):
+            return self.intra_node
+        per_node = max(
+            sum(1 for d in devices if self.node_of(d) == n)
+            for n in {self.node_of(d) for d in devices}
+        )
+        return LinkSpec(
+            bandwidth=self.inter_node.bandwidth / per_node,
+            latency=self.inter_node.latency,
+        )
+
+    def link_for_group_size(
+        self, group_size: int, *, contiguous_start: int = 0
+    ) -> LinkSpec:
+        """Link class for a contiguous group of ``group_size`` devices.
+
+        The planner places parallel groups on contiguous device ranges;
+        this is the fast path that avoids materializing id lists.
+        """
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        devices = range(contiguous_start, contiguous_start + group_size)
+        if devices.stop > self.num_gpus:
+            raise ValueError(
+                f"group [{devices.start}, {devices.stop}) exceeds cluster "
+                f"size {self.num_gpus}"
+            )
+        return self.group_link(devices)
+
+    def p2p_link(self, src: int, dst: int) -> LinkSpec:
+        """Link class for a point-to-point transfer between two GPUs."""
+        if self.node_of(src) == self.node_of(dst):
+            return self.intra_node
+        return self.inter_node
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.num_nodes}x{self.gpus_per_node} {self.device.name} "
+            f"(NVLink {self.intra_node.bandwidth / 1e9:.0f} GB/s, "
+            f"IB {self.inter_node.bandwidth * 8 / 1e9:.0f} Gb/s)"
+        )
+
+
+def single_node(num_gpus: int = 8, device: DeviceSpec = None) -> ClusterSpec:
+    """Convenience constructor for a one-node cluster."""
+    return ClusterSpec(
+        num_nodes=1,
+        gpus_per_node=num_gpus,
+        device=device or v100(),
+    )
+
+
+def paper_cluster(num_gpus: int = 32) -> ClusterSpec:
+    """The paper's testbed shape, truncated to ``num_gpus`` devices.
+
+    Uses full 8-GPU nodes when possible; a smaller single node
+    otherwise (the paper's 1/4-GPU settings fit one server).
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be positive")
+    if num_gpus <= 8:
+        return single_node(num_gpus)
+    if num_gpus % 8:
+        raise ValueError("multi-node clusters must use full 8-GPU nodes")
+    return ClusterSpec(num_nodes=num_gpus // 8, gpus_per_node=8)

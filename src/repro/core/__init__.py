@@ -1,0 +1,89 @@
+"""Aceso's core contribution: iterative bottleneck-alleviation search."""
+
+from .apply import (
+    ApplyContext,
+    apply_primitive,
+    has_applier,
+    move_ops,
+    register_applier,
+    unregister_applier,
+)
+from .arguments import (
+    greedy_recompute,
+    greedy_unrecompute,
+    op_move_counts,
+    stage_activation_bytes,
+    tune_recompute,
+)
+from .bottleneck import Bottleneck, identify_bottleneck, rank_bottlenecks
+from .budget import SearchBudget
+from .dedup import UnexploredPool, VisitedSet
+from .finetune import finetune
+from .multihop import MultiHopResult, MultiHopSearcher
+from .primitives import (
+    PRIMITIVE_TABLE,
+    PRIMITIVES_BY_NAME,
+    Granularity,
+    PrimitiveSpec,
+    Trend,
+    all_primitives,
+    eligible_primitives,
+    get_primitive,
+    register_primitive,
+    unregister_primitive,
+)
+from .ranking import CandidateGroup, candidate_groups
+from .search import (
+    AcesoSearch,
+    AcesoSearchOptions,
+    MultiStageSearchResult,
+    SearchResult,
+    StageCountResult,
+    default_stage_counts,
+    search_all_stage_counts,
+)
+from .trace import IterationRecord, SearchTrace
+
+__all__ = [
+    "AcesoSearch",
+    "AcesoSearchOptions",
+    "ApplyContext",
+    "Bottleneck",
+    "CandidateGroup",
+    "Granularity",
+    "IterationRecord",
+    "MultiHopResult",
+    "MultiHopSearcher",
+    "MultiStageSearchResult",
+    "PRIMITIVES_BY_NAME",
+    "PRIMITIVE_TABLE",
+    "PrimitiveSpec",
+    "SearchBudget",
+    "SearchResult",
+    "SearchTrace",
+    "StageCountResult",
+    "Trend",
+    "UnexploredPool",
+    "VisitedSet",
+    "all_primitives",
+    "apply_primitive",
+    "has_applier",
+    "register_applier",
+    "register_primitive",
+    "unregister_applier",
+    "unregister_primitive",
+    "candidate_groups",
+    "default_stage_counts",
+    "eligible_primitives",
+    "finetune",
+    "get_primitive",
+    "greedy_recompute",
+    "greedy_unrecompute",
+    "identify_bottleneck",
+    "move_ops",
+    "op_move_counts",
+    "rank_bottlenecks",
+    "search_all_stage_counts",
+    "stage_activation_bytes",
+    "tune_recompute",
+]

@@ -1,0 +1,201 @@
+"""Greedy primitive-argument selection (§4.1).
+
+Primitives like inc/dec-op# and inc/dec-rc have large argument ranges
+("how many and which operators"), so Aceso chooses values greedily with
+the performance model instead of enumerating.  Recompute selection
+targets the largest activations first; op movement proposes a small
+ladder of counts plus a FLOPs-balancing count, letting Heuristic-2's
+best-performance-first ranking pick among them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..ir.graph import OpGraph
+from ..parallel.config import ParallelConfig
+from ..perfmodel.model import PerfModel
+
+
+def stage_activation_bytes(
+    graph: OpGraph, config: ParallelConfig, stage_index: int
+) -> np.ndarray:
+    """Per-op saved-activation bytes of one stage at current settings."""
+    stage = config.stages[stage_index]
+    arrays = graph.arrays
+    sl = slice(stage.start, stage.end)
+    etp = np.minimum(stage.tp, arrays.max_tp[sl])
+    samples = config.microbatch_size / stage.dp.astype(np.float64)
+    return arrays.saved_numel[sl] * samples / etp * graph.elem_bytes
+
+
+def _stage_fits(
+    perf_model: PerfModel, config: ParallelConfig, stage_index: int
+) -> bool:
+    report = perf_model.estimate(config)
+    return report.stages[stage_index].peak_memory <= report.memory_limit
+
+
+def greedy_recompute(
+    perf_model: PerfModel,
+    config: ParallelConfig,
+    stage_index: int,
+) -> Optional[ParallelConfig]:
+    """Enable recomputation on a stage until it fits in memory.
+
+    Ops are recomputed largest-activation-first (§4.1).  The count is
+    seeded analytically from the memory overflow and each op's
+    activation savings, then verified (and grown if short) against the
+    performance model — one or two estimates instead of a full scan.
+    Returns ``None`` when even full recomputation cannot fit, or when
+    the stage already fits without changes.
+    """
+    report = perf_model.estimate(config)
+    stage_report = report.stages[stage_index]
+    overflow = stage_report.peak_memory - report.memory_limit
+    if overflow <= 0:
+        return None
+    stage = config.stages[stage_index]
+    act = stage_activation_bytes(perf_model.graph, config, stage_index)
+    candidates = np.where(~stage.recompute)[0]
+    if candidates.size == 0:
+        return None
+    order = candidates[np.argsort(act[candidates])[::-1]]
+    savings = np.cumsum(act[order]) * max(1, stage_report.in_flight)
+
+    def with_prefix(k: int) -> ParallelConfig:
+        new = config.clone()
+        new.stages[stage_index].recompute[order[:k]] = True
+        return new
+
+    total = len(order)
+    k = int(np.searchsorted(savings, overflow)) + 1
+    step = max(1, total // 8)
+    while k <= total:
+        candidate = with_prefix(min(k, total))
+        if _stage_fits(perf_model, candidate, stage_index):
+            return candidate
+        k += step
+    return None
+
+
+def greedy_unrecompute(
+    perf_model: PerfModel,
+    config: ParallelConfig,
+    stage_index: int,
+) -> Optional[ParallelConfig]:
+    """Disable recomputation where memory slack allows.
+
+    Recomputed ops are released in ascending activation order (big
+    activations are the riskiest to re-materialize).  The release count
+    is seeded from the stage's memory slack and trimmed against the
+    performance model.  Returns ``None`` when nothing can change (no
+    recomputed ops, or the stage is already over budget).
+    """
+    stage = config.stages[stage_index]
+    recomputed = np.where(stage.recompute)[0]
+    if recomputed.size == 0:
+        return None
+    report = perf_model.estimate(config)
+    stage_report = report.stages[stage_index]
+    slack = report.memory_limit - stage_report.peak_memory
+    if slack < 0:
+        return None
+    act = stage_activation_bytes(perf_model.graph, config, stage_index)
+    order = recomputed[np.argsort(act[recomputed])]
+    growth = np.cumsum(act[order]) * max(1, stage_report.in_flight)
+
+    def with_prefix(k: int) -> ParallelConfig:
+        new = config.clone()
+        new.stages[stage_index].recompute[order[:k]] = False
+        return new
+
+    k = int(np.searchsorted(growth, slack, side="right"))
+    step = max(1, len(order) // 8)
+    while k >= 1:
+        candidate = with_prefix(k)
+        if _stage_fits(perf_model, candidate, stage_index):
+            return candidate
+        k -= step
+    return None
+
+
+def tune_recompute(
+    perf_model: PerfModel,
+    config: ParallelConfig,
+    stage_indices: List[int],
+) -> ParallelConfig:
+    """Re-fit recomputation after another primitive changed memory.
+
+    This is §4.3's "attaching inc/dec-rc to all other primitives":
+    stages pushed over the memory limit gain recomputation; stages with
+    new slack shed it.
+    """
+    current = config
+    for stage_index in stage_indices:
+        if not 0 <= stage_index < current.num_stages:
+            continue
+        tightened = greedy_recompute(perf_model, current, stage_index)
+        if tightened is not None:
+            current = tightened
+            continue
+        relaxed = greedy_unrecompute(perf_model, current, stage_index)
+        if relaxed is not None:
+            current = relaxed
+    return current
+
+
+def op_move_counts(
+    graph: OpGraph,
+    config: ParallelConfig,
+    stage_index: int,
+    neighbor_index: int,
+    *,
+    from_front: bool,
+) -> List[int]:
+    """Candidate counts of ops to move out of a stage (§4.1).
+
+    Returns a small ladder of counts — 1, span/8, span/4, span/2 — plus
+    the FLOPs-balancing count that would equalize the two stages'
+    training FLOPs (the "tight goal"), all deduplicated and capped so
+    the stage keeps at least one op.
+    """
+    stage = config.stages[stage_index]
+    span = stage.num_ops
+    if span <= 1:
+        return []
+    limit = span - 1
+    ladder = {1, max(1, span // 8), max(1, span // 4), max(1, span // 2)}
+    balance = _flops_balance_count(
+        graph, config, stage_index, neighbor_index, from_front
+    )
+    if balance is not None:
+        ladder.add(balance)
+    return sorted(k for k in ladder if 1 <= k <= limit)
+
+
+def _flops_balance_count(
+    graph: OpGraph,
+    config: ParallelConfig,
+    stage_index: int,
+    neighbor_index: int,
+    from_front: bool,
+) -> Optional[int]:
+    arrays = graph.arrays
+    weights = arrays.flops + arrays.bwd_flops
+    stage = config.stages[stage_index]
+    neighbor = config.stages[neighbor_index]
+    own = float(weights[stage.start:stage.end].sum())
+    other = float(weights[neighbor.start:neighbor.end].sum())
+    gap = (own - other) / 2.0
+    if gap <= 0:
+        return None
+    sl = weights[stage.start:stage.end]
+    moved = sl if from_front else sl[::-1]
+    cumulative = np.cumsum(moved)
+    k = int(np.searchsorted(cumulative, gap)) + 1
+    if k >= stage.num_ops:
+        return None
+    return k

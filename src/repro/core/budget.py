@@ -1,0 +1,63 @@
+"""Search budget accounting.
+
+The paper gives every search a fixed wall-clock budget (200 s in §5.1).
+Tests and CI-sized benchmarks need determinism, so the budget also
+supports iteration and estimate limits; whichever trips first ends the
+search.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class SearchBudget:
+    """Tracks elapsed wall-clock, iterations, and model estimates."""
+
+    def __init__(
+        self,
+        *,
+        max_seconds: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        max_estimates: Optional[int] = None,
+    ) -> None:
+        if max_seconds is None and max_iterations is None and max_estimates is None:
+            raise ValueError("at least one budget limit is required")
+        for name, value in (
+            ("max_seconds", max_seconds),
+            ("max_iterations", max_iterations),
+            ("max_estimates", max_estimates),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        self.max_seconds = max_seconds
+        self.max_iterations = max_iterations
+        self.max_estimates = max_estimates
+        self._start: Optional[float] = None
+        self._estimates_start = 0
+
+    def start(self, current_estimates: int = 0) -> None:
+        """Begin (or restart) the budget clock."""
+        self._start = time.monotonic()
+        self._estimates_start = current_estimates
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start`."""
+        if self._start is None:
+            raise RuntimeError("budget not started")
+        return time.monotonic() - self._start
+
+    def exhausted(
+        self, *, iterations: int = 0, estimates: int = 0
+    ) -> bool:
+        """Whether any configured limit has been reached."""
+        if self.max_seconds is not None and self.elapsed() >= self.max_seconds:
+            return True
+        if self.max_iterations is not None and iterations >= self.max_iterations:
+            return True
+        if self.max_estimates is not None:
+            used = estimates - self._estimates_start
+            if used >= self.max_estimates:
+                return True
+        return False

@@ -1,0 +1,67 @@
+"""Configuration deduplication (§4.3).
+
+The multi-hop search can reach one configuration along many primitive
+paths; the semantic signature (a hash over stage spans, device counts,
+per-op settings, and microbatch size) lets the search skip re-exploring
+them.  ``VisitedSet`` also counts hits, which quantifies how much work
+deduplication saves.
+"""
+
+from __future__ import annotations
+
+from ..parallel.config import ParallelConfig
+
+
+class VisitedSet:
+    """Signature set with hit accounting."""
+
+    def __init__(self) -> None:
+        self._signatures = set()
+        self.hits = 0
+
+    def add(self, config: ParallelConfig) -> bool:
+        """Record ``config``; returns True when it was new."""
+        signature = config.signature()
+        if signature in self._signatures:
+            self.hits += 1
+            return False
+        self._signatures.add(signature)
+        return True
+
+    def __contains__(self, config: ParallelConfig) -> bool:
+        seen = config.signature() in self._signatures
+        if seen:
+            self.hits += 1
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+
+class UnexploredPool:
+    """Best-first pool of configurations seen but not yet expanded.
+
+    Mirrors Algorithm 1's ``unexplored_configs``: every candidate the
+    search estimates lands here; when an iteration fails to improve,
+    the search restarts from the best unexplored configuration.
+    """
+
+    def __init__(self) -> None:
+        self._pool = {}
+
+    def put(self, config: ParallelConfig, objective: float) -> None:
+        self._pool.setdefault(config.signature(), (objective, config))
+
+    def remove(self, config: ParallelConfig) -> None:
+        self._pool.pop(config.signature(), None)
+
+    def pop_best(self):
+        """Remove and return the lowest-objective entry (or ``None``)."""
+        if not self._pool:
+            return None
+        signature = min(self._pool, key=lambda s: self._pool[s][0])
+        _, config = self._pool.pop(signature)
+        return config
+
+    def __len__(self) -> int:
+        return len(self._pool)

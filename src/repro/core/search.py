@@ -1,0 +1,296 @@
+"""Top-level Aceso search (Algorithm 1) and the stage-count driver.
+
+``AcesoSearch`` iterates: identify the bottleneck, run the multi-hop
+primitive search, fall back to secondary bottlenecks, apply op-level
+fine-tuning, and restart from the best unexplored configuration when an
+iteration stalls — until the budget runs out or nothing is left to
+explore.
+
+``search_all_stage_counts`` reproduces §4.3's "parallel search of
+configurations under different pipeline stage numbers": independent
+searches per stage count whose *parallel* cost is the slowest single
+search (reported alongside the serial total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.topology import ClusterSpec
+from ..ir.graph import OpGraph
+from ..parallel.config import ParallelConfig
+from ..parallel.initializer import balanced_config
+from ..perfmodel.model import PerfModel
+from ..perfmodel.report import PerfReport
+from .bottleneck import rank_bottlenecks
+from .budget import SearchBudget
+from .dedup import UnexploredPool, VisitedSet
+from .finetune import finetune
+from .multihop import MultiHopSearcher
+from .trace import SearchTrace
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    best_config: ParallelConfig
+    best_objective: float
+    best_report: PerfReport
+    trace: SearchTrace
+    top_configs: List[Tuple[float, ParallelConfig]]
+    num_estimates: int
+    elapsed_seconds: float
+    converged: bool
+
+    @property
+    def is_feasible(self) -> bool:
+        return not self.best_report.is_oom
+
+
+@dataclass
+class AcesoSearchOptions:
+    """Tunable knobs of the search (paper defaults)."""
+
+    max_hops: int = 7
+    max_bottlenecks: int = 3
+    top_k: int = 5
+    enable_finetune: bool = True
+    use_heuristic2: bool = True
+    seed: int = 0
+    finetune_split_points: int = 8
+    beam_width: int = 2
+    max_nodes_per_iteration: int = 60
+    attach_recompute: bool = True
+
+
+class AcesoSearch:
+    """Algorithm 1: iterative bottleneck alleviation."""
+
+    def __init__(
+        self,
+        graph: OpGraph,
+        cluster: ClusterSpec,
+        perf_model: PerfModel,
+        *,
+        options: Optional[AcesoSearchOptions] = None,
+    ) -> None:
+        self.graph = graph
+        self.cluster = cluster
+        self.perf_model = perf_model
+        self.options = options or AcesoSearchOptions()
+
+    def run(
+        self,
+        init_config: ParallelConfig,
+        budget: SearchBudget,
+    ) -> SearchResult:
+        """Search from ``init_config`` until ``budget`` is exhausted."""
+        opts = self.options
+        budget.start(self.perf_model.num_estimates)
+        rng = (
+            None
+            if opts.use_heuristic2
+            else np.random.default_rng(opts.seed)
+        )
+
+        visited = VisitedSet()
+        unexplored = UnexploredPool()
+        trace = SearchTrace()
+        searcher = MultiHopSearcher(
+            self.graph,
+            self.cluster,
+            self.perf_model,
+            max_hops=opts.max_hops,
+            rng=rng,
+            should_stop=lambda: budget.exhausted(
+                estimates=self.perf_model.num_estimates
+            ),
+            beam_width=opts.beam_width,
+            max_nodes=opts.max_nodes_per_iteration,
+            attach_recompute=opts.attach_recompute,
+        )
+
+        config = init_config
+        best = init_config
+        best_objective = self.perf_model.objective(init_config)
+        top: List[Tuple[float, ParallelConfig]] = [(best_objective, best)]
+        trace.convergence.append((0.0, best_objective))
+        iteration = 0
+        converged = False
+
+        while not budget.exhausted(
+            iterations=iteration, estimates=self.perf_model.num_estimates
+        ):
+            iteration += 1
+            report = self.perf_model.estimate(config)
+            bottlenecks = rank_bottlenecks(report)[: opts.max_bottlenecks]
+            result = None
+            tried = 0
+            for bottleneck in bottlenecks:
+                tried += 1
+                result = searcher.search(
+                    config,
+                    visited=visited,
+                    unexplored=unexplored,
+                    bottleneck=bottleneck,
+                )
+                if result is not None:
+                    break
+            if result is not None:
+                new_config = result.config
+                if opts.enable_finetune:
+                    new_config = finetune(
+                        new_config,
+                        self.graph,
+                        self.cluster,
+                        self.perf_model,
+                        max_split_points=opts.finetune_split_points,
+                    )
+                objective = self.perf_model.objective(new_config)
+                config = new_config
+                if objective < best_objective:
+                    best, best_objective = new_config, objective
+                top = _update_top(top, objective, new_config, opts.top_k)
+                trace.record_iteration(
+                    index=iteration,
+                    elapsed=budget.elapsed(),
+                    bottlenecks_tried=tried,
+                    hops_used=result.hops_used,
+                    improved=True,
+                    objective=objective,
+                    best_objective=best_objective,
+                )
+            else:
+                restart = unexplored.pop_best()
+                trace.record_iteration(
+                    index=iteration,
+                    elapsed=budget.elapsed(),
+                    bottlenecks_tried=tried,
+                    hops_used=0,
+                    improved=False,
+                    objective=self.perf_model.objective(config),
+                    best_objective=best_objective,
+                )
+                if restart is None:
+                    converged = True
+                    break
+                config = restart
+
+        return SearchResult(
+            best_config=best,
+            best_objective=best_objective,
+            best_report=self.perf_model.estimate(best),
+            trace=trace,
+            top_configs=top,
+            num_estimates=self.perf_model.num_estimates,
+            elapsed_seconds=budget.elapsed(),
+            converged=converged,
+        )
+
+
+def _update_top(
+    top: List[Tuple[float, ParallelConfig]],
+    objective: float,
+    config: ParallelConfig,
+    k: int,
+) -> List[Tuple[float, ParallelConfig]]:
+    signatures = {c.signature() for _, c in top}
+    if config.signature() not in signatures:
+        top = top + [(objective, config)]
+    top.sort(key=lambda pair: pair[0])
+    return top[:k]
+
+
+@dataclass
+class StageCountResult:
+    """Per-stage-count outcome of the parallel search driver."""
+
+    num_stages: int
+    result: SearchResult
+
+
+@dataclass
+class MultiStageSearchResult:
+    """Aggregate of the per-stage-count searches."""
+
+    runs: List[StageCountResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> SearchResult:
+        return min(
+            (run.result for run in self.runs),
+            key=lambda r: r.best_objective,
+        )
+
+    @property
+    def serial_seconds(self) -> float:
+        """Total compute cost if searches ran one after another."""
+        return sum(run.result.elapsed_seconds for run in self.runs)
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Wall-clock cost when stage counts search in parallel (§4.3)."""
+        return max(run.result.elapsed_seconds for run in self.runs)
+
+    @property
+    def num_estimates(self) -> int:
+        return max(run.result.num_estimates for run in self.runs)
+
+    def top_configs(self, k: int = 5) -> List[Tuple[float, ParallelConfig]]:
+        merged: List[Tuple[float, ParallelConfig]] = []
+        seen = set()
+        for run in self.runs:
+            for objective, config in run.result.top_configs:
+                signature = config.signature()
+                if signature not in seen:
+                    seen.add(signature)
+                    merged.append((objective, config))
+        merged.sort(key=lambda pair: pair[0])
+        return merged[:k]
+
+
+def default_stage_counts(graph: OpGraph, cluster: ClusterSpec) -> List[int]:
+    """Pipeline stage counts worth searching for this problem size."""
+    limit = min(cluster.num_gpus, graph.num_ops)
+    counts = []
+    value = 1
+    while value <= limit:
+        counts.append(value)
+        value *= 2
+    return counts
+
+
+def search_all_stage_counts(
+    graph: OpGraph,
+    cluster: ClusterSpec,
+    perf_model: PerfModel,
+    *,
+    stage_counts: Optional[Sequence[int]] = None,
+    options: Optional[AcesoSearchOptions] = None,
+    budget_per_count: Optional[dict] = None,
+) -> MultiStageSearchResult:
+    """Run one independent search per pipeline stage count.
+
+    ``budget_per_count`` holds :class:`SearchBudget` keyword arguments
+    applied to each stage count's search (default: 60 iterations).
+    """
+    if stage_counts is None:
+        counts = default_stage_counts(graph, cluster)
+    else:
+        counts = list(stage_counts)
+    if not counts:
+        raise ValueError("no stage counts to search")
+    budget_kwargs = budget_per_count or {"max_iterations": 60}
+    outcome = MultiStageSearchResult()
+    for count in counts:
+        init = balanced_config(graph, cluster, count)
+        search = AcesoSearch(graph, cluster, perf_model, options=options)
+        result = search.run(init, SearchBudget(**budget_kwargs))
+        outcome.runs.append(
+            StageCountResult(num_stages=count, result=result)
+        )
+    return outcome

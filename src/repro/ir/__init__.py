@@ -1,0 +1,39 @@
+"""Model intermediate representation: tensors, operators, graphs."""
+
+from .graph import GraphArrays, OpGraph
+from .ops import (
+    OpSpec,
+    PartitionOption,
+    attention_core_op,
+    conv2d_op,
+    elementwise_op,
+    embedding_op,
+    layernorm_op,
+    lm_head_op,
+    loss_op,
+    matmul_op,
+    norm2d_op,
+    pool_op,
+)
+from .tensor import DTYPE_BYTES, TensorSpec, UnknownDtypeError, dtype_bytes
+
+__all__ = [
+    "DTYPE_BYTES",
+    "GraphArrays",
+    "OpGraph",
+    "OpSpec",
+    "PartitionOption",
+    "TensorSpec",
+    "UnknownDtypeError",
+    "attention_core_op",
+    "conv2d_op",
+    "dtype_bytes",
+    "elementwise_op",
+    "embedding_op",
+    "layernorm_op",
+    "lm_head_op",
+    "loss_op",
+    "matmul_op",
+    "norm2d_op",
+    "pool_op",
+]

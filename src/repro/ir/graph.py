@@ -1,0 +1,192 @@
+"""Sequential operator graph and its vectorized view.
+
+Aceso (like Megatron-LM and Alpa's pipeline level) treats the model as a
+sequential chain of operators that pipeline stages partition into
+contiguous spans.  ``OpGraph`` holds the chain plus model-level training
+metadata; ``GraphArrays`` caches per-op quantities as numpy arrays so the
+performance model can evaluate thousand-op models in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .ops import OpSpec
+from .tensor import dtype_bytes
+
+
+@dataclass
+class OpGraph:
+    """A DNN model as a sequential chain of :class:`OpSpec`.
+
+    Attributes:
+        name: model identifier, e.g. ``"gpt3-1.3b"``.
+        ops: the operator chain in execution order.
+        precision: training dtype of weights/activations.
+        global_batch_size: samples per training iteration.
+        optimizer_bytes_per_param: bytes of optimizer + master + gradient
+            state kept per parameter (Adam mixed precision ~= 16).
+        layer_spans: optional (start, end) op-index spans marking the
+            model's "layers" (used by layer-grouping baselines).
+    """
+
+    name: str
+    ops: List[OpSpec]
+    precision: str = "fp16"
+    global_batch_size: int = 1024
+    optimizer_bytes_per_param: int = 16
+    layer_spans: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("OpGraph requires at least one op")
+        if self.global_batch_size < 1:
+            raise ValueError("global_batch_size must be positive")
+        dtype_bytes(self.precision)  # validate
+        self._arrays: "GraphArrays" = None  # type: ignore[assignment]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[OpSpec]:
+        return iter(self.ops)
+
+    def __getitem__(self, index: int) -> OpSpec:
+        return self.ops[index]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def elem_bytes(self) -> int:
+        """Bytes per activation/weight element at the model precision."""
+        return dtype_bytes(self.precision)
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter element count."""
+        return int(self.arrays.params.sum())
+
+    @property
+    def total_fwd_flops_per_sample(self) -> float:
+        """Forward FLOPs for one sample through the whole model."""
+        return float(self.arrays.flops.sum())
+
+    @property
+    def total_train_flops_per_sample(self) -> float:
+        """Forward + backward FLOPs for one sample (no recomputation)."""
+        return float(self.arrays.flops.sum() + self.arrays.bwd_flops.sum())
+
+    @property
+    def num_layers(self) -> int:
+        """Number of declared layer spans (0 when none were declared)."""
+        return len(self.layer_spans)
+
+    @property
+    def arrays(self) -> "GraphArrays":
+        """The cached vectorized view (built lazily, immutable)."""
+        if self._arrays is None:
+            self._arrays = GraphArrays.from_ops(self.ops)
+        return self._arrays
+
+    def op_index(self, name: str) -> int:
+        """Return the index of the (first) op called ``name``."""
+        for i, op in enumerate(self.ops):
+            if op.name == name:
+                return i
+        raise KeyError(f"no op named {name!r} in graph {self.name!r}")
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        params_b = self.total_params / 1e9
+        return (
+            f"{self.name}: {self.num_ops} ops, {self.num_layers} layers, "
+            f"{params_b:.2f}B params, {self.precision}, "
+            f"batch={self.global_batch_size}"
+        )
+
+
+class GraphArrays:
+    """Immutable numpy views over per-op quantities of an op chain.
+
+    Indexing convention: every array has one entry per op, in op order.
+    Partition-option-dependent arrays are 2-D ``(num_ops, max_options)``,
+    padded with the last valid option.
+    """
+
+    __slots__ = (
+        "flops",
+        "bwd_flops",
+        "params",
+        "out_numel",
+        "saved_numel",
+        "max_tp",
+        "num_options",
+        "fwd_comm_numel",
+        "bwd_comm_numel",
+        "shards_output",
+    )
+
+    def __init__(
+        self,
+        flops: np.ndarray,
+        bwd_flops: np.ndarray,
+        params: np.ndarray,
+        out_numel: np.ndarray,
+        saved_numel: np.ndarray,
+        max_tp: np.ndarray,
+        num_options: np.ndarray,
+        fwd_comm_numel: np.ndarray,
+        bwd_comm_numel: np.ndarray,
+        shards_output: np.ndarray,
+    ) -> None:
+        self.flops = flops
+        self.bwd_flops = bwd_flops
+        self.params = params
+        self.out_numel = out_numel
+        self.saved_numel = saved_numel
+        self.max_tp = max_tp
+        self.num_options = num_options
+        self.fwd_comm_numel = fwd_comm_numel
+        self.bwd_comm_numel = bwd_comm_numel
+        self.shards_output = shards_output
+        for arr in (
+            flops, bwd_flops, params, out_numel, saved_numel,
+            max_tp, num_options, fwd_comm_numel, bwd_comm_numel, shards_output,
+        ):
+            arr.setflags(write=False)
+
+    @classmethod
+    def from_ops(cls, ops: Sequence[OpSpec]) -> "GraphArrays":
+        n = len(ops)
+        max_opts = max(op.num_partition_options for op in ops)
+        flops = np.array([op.flops for op in ops], dtype=np.float64)
+        bwd_flops = np.array([op.bwd_flops for op in ops], dtype=np.float64)
+        params = np.array([op.params for op in ops], dtype=np.float64)
+        out_numel = np.array([op.out_numel for op in ops], dtype=np.float64)
+        saved_numel = np.array([op.saved_numel for op in ops], dtype=np.float64)
+        max_tp = np.array([op.max_tp for op in ops], dtype=np.int64)
+        num_options = np.array(
+            [op.num_partition_options for op in ops], dtype=np.int64
+        )
+        fwd_comm = np.zeros((n, max_opts), dtype=np.float64)
+        bwd_comm = np.zeros((n, max_opts), dtype=np.float64)
+        shards = np.zeros((n, max_opts), dtype=bool)
+        for i, op in enumerate(ops):
+            for j in range(max_opts):
+                opt = op.partition_options[min(j, op.num_partition_options - 1)]
+                fwd_comm[i, j] = opt.fwd_comm_numel
+                bwd_comm[i, j] = opt.bwd_comm_numel
+                shards[i, j] = opt.shards_output
+        return cls(
+            flops, bwd_flops, params, out_numel, saved_numel,
+            max_tp, num_options, fwd_comm, bwd_comm, shards,
+        )
+
+    @property
+    def num_ops(self) -> int:
+        return int(self.flops.shape[0])

@@ -1,0 +1,55 @@
+"""Model registry: build any benchmark model by string name.
+
+Names follow ``"<family>-<size>"`` (``"gpt3-1.3b"``, ``"t5-3b"``,
+``"wresnet-6.8b"``) plus ``"gpt-<N>l"`` for N-layer scalability models.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+from ..graph import OpGraph
+from .gpt3 import GPT3_SIZES, build_gpt3, build_gpt3_layers
+from .t5 import T5_SIZES, build_t5
+from .wide_resnet import WRN_SIZES, build_wide_resnet
+
+_LAYERS_PATTERN = re.compile(r"^gpt-(\d+)l$")
+
+_FAMILIES: Dict[str, Callable[..., OpGraph]] = {
+    "gpt3": build_gpt3,
+    "t5": build_t5,
+    "wresnet": build_wide_resnet,
+}
+
+
+def available_models() -> List[str]:
+    """All registered model names (excluding parametric ``gpt-<N>l``)."""
+    names = [f"gpt3-{s}" for s in GPT3_SIZES]
+    names += [f"t5-{s}" for s in T5_SIZES]
+    names += [f"wresnet-{s}" for s in WRN_SIZES]
+    return names
+
+
+def build_model(name: str, *, batch_size: Optional[int] = None) -> OpGraph:
+    """Build a model by registry name.
+
+    >>> build_model("gpt3-350m").name
+    'gpt3-350m'
+    >>> build_model("gpt-16l").num_layers
+    16
+    """
+    key = name.lower()
+    match = _LAYERS_PATTERN.match(key)
+    if match:
+        kwargs = {} if batch_size is None else {"batch_size": batch_size}
+        return build_gpt3_layers(int(match.group(1)), **kwargs)
+    family, _, size = key.partition("-")
+    builder = _FAMILIES.get(family)
+    if builder is None or not size:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()} "
+            f"or gpt-<N>l"
+        )
+    kwargs = {} if batch_size is None else {"batch_size": batch_size}
+    return builder(size, **kwargs)

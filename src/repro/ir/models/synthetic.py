@@ -1,0 +1,85 @@
+"""Synthetic workload generator.
+
+Random-but-reproducible op chains with realistic cost distributions,
+for fuzzing the planner: the search must return valid, feasible
+configurations on *any* well-formed graph, not just the three benchmark
+families.  Used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph import OpGraph
+from ..ops import (
+    OpSpec,
+    elementwise_op,
+    layernorm_op,
+    loss_op,
+    matmul_op,
+)
+
+
+def build_synthetic(
+    num_ops: int,
+    *,
+    seed: int = 0,
+    hidden_range=(32, 256),
+    tokens_range=(16, 128),
+    batch_size: int = 64,
+    precision: str = "fp16",
+    name: Optional[str] = None,
+) -> OpGraph:
+    """Build a random sequential model of roughly ``num_ops`` operators.
+
+    The chain alternates matmuls (the cost carriers, with random widths
+    and both partition dims), elementwise activations, and occasional
+    layernorms — the ingredient mix of real transformer-ish models,
+    with none of their regularity.  Deterministic per ``seed``.
+    """
+    if num_ops < 2:
+        raise ValueError("num_ops must be at least 2 (one op + loss)")
+    rng = np.random.default_rng(seed)
+    lo_h, hi_h = hidden_range
+    lo_t, hi_t = tokens_range
+    if lo_h < 1 or lo_t < 1 or hi_h < lo_h or hi_t < lo_t:
+        raise ValueError("invalid hidden/tokens ranges")
+
+    def pow2(low: int, high: int) -> int:
+        choices = [1 << e for e in range(16) if low <= (1 << e) <= high]
+        return int(rng.choice(choices)) if choices else low
+
+    tokens = pow2(lo_t, hi_t)
+    width = pow2(lo_h, hi_h)
+    ops: List[OpSpec] = []
+    index = 0
+    while len(ops) < num_ops - 1:
+        roll = rng.random()
+        if roll < 0.55:
+            out_width = pow2(lo_h, hi_h)
+            style = "column" if rng.random() < 0.5 else "row"
+            ops.append(
+                matmul_op(
+                    f"syn{index}.matmul", width, out_width, tokens,
+                    parallel_style=style,
+                )
+            )
+            width = out_width
+        elif roll < 0.85:
+            ops.append(
+                elementwise_op(
+                    f"syn{index}.act", "gelu", tokens * width
+                )
+            )
+        else:
+            ops.append(layernorm_op(f"syn{index}.ln", tokens, width))
+        index += 1
+    ops.append(loss_op("loss", tokens * width))
+    return OpGraph(
+        name=name or f"synthetic-{num_ops}ops-s{seed}",
+        ops=ops,
+        precision=precision,
+        global_batch_size=batch_size,
+    )

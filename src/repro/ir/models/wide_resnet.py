@@ -1,0 +1,152 @@
+"""Wide-ResNet family model builders.
+
+Wide-ResNet (Zagoruyko & Komodakis) is the paper's convolutional vision
+model: a ResNet-50-style bottleneck network whose convolution widths are
+multiplied by a width factor.  Table 2 uses FP32, batch 1536, input
+224x224x3, with sizes 0.5B - 13B; we pick (depth, width-factor) pairs
+that land close to those parameter counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..graph import OpGraph
+from ..ops import OpSpec, conv2d_op, elementwise_op, loss_op, matmul_op, norm2d_op, pool_op
+
+#: Wide-ResNet ladder: size name -> (blocks per stage, width factor).
+WRN_SIZES: Dict[str, Tuple[Tuple[int, int, int, int], int]] = {
+    "500m": ((3, 4, 6, 3), 5),
+    "2b": ((3, 4, 6, 3), 9),
+    "4b": ((3, 4, 23, 3), 10),
+    "6.8b": ((3, 4, 6, 3), 17),
+    "13b": ((3, 4, 23, 3), 18),
+}
+
+#: Base channel counts per stage of ResNet-50 (before width scaling).
+BASE_CHANNELS = (64, 128, 256, 512)
+#: Bottleneck expansion factor.
+EXPANSION = 4
+DEFAULT_IMAGE_HW = 224
+DEFAULT_BATCH = 1536
+DEFAULT_NUM_CLASSES = 1000
+
+
+@dataclass(frozen=True)
+class WideResNetSpec:
+    """Hyper-parameters of one Wide-ResNet variant."""
+
+    blocks_per_stage: Tuple[int, int, int, int]
+    width_factor: int
+    image_hw: int = DEFAULT_IMAGE_HW
+    num_classes: int = DEFAULT_NUM_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.width_factor < 1:
+            raise ValueError("width_factor must be >= 1")
+        if len(self.blocks_per_stage) != 4:
+            raise ValueError("expected 4 stages of blocks")
+
+
+def bottleneck_block_ops(
+    tag: str,
+    in_channels: int,
+    mid_channels: int,
+    out_channels: int,
+    out_hw: int,
+    *,
+    downsample: bool,
+) -> List[OpSpec]:
+    """One bottleneck residual block: 1x1 -> 3x3 -> 1x1 (+ shortcut)."""
+    ops = [
+        conv2d_op(f"{tag}.conv1", in_channels, mid_channels, 1, out_hw),
+        norm2d_op(f"{tag}.bn1", mid_channels, out_hw),
+        conv2d_op(f"{tag}.conv2", mid_channels, mid_channels, 3, out_hw),
+        norm2d_op(f"{tag}.bn2", mid_channels, out_hw),
+        conv2d_op(f"{tag}.conv3", mid_channels, out_channels, 1, out_hw),
+        norm2d_op(f"{tag}.bn3", out_channels, out_hw),
+    ]
+    if downsample:
+        ops.append(
+            conv2d_op(f"{tag}.shortcut", in_channels, out_channels, 1, out_hw)
+        )
+    ops.append(
+        elementwise_op(f"{tag}.relu", "relu", out_channels * out_hw * out_hw,
+                       flops_per_element=2.0)
+    )
+    return ops
+
+
+def build_wide_resnet_from_spec(
+    name: str,
+    spec: WideResNetSpec,
+    *,
+    batch_size: int = DEFAULT_BATCH,
+    precision: str = "fp32",
+) -> OpGraph:
+    """Assemble the full Wide-ResNet graph."""
+    hw = spec.image_hw // 4  # stem: 7x7 stride-2 conv + stride-2 pool
+    stem_channels = BASE_CHANNELS[0]
+    ops: List[OpSpec] = [
+        conv2d_op("stem.conv", 3, stem_channels, 7, spec.image_hw // 2),
+        norm2d_op("stem.bn", stem_channels, spec.image_hw // 2),
+        pool_op("stem.pool", stem_channels, hw),
+    ]
+    layer_spans: List[Tuple[int, int]] = [(0, len(ops))]
+    in_channels = stem_channels
+    for stage, num_blocks in enumerate(spec.blocks_per_stage):
+        mid = BASE_CHANNELS[stage] * spec.width_factor
+        out_channels = BASE_CHANNELS[stage] * EXPANSION * spec.width_factor
+        if stage > 0:
+            hw //= 2  # first block of each later stage downsamples
+        for block in range(num_blocks):
+            start = len(ops)
+            ops.extend(
+                bottleneck_block_ops(
+                    f"s{stage}b{block}",
+                    in_channels,
+                    mid,
+                    out_channels,
+                    hw,
+                    downsample=(block == 0),
+                )
+            )
+            layer_spans.append((start, len(ops)))
+            in_channels = out_channels
+    start = len(ops)
+    ops.append(pool_op("head.avgpool", in_channels, 1))
+    ops.append(
+        matmul_op("head.fc", in_channels, spec.num_classes, 1,
+                  parallel_style="column")
+    )
+    ops.append(loss_op("loss", spec.num_classes))
+    layer_spans.append((start, len(ops)))
+    return OpGraph(
+        name=name,
+        ops=ops,
+        precision=precision,
+        global_batch_size=batch_size,
+        layer_spans=layer_spans,
+    )
+
+
+def build_wide_resnet(
+    size: str, *, batch_size: int = DEFAULT_BATCH
+) -> OpGraph:
+    """Build one of the paper's five Wide-ResNet sizes (Table 2).
+
+    >>> build_wide_resnet("2b").precision
+    'fp32'
+    """
+    key = size.lower()
+    if key not in WRN_SIZES:
+        raise KeyError(
+            f"unknown Wide-ResNet size {size!r}; choose from "
+            f"{sorted(WRN_SIZES)}"
+        )
+    blocks, width = WRN_SIZES[key]
+    spec = WideResNetSpec(blocks_per_stage=blocks, width_factor=width)
+    return build_wide_resnet_from_spec(
+        f"wresnet-{key}", spec, batch_size=batch_size
+    )

@@ -1,0 +1,91 @@
+"""Tensor metadata used by the model IR.
+
+The reproduction never materializes training tensors; the planner only
+needs shapes, dtypes, and byte counts.  ``TensorSpec`` is the single
+source of truth for those quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Bytes per element for each supported dtype.
+DTYPE_BYTES = {
+    "fp16": 2,
+    "bf16": 2,
+    "fp32": 4,
+    "fp64": 8,
+    "int8": 1,
+    "int32": 4,
+    "int64": 8,
+}
+
+
+class UnknownDtypeError(ValueError):
+    """Raised when a dtype string is not in :data:`DTYPE_BYTES`."""
+
+
+def dtype_bytes(dtype: str) -> int:
+    """Return the per-element size in bytes of ``dtype``.
+
+    >>> dtype_bytes("fp16")
+    2
+    """
+    try:
+        return DTYPE_BYTES[dtype]
+    except KeyError:
+        raise UnknownDtypeError(f"unknown dtype: {dtype!r}") from None
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape/dtype description of a logical tensor.
+
+    Attributes:
+        shape: dimension sizes, excluding any implicit batch dimension.
+        dtype: one of the keys of :data:`DTYPE_BYTES`.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str = "fp16"
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"non-positive dimension in shape {self.shape}")
+        dtype_bytes(self.dtype)  # validate eagerly
+
+    @property
+    def numel(self) -> int:
+        """Number of elements (product of the shape)."""
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def bytes(self) -> int:
+        """Total size in bytes."""
+        return self.numel * dtype_bytes(self.dtype)
+
+    def with_dim(self, index: int, size: int) -> "TensorSpec":
+        """Return a copy with dimension ``index`` replaced by ``size``."""
+        shape = list(self.shape)
+        shape[index] = size
+        return TensorSpec(tuple(shape), self.dtype)
+
+    def split(self, index: int, ways: int) -> "TensorSpec":
+        """Return the spec of one shard after splitting dim ``index``.
+
+        Raises ``ValueError`` when the dimension is not divisible.
+        """
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        size = self.shape[index]
+        if size % ways:
+            raise ValueError(
+                f"dimension {index} of size {size} not divisible by {ways}"
+            )
+        return self.with_dim(index, size // ways)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.dtype}"

@@ -1,0 +1,87 @@
+"""Data-parallel execution of the numeric runtime.
+
+Each simulated worker holds a full model replica, computes gradients on
+its batch shard, and the shards' gradients are all-reduced (summed)
+before the update — the textbook data-parallel recipe.  Because the
+loss is a *mean*, shard gradients are weighted by shard size so the
+aggregate equals the serial full-batch gradient.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import MLP, LayerParams
+from .tensor_ops import mse_loss_bwd, mse_loss_fwd
+
+
+def shard_batch(
+    x: np.ndarray, target: np.ndarray, num_workers: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split a batch into ``num_workers`` equal contiguous shards."""
+    batch = x.shape[0]
+    if batch % num_workers:
+        raise ValueError(
+            f"batch {batch} not divisible by {num_workers} workers"
+        )
+    size = batch // num_workers
+    return [
+        (x[i * size:(i + 1) * size], target[i * size:(i + 1) * size])
+        for i in range(num_workers)
+    ]
+
+
+def allreduce_grads(
+    per_worker: List[List[LayerParams]],
+) -> List[LayerParams]:
+    """Sum gradients across workers (the ring all-reduce's result)."""
+    if not per_worker:
+        raise ValueError("no worker gradients")
+    num_layers = len(per_worker[0])
+    total = []
+    for layer in range(num_layers):
+        weight = sum(w[layer].weight for w in per_worker)
+        bias = sum(w[layer].bias for w in per_worker)
+        total.append(LayerParams(weight, bias))
+    return total
+
+
+def dp_loss_and_grads(
+    model: MLP,
+    x: np.ndarray,
+    target: np.ndarray,
+    num_workers: int,
+) -> Tuple[float, List[LayerParams]]:
+    """Data-parallel loss + gradients, equal to the serial result.
+
+    The global loss is the mean over all samples; each worker's local
+    mean gradient is scaled by its shard fraction before the reduce.
+    """
+    shards = shard_batch(x, target, num_workers)
+    batch = x.shape[0]
+    per_worker = []
+    loss_sum = 0.0
+    for shard_x, shard_t in shards:
+        pred, saved = model.forward(shard_x)
+        local_loss = mse_loss_fwd(pred, shard_t)
+        fraction = shard_x.shape[0] / batch
+        loss_sum += local_loss * fraction
+        grad = mse_loss_bwd(pred, shard_t) * fraction
+        grads, _ = model.backward(saved, grad)
+        per_worker.append(grads)
+    return loss_sum, allreduce_grads(per_worker)
+
+
+def dp_train_step(
+    model: MLP,
+    x: np.ndarray,
+    target: np.ndarray,
+    num_workers: int,
+    lr: float,
+) -> float:
+    """One synchronized data-parallel SGD step; returns the loss."""
+    loss, grads = dp_loss_and_grads(model, x, target, num_workers)
+    model.apply_grads(grads, lr)
+    return loss

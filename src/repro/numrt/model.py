@@ -1,0 +1,116 @@
+"""A small trainable MLP and its serial forward/backward.
+
+The serial execution is the semantic reference every parallel mechanism
+in :mod:`repro.numrt` must match: identical loss, identical gradients
+(up to floating-point reduction order), identical updated weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .tensor_ops import (
+    linear_bwd,
+    linear_fwd,
+    mse_loss_bwd,
+    mse_loss_fwd,
+    relu_bwd,
+    relu_fwd,
+)
+
+
+@dataclass
+class LayerParams:
+    """One linear layer's parameters (and their gradients)."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    def clone(self) -> "LayerParams":
+        return LayerParams(self.weight.copy(), self.bias.copy())
+
+
+class MLP:
+    """``dims[0] -> dims[1] -> ... -> dims[-1]`` with ReLU between."""
+
+    def __init__(self, dims: List[int], *, seed: int = 0) -> None:
+        if len(dims) < 2:
+            raise ValueError("need at least input and output dims")
+        rng = np.random.default_rng(seed)
+        self.dims = list(dims)
+        self.layers: List[LayerParams] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = 1.0 / np.sqrt(fan_in)
+            self.layers.append(
+                LayerParams(
+                    weight=rng.normal(0.0, scale, size=(fan_in, fan_out)),
+                    bias=np.zeros(fan_out),
+                )
+            )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def clone(self) -> "MLP":
+        copy = MLP.__new__(MLP)
+        copy.dims = list(self.dims)
+        copy.layers = [layer.clone() for layer in self.layers]
+        return copy
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Returns (output, saved activations for backward).
+
+        ``saved[i]`` is the *input* to layer ``i`` (post-ReLU of the
+        previous layer).
+        """
+        saved = []
+        h = x
+        for i, layer in enumerate(self.layers):
+            saved.append(h)
+            h = linear_fwd(h, layer.weight, layer.bias)
+            if i < self.num_layers - 1:
+                h = relu_fwd(h)
+        return h, saved
+
+    def backward(
+        self,
+        saved: List[np.ndarray],
+        grad_out: np.ndarray,
+    ) -> Tuple[List[LayerParams], np.ndarray]:
+        """Returns (per-layer gradients, grad w.r.t. the input)."""
+        grads: List[LayerParams] = [None] * self.num_layers
+        g = grad_out
+        for i in reversed(range(self.num_layers)):
+            x = saved[i]
+            pre_act = linear_fwd(x, self.layers[i].weight, self.layers[i].bias)
+            if i < self.num_layers - 1:
+                g = relu_bwd(pre_act, g)
+            grad_x, grad_w, grad_b = linear_bwd(x, self.layers[i].weight, g)
+            grads[i] = LayerParams(grad_w, grad_b)
+            g = grad_x
+        return grads, g
+
+    # ------------------------------------------------------------------
+    def loss_and_grads(
+        self, x: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, List[LayerParams]]:
+        """Serial reference: full-batch loss and parameter gradients."""
+        pred, saved = self.forward(x)
+        loss = mse_loss_fwd(pred, target)
+        grads, _ = self.backward(saved, mse_loss_bwd(pred, target))
+        return loss, grads
+
+    def apply_grads(self, grads: List[LayerParams], lr: float) -> None:
+        """In-place SGD step."""
+        if len(grads) != self.num_layers:
+            raise ValueError("gradient count mismatch")
+        for layer, grad in zip(self.layers, grads):
+            layer.weight -= lr * grad.weight
+            layer.bias -= lr * grad.bias

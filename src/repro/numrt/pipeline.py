@@ -1,0 +1,112 @@
+"""Pipeline-parallel execution of the numeric runtime.
+
+Layers split into contiguous stages; the batch splits into
+microbatches; each stage's gradients accumulate across microbatches.
+Because summation of per-microbatch mean-scaled gradients equals the
+full-batch gradient, pipeline execution is semantics-preserving — which
+is what lets Aceso's inc/dec-op# primitives move ops freely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import MLP, LayerParams
+from .tensor_ops import mse_loss_bwd, mse_loss_fwd, relu_bwd, relu_fwd
+
+
+def split_stages(num_layers: int, num_stages: int) -> List[Tuple[int, int]]:
+    """Contiguous layer spans, as even as possible."""
+    if not 1 <= num_stages <= num_layers:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_stages} stages"
+        )
+    edges = np.linspace(0, num_layers, num_stages + 1).astype(int)
+    return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])]
+
+
+def _stage_forward(
+    model: MLP, span: Tuple[int, int], h: np.ndarray, is_last_stage: bool
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    saved = []
+    lo, hi = span
+    for i in range(lo, hi):
+        saved.append(h)
+        layer = model.layers[i]
+        h = h @ layer.weight + layer.bias
+        last_layer_overall = is_last_stage and i == hi - 1
+        if not last_layer_overall:
+            h = relu_fwd(h)
+    return h, saved
+
+
+def _stage_backward(
+    model: MLP,
+    span: Tuple[int, int],
+    saved: List[np.ndarray],
+    grad_out: np.ndarray,
+    is_last_stage: bool,
+    grads: List[LayerParams],
+) -> np.ndarray:
+    lo, hi = span
+    g = grad_out
+    for local, i in enumerate(reversed(range(lo, hi))):
+        x = saved[hi - lo - 1 - local]
+        layer = model.layers[i]
+        pre = x @ layer.weight + layer.bias
+        last_layer_overall = is_last_stage and i == hi - 1
+        if not last_layer_overall:
+            g = relu_bwd(pre, g)
+        grad_w = x.T @ g
+        grad_b = g.sum(axis=0)
+        if grads[i] is None:
+            grads[i] = LayerParams(grad_w, grad_b)
+        else:
+            grads[i].weight += grad_w
+            grads[i].bias += grad_b
+        g = g @ layer.weight.T
+    return g
+
+
+def pp_loss_and_grads(
+    model: MLP,
+    x: np.ndarray,
+    target: np.ndarray,
+    num_stages: int,
+    num_microbatches: int,
+) -> Tuple[float, List[LayerParams]]:
+    """Pipeline loss + gradients, equal to the serial result.
+
+    Gradient contributions of each microbatch are scaled by its batch
+    fraction (the loss is a mean) and accumulated per layer.
+    """
+    batch = x.shape[0]
+    if batch % num_microbatches:
+        raise ValueError(
+            f"batch {batch} not divisible into {num_microbatches} microbatches"
+        )
+    spans = split_stages(model.num_layers, num_stages)
+    size = batch // num_microbatches
+    grads: List[LayerParams] = [None] * model.num_layers
+    total_loss = 0.0
+    for m in range(num_microbatches):
+        mb_x = x[m * size:(m + 1) * size]
+        mb_t = target[m * size:(m + 1) * size]
+        # Forward through stages, keeping per-stage activations.
+        h = mb_x
+        stage_saved = []
+        for s, span in enumerate(spans):
+            h, saved = _stage_forward(model, span, h, s == len(spans) - 1)
+            stage_saved.append(saved)
+        fraction = size / batch
+        total_loss += mse_loss_fwd(h, mb_t) * fraction
+        g = mse_loss_bwd(h, mb_t) * fraction
+        # Backward through stages in reverse.
+        for s in reversed(range(len(spans))):
+            g = _stage_backward(
+                model, spans[s], stage_saved[s], g,
+                s == len(spans) - 1, grads,
+            )
+    return total_loss, grads

@@ -1,0 +1,87 @@
+"""Recomputation (activation checkpointing) in the numeric runtime.
+
+Forward keeps only segment-boundary activations; backward re-runs each
+segment's forward to regenerate the intermediates it needs.  The
+gradients are *identical* to vanilla execution — recomputation trades
+compute for memory without touching semantics, which is why Aceso's
+inc/dec-rc primitives are always safe to apply.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import MLP, LayerParams
+from .tensor_ops import (
+    linear_bwd,
+    linear_fwd,
+    mse_loss_bwd,
+    mse_loss_fwd,
+    relu_bwd,
+    relu_fwd,
+)
+
+
+def checkpoint_segments(
+    num_layers: int, segment_size: int
+) -> List[Tuple[int, int]]:
+    """Layer spans recomputed as units."""
+    if segment_size < 1:
+        raise ValueError("segment_size must be positive")
+    return [
+        (lo, min(lo + segment_size, num_layers))
+        for lo in range(0, num_layers, segment_size)
+    ]
+
+
+def _segment_forward(
+    model: MLP, span: Tuple[int, int], h: np.ndarray, last_overall: int
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    saved = []
+    lo, hi = span
+    for i in range(lo, hi):
+        saved.append(h)
+        layer = model.layers[i]
+        h = linear_fwd(h, layer.weight, layer.bias)
+        if i != last_overall:
+            h = relu_fwd(h)
+    return h, saved
+
+
+def rc_loss_and_grads(
+    model: MLP,
+    x: np.ndarray,
+    target: np.ndarray,
+    segment_size: int,
+) -> Tuple[float, List[LayerParams]]:
+    """Checkpointed loss + gradients (bit-equal to vanilla).
+
+    Memory accounting is implicit: only one checkpoint per segment is
+    held between forward and backward; intermediates are regenerated.
+    """
+    segments = checkpoint_segments(model.num_layers, segment_size)
+    last = model.num_layers - 1
+    checkpoints = []
+    h = x
+    for span in segments:
+        checkpoints.append(h)
+        h, _ = _segment_forward(model, span, h, last)
+    loss = mse_loss_fwd(h, target)
+    g = mse_loss_bwd(h, target)
+    grads: List[LayerParams] = [None] * model.num_layers
+    for span, checkpoint in zip(reversed(segments), reversed(checkpoints)):
+        # Recompute the segment's intermediates from its checkpoint.
+        _, saved = _segment_forward(model, span, checkpoint, last)
+        lo, hi = span
+        for local, i in enumerate(reversed(range(lo, hi))):
+            xin = saved[hi - lo - 1 - local]
+            layer = model.layers[i]
+            pre = linear_fwd(xin, layer.weight, layer.bias)
+            if i != last:
+                g = relu_bwd(pre, g)
+            grad_x, grad_w, grad_b = linear_bwd(xin, layer.weight, g)
+            grads[i] = LayerParams(grad_w, grad_b)
+            g = grad_x
+    return loss, grads

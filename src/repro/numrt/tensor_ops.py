@@ -1,0 +1,60 @@
+"""Forward/backward math for the numeric runtime.
+
+A tiny, explicit autodiff vocabulary — linear, ReLU, mean-squared-error
+— sufficient to *actually train* small models and check that the
+parallelized executions (data/tensor/pipeline parallel, recomputation)
+produce the same gradients as serial execution.  Everything is float64
+so parallel reductions stay within tight tolerance of serial sums.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def linear_fwd(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """``y = x @ W + b`` with shapes (B, in), (in, out), (out,)."""
+    if x.shape[1] != weight.shape[0]:
+        raise ValueError(
+            f"shape mismatch: x {x.shape} vs weight {weight.shape}"
+        )
+    return x @ weight + bias
+
+
+def linear_bwd(
+    x: np.ndarray,
+    weight: np.ndarray,
+    grad_out: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (grad_x, grad_weight, grad_bias)."""
+    grad_x = grad_out @ weight.T
+    grad_weight = x.T @ grad_out
+    grad_bias = grad_out.sum(axis=0)
+    return grad_x, grad_weight, grad_bias
+
+
+def relu_fwd(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_bwd(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    return grad_out * (x > 0.0)
+
+
+def mse_loss_fwd(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    if pred.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: pred {pred.shape} vs target {target.shape}"
+        )
+    diff = pred - target
+    return float((diff * diff).mean())
+
+
+def mse_loss_bwd(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Gradient of the mean squared error w.r.t. ``pred``."""
+    return 2.0 * (pred - target) / pred.size

@@ -1,0 +1,174 @@
+"""Tensor-parallel execution of the numeric runtime.
+
+Implements Megatron-style column- and row-parallel linear layers on
+simulated shards and shows they reproduce serial math exactly:
+
+* **column-parallel**: ``W`` splits by output features; each shard
+  computes a slice of ``y``; backward all-reduces the input gradient.
+* **row-parallel**: ``W`` splits by input features (activations arrive
+  sharded); forward all-reduces the partial outputs.
+
+``tp_loss_and_grads`` chains column->ReLU->row (the transformer MLP
+pattern) over an even number of layers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import MLP, LayerParams
+from .tensor_ops import (
+    linear_bwd,
+    linear_fwd,
+    mse_loss_bwd,
+    mse_loss_fwd,
+    relu_bwd,
+    relu_fwd,
+)
+
+
+def split_columns(layer: LayerParams, ways: int) -> List[LayerParams]:
+    """Shard a layer output-feature-wise (column parallel)."""
+    out = layer.weight.shape[1]
+    if out % ways:
+        raise ValueError(f"{out} output features not divisible by {ways}")
+    size = out // ways
+    return [
+        LayerParams(
+            layer.weight[:, i * size:(i + 1) * size].copy(),
+            layer.bias[i * size:(i + 1) * size].copy(),
+        )
+        for i in range(ways)
+    ]
+
+
+def split_rows(layer: LayerParams, ways: int) -> List[LayerParams]:
+    """Shard a layer input-feature-wise (row parallel).
+
+    The bias is applied once (by shard 0) after the all-reduce.
+    """
+    fan_in = layer.weight.shape[0]
+    if fan_in % ways:
+        raise ValueError(f"{fan_in} input features not divisible by {ways}")
+    size = fan_in // ways
+    shards = []
+    for i in range(ways):
+        bias = layer.bias.copy() if i == 0 else np.zeros_like(layer.bias)
+        shards.append(
+            LayerParams(layer.weight[i * size:(i + 1) * size].copy(), bias)
+        )
+    return shards
+
+
+def column_parallel_fwd(
+    x: np.ndarray, shards: List[LayerParams]
+) -> List[np.ndarray]:
+    """Each shard's output slice (input is replicated)."""
+    return [linear_fwd(x, s.weight, s.bias) for s in shards]
+
+
+def column_parallel_bwd(
+    x: np.ndarray,
+    shards: List[LayerParams],
+    grad_slices: List[np.ndarray],
+) -> Tuple[np.ndarray, List[LayerParams]]:
+    """All-reduced input gradient plus per-shard weight gradients."""
+    grad_x_total = None
+    grads = []
+    for shard, g in zip(shards, grad_slices):
+        grad_x, grad_w, grad_b = linear_bwd(x, shard.weight, g)
+        grads.append(LayerParams(grad_w, grad_b))
+        grad_x_total = grad_x if grad_x_total is None else grad_x_total + grad_x
+    return grad_x_total, grads
+
+
+def row_parallel_fwd(
+    x_slices: List[np.ndarray], shards: List[LayerParams]
+) -> np.ndarray:
+    """All-reduced (summed) output of row-parallel shards."""
+    partials = [
+        linear_fwd(x, s.weight, s.bias)
+        for x, s in zip(x_slices, shards)
+    ]
+    return sum(partials)
+
+
+def row_parallel_bwd(
+    x_slices: List[np.ndarray],
+    shards: List[LayerParams],
+    grad_out: np.ndarray,
+) -> Tuple[List[np.ndarray], List[LayerParams]]:
+    """Per-shard input-slice gradients and weight gradients."""
+    grad_slices = []
+    grads = []
+    for x, shard in zip(x_slices, shards):
+        grad_x, grad_w, grad_b = linear_bwd(x, shard.weight, grad_out)
+        grads.append(LayerParams(grad_w, grad_b))
+        grad_slices.append(grad_x)
+    return grad_slices, grads
+
+
+def merge_column_grads(grads: List[LayerParams]) -> LayerParams:
+    """Reassemble a column-sharded gradient into the full layer."""
+    return LayerParams(
+        np.concatenate([g.weight for g in grads], axis=1),
+        np.concatenate([g.bias for g in grads]),
+    )
+
+
+def merge_row_grads(grads: List[LayerParams]) -> LayerParams:
+    """Reassemble a row-sharded gradient into the full layer.
+
+    The bias is owned by shard 0 alone (it is added once, after the
+    all-reduce), so only that shard's bias gradient counts.
+    """
+    return LayerParams(
+        np.concatenate([g.weight for g in grads], axis=0),
+        grads[0].bias.copy(),
+    )
+
+
+def tp_loss_and_grads(
+    model: MLP,
+    x: np.ndarray,
+    target: np.ndarray,
+    ways: int,
+) -> Tuple[float, List[LayerParams]]:
+    """Tensor-parallel loss + gradients over column/row layer pairs.
+
+    Layers alternate column- and row-parallel (Megatron's MLP block
+    pattern), so the model must have an even number of layers.
+    """
+    if model.num_layers % 2:
+        raise ValueError("tensor-parallel execution expects layer pairs")
+    h = x
+    stack = []  # per pair: (x_in, col_shards, slices_pre, row_shards, x_slices)
+    for pair in range(model.num_layers // 2):
+        col = split_columns(model.layers[2 * pair], ways)
+        row = split_rows(model.layers[2 * pair + 1], ways)
+        slices_pre = column_parallel_fwd(h, col)
+        x_slices = [relu_fwd(s) for s in slices_pre]
+        out = row_parallel_fwd(x_slices, row)
+        if pair < model.num_layers // 2 - 1:
+            out_post = relu_fwd(out)
+        else:
+            out_post = out
+        stack.append((h, col, slices_pre, row, x_slices, out))
+        h = out_post
+    loss = mse_loss_fwd(h, target)
+    g = mse_loss_bwd(h, target)
+    grads: List[LayerParams] = [None] * model.num_layers
+    for pair in reversed(range(model.num_layers // 2)):
+        x_in, col, slices_pre, row, x_slices, out = stack[pair]
+        if pair < model.num_layers // 2 - 1:
+            g = relu_bwd(out, g)
+        grad_slices, row_grads = row_parallel_bwd(x_slices, row, g)
+        grad_slices = [
+            relu_bwd(pre, gs) for pre, gs in zip(slices_pre, grad_slices)
+        ]
+        g, col_grads = column_parallel_bwd(x_in, col, grad_slices)
+        grads[2 * pair] = merge_column_grads(col_grads)
+        grads[2 * pair + 1] = merge_row_grads(row_grads)
+    return loss, grads

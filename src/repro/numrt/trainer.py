@@ -1,0 +1,106 @@
+"""Equivalence harness: serial vs. parallel training runs.
+
+The paper's claim that "all reconfiguration primitives are
+semantic-preserving" (§3.2.1) is validated here by *training*: run N
+SGD steps serially and under each parallel mechanism (or combinations),
+then compare losses and final weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from .data_parallel import dp_loss_and_grads
+from .model import MLP, LayerParams
+from .pipeline import pp_loss_and_grads
+from .recompute import rc_loss_and_grads
+from .tensor_parallel import tp_loss_and_grads
+
+GradFn = Callable[[MLP, np.ndarray, np.ndarray], Tuple[float, List[LayerParams]]]
+
+
+@dataclass
+class TrainRun:
+    """Losses per step and the final model of one training run."""
+
+    losses: List[float]
+    model: MLP
+
+
+def make_dataset(
+    num_samples: int, in_dim: int, out_dim: int, *, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A fixed random-regression dataset."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(num_samples, in_dim))
+    true = rng.normal(size=(in_dim, out_dim)) / np.sqrt(in_dim)
+    target = x @ true + 0.01 * rng.normal(size=(num_samples, out_dim))
+    return x, target
+
+
+def train(
+    model: MLP,
+    x: np.ndarray,
+    target: np.ndarray,
+    grad_fn: GradFn,
+    *,
+    steps: int = 5,
+    lr: float = 0.05,
+) -> TrainRun:
+    """Run ``steps`` SGD steps using ``grad_fn`` for loss/gradients."""
+    model = model.clone()
+    losses = []
+    for _ in range(steps):
+        loss, grads = grad_fn(model, x, target)
+        model.apply_grads(grads, lr)
+        losses.append(loss)
+    return TrainRun(losses=losses, model=model)
+
+
+def serial_fn(model: MLP, x: np.ndarray, t: np.ndarray):
+    return model.loss_and_grads(x, t)
+
+
+def dp_fn(num_workers: int) -> GradFn:
+    return lambda model, x, t: dp_loss_and_grads(model, x, t, num_workers)
+
+
+def tp_fn(ways: int) -> GradFn:
+    return lambda model, x, t: tp_loss_and_grads(model, x, t, ways)
+
+
+def pp_fn(num_stages: int, num_microbatches: int) -> GradFn:
+    return lambda model, x, t: pp_loss_and_grads(
+        model, x, t, num_stages, num_microbatches
+    )
+
+
+def rc_fn(segment_size: int) -> GradFn:
+    return lambda model, x, t: rc_loss_and_grads(model, x, t, segment_size)
+
+
+def max_weight_difference(a: MLP, b: MLP) -> float:
+    """Largest absolute elementwise weight difference between models."""
+    worst = 0.0
+    for la, lb in zip(a.layers, b.layers):
+        worst = max(worst, float(np.abs(la.weight - lb.weight).max()))
+        worst = max(worst, float(np.abs(la.bias - lb.bias).max()))
+    return worst
+
+
+def runs_equivalent(
+    reference: TrainRun, candidate: TrainRun, *, tol: float = 1e-9
+) -> bool:
+    """Whether two runs trained to the same weights and losses."""
+    if len(reference.losses) != len(candidate.losses):
+        return False
+    loss_gap = max(
+        abs(a - b) for a, b in zip(reference.losses, candidate.losses)
+    )
+    return (
+        loss_gap <= tol
+        and max_weight_difference(reference.model, candidate.model) <= tol
+    )

@@ -1,0 +1,148 @@
+"""Whole-model parallel configuration.
+
+A :class:`ParallelConfig` is exactly the paper's "configuration": a
+pipeline partition of the op chain into stages with device counts, a
+global (aggregated) microbatch size, and per-op tensor/data degrees,
+partition dimensions, and recompute flags.  It can express every plan
+Megatron-LM or Alpa emits (§3.1 "Configuration representation") plus
+the op-level refinements only Aceso reaches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .stage import StageConfig
+
+
+@dataclass
+class ParallelConfig:
+    """One point in Aceso's search space.
+
+    Attributes:
+        stages: pipeline stages in order; spans must tile the op chain.
+        microbatch_size: aggregated samples per microbatch (shared by
+            every stage; a stage's per-GPU share is ``mbs / dp``).
+    """
+
+    stages: List[StageConfig]
+    microbatch_size: int = 1
+    _signature: str = field(default="", repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("configuration needs at least one stage")
+        if self.microbatch_size < 1:
+            raise ValueError("microbatch_size must be positive")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_ops(self) -> int:
+        return self.stages[-1].end - self.stages[0].start
+
+    @property
+    def total_devices(self) -> int:
+        return sum(stage.num_devices for stage in self.stages)
+
+    def num_microbatches(self, global_batch_size: int) -> int:
+        """Microbatches per iteration for a given global batch."""
+        if global_batch_size % self.microbatch_size:
+            raise ValueError(
+                f"batch {global_batch_size} not divisible by microbatch "
+                f"{self.microbatch_size}"
+            )
+        return global_batch_size // self.microbatch_size
+
+    def stage_of_op(self, op_index: int) -> int:
+        """Stage index owning global op ``op_index``."""
+        for i, stage in enumerate(self.stages):
+            if stage.start <= op_index < stage.end:
+                return i
+        raise IndexError(f"op {op_index} not covered by any stage")
+
+    def stage_first_device(self, stage_index: int) -> int:
+        """First global device id of a stage under contiguous placement."""
+        return sum(s.num_devices for s in self.stages[:stage_index])
+
+    # ------------------------------------------------------------------
+    # copying / identity
+    # ------------------------------------------------------------------
+    def clone(self) -> "ParallelConfig":
+        """Deep copy; the cached signature is dropped."""
+        return ParallelConfig(
+            stages=[stage.clone() for stage in self.stages],
+            microbatch_size=self.microbatch_size,
+        )
+
+    def signature(self) -> str:
+        """Semantic hash for deduplication (§4.3).
+
+        Two configurations that apply the same settings to the same op
+        spans hash identically even when reached via different primitive
+        sequences.
+        """
+        if not self._signature:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                np.array([self.microbatch_size], dtype=np.int64).tobytes()
+            )
+            for stage in self.stages:
+                digest.update(stage.signature_bytes())
+            self._signature = digest.hexdigest()
+        return self._signature
+
+    # ------------------------------------------------------------------
+    # whole-model array views (used by the performance model)
+    # ------------------------------------------------------------------
+    def gather_arrays(self):
+        """Concatenate per-stage op arrays over the whole model.
+
+        Returns ``(tp, dp, tp_dim, recompute, stage_id)`` numpy arrays,
+        each with one entry per op in global op order.
+        """
+        tp = np.concatenate([s.tp for s in self.stages])
+        dp = np.concatenate([s.dp for s in self.stages])
+        tp_dim = np.concatenate([s.tp_dim for s in self.stages])
+        recompute = np.concatenate([s.recompute for s in self.stages])
+        stage_id = np.concatenate(
+            [np.full(s.num_ops, i, dtype=np.int64)
+             for i, s in enumerate(self.stages)]
+        )
+        return tp, dp, tp_dim, recompute, stage_id
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Compact multi-line human summary of the plan."""
+        lines = [
+            f"{self.num_stages}-stage pipeline, microbatch={self.microbatch_size}"
+        ]
+        for i, stage in enumerate(self.stages):
+            tps = np.unique(stage.tp)
+            dps = np.unique(stage.dp)
+            rc = int(stage.recompute.sum())
+            tp_text = str(tps[0]) if len(tps) == 1 else f"{{{','.join(map(str, tps))}}}"
+            dp_text = str(dps[0]) if len(dps) == 1 else f"{{{','.join(map(str, dps))}}}"
+            lines.append(
+                f"  stage {i}: ops [{stage.start}, {stage.end}) on "
+                f"{stage.num_devices} GPUs, tp={tp_text}, dp={dp_text}, "
+                f"recompute {rc}/{stage.num_ops} ops"
+            )
+        return "\n".join(lines)
+
+    def summary_tuple(self):
+        """Hashable compact summary (stage spans + device counts)."""
+        return tuple(
+            (s.start, s.end, s.num_devices) for s in self.stages
+        ) + (self.microbatch_size,)

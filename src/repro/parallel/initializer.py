@@ -1,0 +1,204 @@
+"""Initial-configuration generators.
+
+Aceso starts from "a default configuration with a balanced partition
+and minimum microbatch size" (§5.2, Exp#7), and the robustness study
+adds two deliberately bad starting points: imbalanced op partition and
+imbalanced GPU allocation.  All three generators live here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..cluster.topology import ClusterSpec
+from ..ir.graph import OpGraph
+from .config import ParallelConfig
+from .stage import StageConfig, is_power_of_two
+
+
+def split_devices(total: int, parts: int) -> List[int]:
+    """Partition ``total`` GPUs into ``parts`` power-of-two counts.
+
+    ``total`` must itself be a power of two with ``parts <= total``.
+    The split is as even as a power-of-two partition allows, e.g.
+    ``split_devices(32, 3) == [8, 8, 16]``.
+    """
+    if not is_power_of_two(total):
+        raise ValueError(f"total devices must be a power of two: {total}")
+    if not 1 <= parts <= total:
+        raise ValueError(f"cannot split {total} devices into {parts} parts")
+    base = 1
+    while base * 2 * parts <= total:
+        base *= 2
+    counts = [base] * parts
+    leftover = total - base * parts
+    # Absorb the leftover by doubling counts right-to-left; leftover is
+    # always a multiple of ``base`` and the greedy drains it before
+    # running out of stages (see tests for the exhaustive check).
+    index = parts - 1
+    while leftover > 0:
+        if index < 0:
+            raise AssertionError(
+                f"split_devices failed: total={total} parts={parts}"
+            )
+        if counts[index] <= leftover:
+            leftover -= counts[index]
+            counts[index] *= 2
+        else:
+            index -= 1
+    return counts
+
+
+def split_ops_balanced(
+    graph: OpGraph, num_stages: int, weights: np.ndarray = None
+) -> List[int]:
+    """Split the op chain into ``num_stages`` spans of ~equal weight.
+
+    Returns the list of span boundaries ``[0, b1, ..., num_ops]``.
+    ``weights`` defaults to per-op training FLOPs.  Every span is
+    non-empty (requires ``num_stages <= num_ops``).
+    """
+    n = graph.num_ops
+    if not 1 <= num_stages <= n:
+        raise ValueError(
+            f"cannot split {n} ops into {num_stages} stages"
+        )
+    if weights is None:
+        weights = graph.arrays.flops + graph.arrays.bwd_flops
+    cumulative = np.concatenate([[0.0], np.cumsum(weights)])
+    total = cumulative[-1]
+    boundaries = [0]
+    for k in range(1, num_stages):
+        target = total * k / num_stages
+        cut = int(np.searchsorted(cumulative, target))
+        cut = max(cut, boundaries[-1] + 1)  # keep spans non-empty
+        cut = min(cut, n - (num_stages - k))  # leave room for the rest
+        boundaries.append(cut)
+    boundaries.append(n)
+    return boundaries
+
+
+def minimum_microbatch_size(device_counts: List[int]) -> int:
+    """Smallest aggregated microbatch valid for every stage's max dp."""
+    return max(device_counts)
+
+
+def balanced_config(
+    graph: OpGraph,
+    cluster: ClusterSpec,
+    num_stages: int,
+    *,
+    microbatch_size: int = None,
+    tp: int = 1,
+) -> ParallelConfig:
+    """The paper's default starting point: even split, minimum mbs."""
+    device_counts = split_devices(cluster.num_gpus, num_stages)
+    boundaries = split_ops_balanced(graph, num_stages)
+    return _assemble(graph, boundaries, device_counts, microbatch_size, tp)
+
+
+def imbalanced_op_config(
+    graph: OpGraph,
+    cluster: ClusterSpec,
+    num_stages: int,
+    *,
+    skew: float = 3.0,
+    microbatch_size: int = None,
+) -> ParallelConfig:
+    """Exp#7 "imbalance-op": front stages get ``skew``x the op weight."""
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    n = graph.num_ops
+    base = graph.arrays.flops + graph.arrays.bwd_flops
+    ramp = np.linspace(skew, 1.0, n)
+    boundaries = split_ops_balanced(graph, num_stages, weights=base * ramp)
+    device_counts = split_devices(cluster.num_gpus, num_stages)
+    return _assemble(graph, boundaries, device_counts, microbatch_size, 1)
+
+
+def _split_any(total: int, parts: int) -> List[int]:
+    """Partition any ``total`` into ``parts`` power-of-two counts.
+
+    Returns ``None`` when no such partition exists (e.g. 7 into 2).
+    """
+    if parts < 1 or parts > total:
+        return None
+    counts = [1] * parts
+    leftover = total - parts
+    index = parts - 1
+    while leftover > 0 and index >= 0:
+        if counts[index] <= leftover:
+            leftover -= counts[index]
+            counts[index] *= 2
+        else:
+            index -= 1
+    if leftover:
+        return None
+    return counts
+
+
+def imbalanced_gpu_config(
+    graph: OpGraph,
+    cluster: ClusterSpec,
+    num_stages: int,
+    *,
+    microbatch_size: int = None,
+) -> ParallelConfig:
+    """Exp#7 "imbalance-GPU": one stage hoards devices.
+
+    The first stage takes the largest power-of-two hoard that still
+    leaves a valid power-of-two split for the remaining stages; when
+    even that equals the balanced split (tiny clusters), the balanced
+    configuration is returned.
+    """
+    if num_stages < 2:
+        return balanced_config(graph, cluster, num_stages,
+                               microbatch_size=microbatch_size)
+    hoard = cluster.num_gpus // 2
+    device_counts = None
+    while hoard >= 1:
+        rest = _split_any(cluster.num_gpus - hoard, num_stages - 1)
+        if rest is not None:
+            device_counts = [hoard] + rest
+            break
+        hoard //= 2
+    if device_counts is None:
+        return balanced_config(graph, cluster, num_stages,
+                               microbatch_size=microbatch_size)
+    boundaries = split_ops_balanced(graph, num_stages)
+    return _assemble(graph, boundaries, device_counts, microbatch_size, 1)
+
+
+def _assemble(
+    graph: OpGraph,
+    boundaries: List[int],
+    device_counts: List[int],
+    microbatch_size: int,
+    tp: int,
+) -> ParallelConfig:
+    if microbatch_size is None:
+        microbatch_size = minimum_microbatch_size(device_counts)
+        # dp per op never exceeds the stage device count, and the
+        # minimum mbs equals the largest such count, so divisibility
+        # of mbs by dp holds by construction.
+    stages = []
+    for i, devices in enumerate(device_counts):
+        stage_tp = min(tp, devices)
+        stages.append(
+            StageConfig.uniform(
+                boundaries[i],
+                boundaries[i + 1],
+                devices,
+                tp=stage_tp,
+            )
+        )
+    if graph.global_batch_size % microbatch_size:
+        # Snap down to the nearest divisor (powers of two always divide
+        # the paper's batch sizes; general graphs may need the search).
+        mbs = microbatch_size
+        while mbs > 1 and graph.global_batch_size % mbs:
+            mbs -= 1
+        microbatch_size = mbs
+    return ParallelConfig(stages=stages, microbatch_size=microbatch_size)

@@ -1,0 +1,88 @@
+"""Configuration-space size estimates (Figure 1).
+
+The paper motivates Aceso with the exponential growth of the joint
+configuration space.  These are analytic combinatorial counts (in
+log10) of the spaces reachable with 2, 3, and 4 mechanisms, matching
+Figure 1's setting: GPT models on 16 devices, per-layer decisions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+def _log10_comb(n: int, k: int) -> float:
+    """log10 of C(n, k) via lgamma (stable for huge n)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(10)
+
+
+def _log10_sum(terms: List[float]) -> float:
+    """log10 of a sum given log10 terms (logsumexp in base 10)."""
+    finite = [t for t in terms if t != float("-inf")]
+    if not finite:
+        return float("-inf")
+    peak = max(finite)
+    return peak + math.log10(sum(10 ** (t - peak) for t in finite))
+
+
+def dp_tp_choices(num_gpus: int) -> int:
+    """(dp, tp) pairs with dp * tp == num_gpus, both powers of two."""
+    if num_gpus < 1 or num_gpus & (num_gpus - 1):
+        raise ValueError("num_gpus must be a power of two")
+    return num_gpus.bit_length()
+
+
+def log10_configs_2mech(num_layers: int, num_gpus: int) -> float:
+    """Data + tensor parallelism: independent per-layer (dp, tp) picks."""
+    if num_layers < 1:
+        raise ValueError("num_layers must be positive")
+    return num_layers * math.log10(dp_tp_choices(num_gpus))
+
+
+def log10_configs_3mech(num_layers: int, num_gpus: int) -> float:
+    """+ pipeline parallelism: stage count, layer cuts, device split.
+
+    Counts, for each stage count S: layer compositions C(L-1, S-1),
+    ordered power-of-two device splits of G into S parts (approximated
+    by compositions of the log2 exponent), and per-layer intra-stage
+    (dp, tp) choices.
+    """
+    choices = dp_tp_choices(num_gpus)
+    terms = []
+    max_stages = min(num_layers, num_gpus)
+    for stages in range(1, max_stages + 1):
+        layer_cuts = _log10_comb(num_layers - 1, stages - 1)
+        device_splits = _log10_comb(
+            int(math.log2(num_gpus)) + stages - 1, stages - 1
+        )
+        intra = num_layers * math.log10(choices)
+        terms.append(layer_cuts + device_splits + intra)
+    return _log10_sum(terms)
+
+
+def log10_configs_4mech(num_layers: int, num_gpus: int) -> float:
+    """+ per-layer recomputation: one more binary choice per layer."""
+    return log10_configs_3mech(num_layers, num_gpus) + num_layers * math.log10(2)
+
+
+def config_space_table(
+    layer_counts: List[int], num_gpus: int = 16
+) -> Dict[str, List[float]]:
+    """Figure 1's series: log10(#configs) per mechanism count."""
+    return {
+        "layers": [float(n) for n in layer_counts],
+        "2 mechanisms": [
+            log10_configs_2mech(n, num_gpus) for n in layer_counts
+        ],
+        "3 mechanisms": [
+            log10_configs_3mech(n, num_gpus) for n in layer_counts
+        ],
+        "4 mechanisms": [
+            log10_configs_4mech(n, num_gpus) for n in layer_counts
+        ],
+    }

@@ -1,0 +1,142 @@
+"""Performance-report dataclasses.
+
+The performance model answers every question the search asks through a
+single :class:`PerfReport`: per-stage computation/communication time,
+per-stage memory breakdown, OOM flags, and the predicted iteration
+time (Eq. 2).  Keeping it one immutable object makes estimates safely
+cacheable by configuration signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Resource names used by bottleneck analysis (Table 1 columns).
+RESOURCES = ("compute", "communication", "memory")
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Predicted resource consumption of one pipeline stage.
+
+    Times are seconds per *iteration* unless suffixed ``_mb`` (per
+    microbatch); memory is bytes per device.
+    """
+
+    fwd_time_mb: float
+    bwd_time_mb: float
+    recompute_time_mb: float
+    tp_comm_time_mb: float
+    reshard_time_mb: float
+    p2p_time_mb: float
+    dp_sync_time: float
+    weight_bytes: float
+    optimizer_bytes: float
+    activation_bytes_mb: float
+    in_flight: int
+    reserved_bytes: float
+
+    @property
+    def compute_time_mb(self) -> float:
+        """Pure computation per microbatch (fwd + bwd + recompute)."""
+        return self.fwd_time_mb + self.bwd_time_mb + self.recompute_time_mb
+
+    @property
+    def comm_time_mb(self) -> float:
+        """Communication per microbatch (tp collectives, reshard, p2p)."""
+        return self.tp_comm_time_mb + self.reshard_time_mb + self.p2p_time_mb
+
+    @property
+    def peak_memory(self) -> float:
+        """Predicted peak bytes per device (Eq. 1 + reserve)."""
+        return (
+            self.weight_bytes
+            + self.optimizer_bytes
+            + self.activation_bytes_mb * self.in_flight
+            + self.reserved_bytes
+        )
+
+    def compute_time(self, num_microbatches: int) -> float:
+        """Computation seconds per iteration."""
+        return self.compute_time_mb * num_microbatches
+
+    def comm_time(self, num_microbatches: int) -> float:
+        """Communication seconds per iteration (incl. dp sync)."""
+        return self.comm_time_mb * num_microbatches + self.dp_sync_time
+
+    def stage_time(self, num_microbatches: int) -> float:
+        """Total busy seconds per iteration for this stage's devices."""
+        return (
+            self.compute_time(num_microbatches)
+            + self.comm_time(num_microbatches)
+        )
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Predicted performance of a full configuration."""
+
+    stages: Tuple[StageReport, ...]
+    num_microbatches: int
+    iteration_time: float
+    memory_limit: float
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def peak_memories(self) -> List[float]:
+        return [s.peak_memory for s in self.stages]
+
+    @property
+    def is_oom(self) -> bool:
+        """Whether any stage exceeds the device memory limit."""
+        return any(m > self.memory_limit for m in self.peak_memories)
+
+    @property
+    def oom_stages(self) -> List[int]:
+        return [
+            i for i, m in enumerate(self.peak_memories)
+            if m > self.memory_limit
+        ]
+
+    @property
+    def max_memory(self) -> float:
+        return max(self.peak_memories)
+
+    def stage_times(self) -> List[float]:
+        """Per-stage busy time per iteration (bottleneck metric)."""
+        return [s.stage_time(self.num_microbatches) for s in self.stages]
+
+    def throughput(self, global_batch_size: int) -> float:
+        """Training throughput in samples per second."""
+        if self.iteration_time <= 0:
+            raise ValueError("iteration_time must be positive")
+        return global_batch_size / self.iteration_time
+
+    def resource_consumption(self, stage: int) -> dict:
+        """Per-resource consumption of one stage (for Heuristic-2)."""
+        s = self.stages[stage]
+        return {
+            "compute": s.compute_time(self.num_microbatches),
+            "communication": s.comm_time(self.num_microbatches),
+            "memory": s.peak_memory,
+        }
+
+    def resource_proportions(self, stage: int) -> dict:
+        """Stage share of each resource across all stages (§3.2.2).
+
+        The paper's "consumption proportion": the stage's consumed
+        amount divided by the total consumed across stages.
+        """
+        totals = {name: 0.0 for name in RESOURCES}
+        for i in range(self.num_stages):
+            for name, value in self.resource_consumption(i).items():
+                totals[name] += value
+        own = self.resource_consumption(stage)
+        return {
+            name: (own[name] / totals[name]) if totals[name] > 0 else 0.0
+            for name in RESOURCES
+        }

@@ -1,0 +1,58 @@
+"""Iteration-time formulas (Eq. 2 of the paper).
+
+Under 1F1B, a stage's iteration time decomposes into warmup (the first
+microbatch's forward through the preceding stages), steady state
+(N forward+backward pairs), and cooldown (the preceding stages'
+backward drain)::
+
+    T_stage_i = T_warmup_i + T_steady_i + T_cooldown_i
+
+and the model's iteration time is the slowest stage's total.  For a
+homogeneous pipeline this reduces to the classic
+``(p - 1) * (f + b) + N * (f + b)`` makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def stage_totals(
+    fwd_times: Sequence[float],
+    bwd_times: Sequence[float],
+    num_microbatches: int,
+    dp_sync_times: Sequence[float] = None,
+) -> np.ndarray:
+    """Per-stage ``warmup + steady + cooldown (+ dp sync)`` times.
+
+    ``fwd_times`` / ``bwd_times`` are per-microbatch stage times that
+    already include the stage's communication.
+    """
+    f = np.asarray(fwd_times, dtype=np.float64)
+    b = np.asarray(bwd_times, dtype=np.float64)
+    if f.shape != b.shape:
+        raise ValueError("fwd and bwd time arrays must match")
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be positive")
+    prefix = np.concatenate([[0.0], np.cumsum(f + b)[:-1]])
+    totals = prefix + num_microbatches * (f + b)
+    if dp_sync_times is not None:
+        sync = np.asarray(dp_sync_times, dtype=np.float64)
+        if sync.shape != f.shape:
+            raise ValueError("dp_sync_times must match stage count")
+        totals = totals + sync
+    return totals
+
+
+def iteration_time_1f1b(
+    fwd_times: Sequence[float],
+    bwd_times: Sequence[float],
+    num_microbatches: int,
+    dp_sync_times: Sequence[float] = None,
+) -> float:
+    """Predicted iteration time: the slowest stage's Eq. 2 total."""
+    return float(
+        stage_totals(fwd_times, bwd_times, num_microbatches, dp_sync_times).max()
+    )

@@ -1,0 +1,114 @@
+"""1F1B pipeline schedule generation.
+
+The runtime executes the one-forward-one-backward schedule of
+PipeDream-Flush/Megatron-LM: stage ``i`` of ``p`` warms up with
+``p - i - 1`` forwards, then alternates forward/backward in the steady
+state, then drains the remaining backwards.  The same schedule underlies
+the performance model's Eq. 1 (in-flight microbatch counts) and Eq. 2
+(warmup/steady/cooldown), so the simulator and the model agree on
+structure and differ only in fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+FORWARD = "F"
+BACKWARD = "B"
+
+#: Supported pipeline schedule styles.  Aceso plans for 1F1B (the
+#: paper's setting, Eq. 1/2); GPipe is provided as the classic
+#: comparison point — all forwards, then all backwards, holding every
+#: microbatch's activations at once.
+ONE_F_ONE_B = "1f1b"
+GPIPE = "gpipe"
+SCHEDULE_STYLES = (ONE_F_ONE_B, GPIPE)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of pipeline work: a microbatch pass through a stage."""
+
+    stage: int
+    microbatch: int
+    direction: str  # FORWARD or BACKWARD
+
+    def __post_init__(self) -> None:
+        if self.direction not in (FORWARD, BACKWARD):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+def stage_schedule(
+    stage: int,
+    num_stages: int,
+    num_microbatches: int,
+    style: str = ONE_F_ONE_B,
+) -> List[Task]:
+    """The task order executed by one stage under ``style``.
+
+    >>> [f"{t.direction}{t.microbatch}" for t in stage_schedule(0, 2, 3)]
+    ['F0', 'F1', 'B0', 'F2', 'B1', 'B2']
+    >>> [f"{t.direction}{t.microbatch}"
+    ...  for t in stage_schedule(0, 2, 2, style="gpipe")]
+    ['F0', 'F1', 'B1', 'B0']
+    """
+    if not 0 <= stage < num_stages:
+        raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be positive")
+    if style == ONE_F_ONE_B:
+        warmup = min(num_stages - stage - 1, num_microbatches)
+        tasks = [Task(stage, m, FORWARD) for m in range(warmup)]
+        steady = num_microbatches - warmup
+        for m in range(steady):
+            tasks.append(Task(stage, warmup + m, FORWARD))
+            tasks.append(Task(stage, m, BACKWARD))
+        for m in range(steady, num_microbatches):
+            tasks.append(Task(stage, m, BACKWARD))
+        return tasks
+    if style == GPIPE:
+        tasks = [Task(stage, m, FORWARD) for m in range(num_microbatches)]
+        tasks += [
+            Task(stage, m, BACKWARD)
+            for m in reversed(range(num_microbatches))
+        ]
+        return tasks
+    raise ValueError(
+        f"unknown schedule style {style!r}; choose from {SCHEDULE_STYLES}"
+    )
+
+
+def full_schedule(
+    num_stages: int,
+    num_microbatches: int,
+    style: str = ONE_F_ONE_B,
+) -> List[List[Task]]:
+    """Per-stage schedules for the whole pipeline."""
+    return [
+        stage_schedule(stage, num_stages, num_microbatches, style)
+        for stage in range(num_stages)
+    ]
+
+
+def max_in_flight(
+    stage: int,
+    num_stages: int,
+    num_microbatches: int,
+    style: str = ONE_F_ONE_B,
+) -> int:
+    """Peak microbatches whose activations stage ``stage`` holds.
+
+    Derived by replaying the schedule; under 1F1B it equals
+    ``min(p - i, N)`` — the quantity Eq. 1 multiplies the
+    per-microbatch activation size by.  Under GPipe it is ``N``.
+    """
+    held = 0
+    peak = 0
+    for task in stage_schedule(stage, num_stages, num_microbatches, style):
+        if task.direction == FORWARD:
+            held += 1
+            peak = max(peak, held)
+        else:
+            held -= 1
+    return peak

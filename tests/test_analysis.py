@@ -1,0 +1,98 @@
+"""Tests for repro.analysis: metrics and the comparison harness."""
+
+import pytest
+
+from repro.analysis import (
+    compare_systems,
+    geometric_mean,
+    mean_abs_pct_error,
+    normalize,
+    speedup,
+    tflops_per_gpu,
+)
+
+from conftest import make_tiny_gpt
+
+
+class TestMetrics:
+    def test_tflops_formula(self):
+        graph = make_tiny_gpt()
+        value = tflops_per_gpu(graph, throughput=10.0, num_gpus=2)
+        expected = graph.total_train_flops_per_sample * 10.0 / 2 / 1e12
+        assert value == pytest.approx(expected)
+
+    def test_tflops_validation(self):
+        graph = make_tiny_gpt()
+        with pytest.raises(ValueError):
+            tflops_per_gpu(graph, 1.0, 0)
+        with pytest.raises(ValueError):
+            tflops_per_gpu(graph, -1.0, 1)
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert speedup(1.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0
+
+    def test_normalize(self):
+        assert normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+        assert normalize([0.0, 0.0]) == [0.0, 0.0]
+
+    def test_mean_abs_pct_error(self):
+        assert mean_abs_pct_error([1.1, 0.9], [1.0, 1.0]) == pytest.approx(
+            10.0
+        )
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([], [])
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([1.0], [0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestCompareSystems:
+    @pytest.fixture(scope="class")
+    def comparison(self, small_cluster):
+        # Uses a real (small) GPT so the registry path is exercised.
+        return compare_systems(
+            "gpt3-350m",
+            4,
+            cluster=small_cluster,
+            aceso_iterations=6,
+            pick_top_k=2,
+        )
+
+    def test_all_systems_present(self, comparison):
+        assert set(comparison.outcomes) == {"megatron", "alpa", "aceso"}
+
+    def test_all_feasible(self, comparison):
+        for outcome in comparison.outcomes.values():
+            assert not outcome.failed
+            assert not outcome.oom
+            assert outcome.throughput > 0
+            assert outcome.tflops > 0
+
+    def test_aceso_not_worse(self, comparison):
+        """Aceso's space strictly contains both baselines' spaces, so
+        with enough iterations it should never lose badly."""
+        assert comparison.speedup("aceso", "megatron") > 0.9
+        assert comparison.speedup("aceso", "alpa") > 0.9
+
+    def test_search_cost_ordering(self, comparison):
+        """Aceso's search cost is a small fraction of Alpa's (Fig. 8)."""
+        aceso = comparison.outcomes["aceso"].search_seconds
+        alpa = comparison.outcomes["alpa"].search_seconds
+        assert aceso < 0.5 * alpa
+
+    def test_subset_of_systems(self, small_cluster):
+        result = compare_systems(
+            "gpt3-350m", 4, cluster=small_cluster,
+            aceso_iterations=2, systems=["megatron"],
+        )
+        assert set(result.outcomes) == {"megatron"}

@@ -1,0 +1,46 @@
+"""Failure-path tests for the comparison harness."""
+
+import pytest
+
+from repro.analysis import compare_systems, evaluate_config
+from repro.cluster import paper_cluster
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+from repro.runtime import Executor
+
+from conftest import make_tiny_gpt
+
+
+class TestEvaluateConfigFailure:
+    def test_none_config_marks_failed(self, tiny_graph, small_cluster,
+                                      tiny_perf_model, tiny_executor):
+        outcome = evaluate_config(
+            "ghost", None, tiny_graph, tiny_perf_model, tiny_executor,
+            search_seconds=1.0, num_gpus=4,
+        )
+        assert outcome.failed
+        assert outcome.throughput == 0.0
+        assert outcome.oom
+
+
+class TestAlpaFailurePath:
+    def test_compare_reports_alpa_failure_on_deep_model(self):
+        """Past the emulated 64-layer limit, the comparison carries the
+        failure instead of crashing (Fig. 9's 'x' markers)."""
+        from repro.ir.models import build_model
+
+        graph = build_model("gpt-96l")
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        result = compare_systems(
+            "gpt-96l",
+            4,
+            cluster=cluster,
+            database=database,
+            aceso_iterations=2,
+            systems=["alpa", "aceso"],
+        )
+        assert result.outcomes["alpa"].failed
+        assert "compilation" in result.outcomes["alpa"].failure_reason
+        assert not result.outcomes["aceso"].failed
+        assert result.speedup("aceso", "alpa") == float("inf")

@@ -1,0 +1,69 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis import ascii_bar_chart, ascii_line_plot, downsample
+
+
+class TestLinePlot:
+    def test_contains_markers_and_labels(self):
+        art = ascii_line_plot(
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="curves", width=20, height=6,
+        )
+        assert "curves" in art
+        assert "*" in art and "o" in art
+        assert "a" in art and "b" in art
+        assert "3" in art and "1" in art  # axis annotations
+
+    def test_flat_series_ok(self):
+        art = ascii_line_plot({"flat": [5.0, 5.0, 5.0]})
+        assert "*" in art
+
+    def test_none_values_skipped(self):
+        art = ascii_line_plot({"gap": [1.0, None, 3.0]})
+        plot_only = art.rsplit("\n", 1)[0]  # drop the legend line
+        assert plot_only.count("*") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({})
+        with pytest.raises(ValueError):
+            ascii_line_plot({"one": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_line_plot({"none": [None, None]})
+
+
+class TestBarChart:
+    def test_longest_bar_is_peak(self):
+        art = ascii_bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        lines = art.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        art = ascii_bar_chart(["a"], [0.0])
+        assert "0.00" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        xs, ys = downsample([1, 2], [3, 4], 10)
+        assert xs == [1, 2] and ys == [3, 4]
+
+    def test_keeps_endpoints(self):
+        xs, ys = downsample(list(range(100)), list(range(100)), 5)
+        assert xs[0] == 0 and xs[-1] == 99
+        assert len(xs) <= 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample([1], [1, 2], 4)
+        with pytest.raises(ValueError):
+            downsample([1, 2], [1, 2], 1)

@@ -1,0 +1,208 @@
+"""Tests for the baseline systems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AlpaCompilationError,
+    AlpaOptions,
+    DPSolverOptions,
+    MegatronPlan,
+    alpa_search,
+    dp_solve,
+    enumerate_plans,
+    megatron_grid_search,
+    plan_to_config,
+    random_search,
+)
+from repro.core import SearchBudget
+from repro.parallel import balanced_config, validate_config
+
+from conftest import make_tiny_gpt
+
+
+class TestMegatron:
+    def test_enumerate_plans_structure(self, tiny_graph, small_cluster):
+        plans = enumerate_plans(tiny_graph, small_cluster)
+        assert plans
+        for plan in plans:
+            assert plan.tp * plan.dp * plan.pp == small_cluster.num_gpus
+            assert (
+                tiny_graph.global_batch_size % plan.aggregated_microbatch == 0
+            )
+
+    def test_plan_to_config_valid(self, tiny_graph, small_cluster):
+        plan = MegatronPlan(tp=2, dp=1, pp=2, microbatch_per_gpu=2,
+                            recompute=True)
+        config = plan_to_config(plan, tiny_graph, small_cluster)
+        validate_config(config, tiny_graph, small_cluster)
+        assert config.num_stages == 2
+        assert all(s.recompute.all() for s in config.stages)
+
+    def test_plan_to_config_rejects_mismatch(self, tiny_graph,
+                                             small_cluster):
+        plan = MegatronPlan(tp=4, dp=2, pp=2, microbatch_per_gpu=1,
+                            recompute=False)
+        assert plan_to_config(plan, tiny_graph, small_cluster) is None
+
+    def test_grid_search_finds_feasible(self, tiny_graph, small_cluster,
+                                        tiny_perf_model):
+        result = megatron_grid_search(
+            tiny_graph, small_cluster, tiny_perf_model
+        )
+        assert result.best_config is not None
+        assert result.best_objective < float("inf")
+        assert result.evaluated == len(result.table)
+        validate_config(result.best_config, tiny_graph, small_cluster)
+
+    def test_global_settings_only(self, tiny_graph, small_cluster,
+                                  tiny_perf_model):
+        """Megatron's space has one (tp, dp) everywhere — no per-op mix."""
+        result = megatron_grid_search(
+            tiny_graph, small_cluster, tiny_perf_model
+        )
+        config = result.best_config
+        tps = {int(t) for s in config.stages for t in np.unique(s.tp)}
+        assert len(tps) == 1
+
+
+class TestAlpa:
+    def test_search_finds_feasible(self, tiny_graph, small_cluster,
+                                   tiny_perf_model):
+        result = alpa_search(tiny_graph, small_cluster, tiny_perf_model)
+        assert result.best_config is not None
+        validate_config(result.best_config, tiny_graph, small_cluster)
+        assert result.compilations > 0
+        assert result.simulated_search_seconds > 0
+
+    def test_simulated_cost_scales_with_compilations(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        cheap = alpa_search(
+            tiny_graph, small_cluster, tiny_perf_model,
+            options=AlpaOptions(per_compile_seconds=0.01),
+        )
+        pricey = alpa_search(
+            tiny_graph, small_cluster, tiny_perf_model,
+            options=AlpaOptions(per_compile_seconds=1.0),
+        )
+        assert pricey.simulated_search_seconds > cheap.simulated_search_seconds
+
+    def test_compilation_failure_above_threshold(self, small_cluster,
+                                                 tiny_perf_model):
+        graph = make_tiny_gpt(num_layers=8)
+        from repro.profiling import SimulatedProfiler
+        from repro.perfmodel import PerfModel
+
+        db = SimulatedProfiler(small_cluster, seed=0).profile(graph)
+        pm = PerfModel(graph, small_cluster, db)
+        with pytest.raises(AlpaCompilationError):
+            alpa_search(
+                graph, small_cluster, pm,
+                options=AlpaOptions(max_supported_layers=4),
+            )
+
+    def test_model_wide_recompute_only(self, tiny_graph, small_cluster,
+                                       tiny_perf_model):
+        """Alpa's recompute flag is all-or-nothing per model."""
+        result = alpa_search(tiny_graph, small_cluster, tiny_perf_model)
+        flags = {
+            bool(s.recompute.all()) or not bool(s.recompute.any())
+            for s in result.best_config.stages
+        }
+        assert flags == {True}
+
+
+class TestDPSolver:
+    @pytest.fixture(scope="class")
+    def dp_result(self, tiny_graph, small_cluster, tiny_perf_model):
+        options = DPSolverOptions(
+            microbatch_sizes=[2, 4], max_stages=4, unit="layer"
+        )
+        return dp_solve(
+            tiny_graph, small_cluster, tiny_perf_model, options=options
+        )
+
+    def test_finds_feasible(self, dp_result, tiny_graph, small_cluster):
+        assert dp_result.best_config is not None
+        validate_config(dp_result.best_config, tiny_graph, small_cluster)
+
+    def test_explored_configs_counted(self, dp_result):
+        assert dp_result.explored_configs > 0
+        assert dp_result.table_evaluations > 0
+
+    def test_dp_explores_more_than_aceso(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        """Exp#4's headline: at op granularity the DP's recurrence
+        covers orders of magnitude more configurations than Aceso
+        estimates."""
+        from repro.core import AcesoSearch
+
+        op_dp = dp_solve(
+            tiny_graph, small_cluster, tiny_perf_model,
+            options=DPSolverOptions(
+                microbatch_sizes=[2, 4], max_stages=4, unit="op"
+            ),
+        )
+        before = tiny_perf_model.num_estimates
+        search = AcesoSearch(tiny_graph, small_cluster, tiny_perf_model)
+        search.run(
+            balanced_config(tiny_graph, small_cluster, 2),
+            SearchBudget(max_iterations=8),
+        )
+        aceso_estimates = tiny_perf_model.num_estimates - before
+        assert op_dp.explored_configs > 10 * aceso_estimates
+
+    def test_dp_quality_close_to_aceso(
+        self, dp_result, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        from repro.core import search_all_stage_counts
+
+        multi = search_all_stage_counts(
+            tiny_graph, small_cluster, tiny_perf_model,
+            budget_per_count={"max_iterations": 10},
+        )
+        # Same ballpark (paper: identical or Aceso slightly better).
+        assert multi.best.best_objective <= dp_result.best_objective * 1.2
+
+    def test_op_unit_mode(self, tiny_graph, small_cluster, tiny_perf_model):
+        options = DPSolverOptions(
+            microbatch_sizes=[4], max_stages=2, unit="op"
+        )
+        result = dp_solve(
+            tiny_graph, small_cluster, tiny_perf_model, options=options
+        )
+        assert result.best_config is not None
+
+    def test_bad_unit_raises(self, tiny_graph, small_cluster,
+                             tiny_perf_model):
+        with pytest.raises(ValueError):
+            dp_solve(
+                tiny_graph, small_cluster, tiny_perf_model,
+                options=DPSolverOptions(unit="block"),
+            )
+
+
+class TestRandomSearch:
+    def test_runs_and_improves(self, tiny_graph, small_cluster,
+                               tiny_perf_model):
+        init = balanced_config(tiny_graph, small_cluster, 4)
+        result = random_search(
+            tiny_graph, small_cluster, tiny_perf_model, init,
+            SearchBudget(max_iterations=4), seed=1,
+        )
+        assert result.best_objective <= tiny_perf_model.objective(init)
+
+    def test_seeds_differ(self, tiny_graph, small_cluster, tiny_perf_model):
+        init = balanced_config(tiny_graph, small_cluster, 4)
+        runs = [
+            random_search(
+                tiny_graph, small_cluster, tiny_perf_model, init,
+                SearchBudget(max_iterations=3), seed=s,
+            )
+            for s in (1, 2)
+        ]
+        # Different shuffles should at least both terminate; traces may
+        # legitimately coincide on tiny models, so only check liveness.
+        assert all(r.trace.num_iterations >= 1 for r in runs)

@@ -1,0 +1,106 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import compare_main, search_main
+
+
+class TestSearchMain:
+    def test_text_output(self, capsys):
+        code = search_main(
+            ["--model", "gpt3-350m", "--gpus", "2", "--iterations", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "stage 0" in out
+
+    def test_json_output(self, capsys):
+        code = search_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "3", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "gpt3-350m"
+        assert payload["throughput_samples_per_s"] > 0
+
+    def test_stage_counts_flag(self, capsys):
+        code = search_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "2", "--stage-counts", "2",
+            ]
+        )
+        assert code == 0
+        assert "2-stage pipeline" in capsys.readouterr().out
+
+    def test_bad_model_raises(self):
+        with pytest.raises(KeyError):
+            search_main(["--model", "bogus-1b", "--iterations", "1"])
+
+
+class TestEstimateMain:
+    def test_roundtrip_with_search(self, tmp_path, capsys):
+        from repro.cli import estimate_main, search_main
+
+        plan = tmp_path / "plan.json"
+        search_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "2", "--output", str(plan),
+            ]
+        )
+        capsys.readouterr()
+        code = estimate_main(
+            ["--model", "gpt3-350m", "--gpus", "2", str(plan), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["actual_oom"] is False
+        assert payload["throughput_samples_per_s"] > 0
+
+    def test_wrong_cluster_rejected(self, tmp_path, capsys):
+        from repro.cli import estimate_main, search_main
+        from repro.parallel import ConfigError
+
+        plan = tmp_path / "plan.json"
+        search_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "2", "--output", str(plan),
+            ]
+        )
+        capsys.readouterr()
+        with pytest.raises(ConfigError):
+            estimate_main(
+                ["--model", "gpt3-350m", "--gpus", "4", str(plan)]
+            )
+
+
+class TestCompareMain:
+    def test_json_output(self, capsys):
+        code = compare_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "3", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"megatron", "alpa", "aceso"}
+        for stats in payload.values():
+            assert stats["throughput"] > 0
+
+    def test_text_table(self, capsys):
+        code = compare_main(
+            ["--model", "gpt3-350m", "--gpus", "2", "--iterations", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "system" in out
+        assert "aceso" in out

@@ -1,0 +1,170 @@
+"""Tests for repro.cluster: devices, topology, collectives."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    CollectiveCostModel,
+    DeviceSpec,
+    LinkSpec,
+    a100,
+    paper_cluster,
+    single_node,
+    v100,
+)
+
+
+class TestDeviceSpec:
+    def test_v100_defaults(self):
+        device = v100()
+        assert device.memory_bytes == 32 * 1024 ** 3
+        assert device.peak_flops["fp16"] > device.peak_flops["fp32"]
+
+    def test_sustained_below_peak(self):
+        device = v100()
+        assert device.sustained_flops("fp16") < device.peak_flops["fp16"]
+
+    def test_unknown_precision_raises(self):
+        with pytest.raises(KeyError):
+            v100().sustained_flops("fp8")
+
+    def test_compute_time_roofline(self):
+        device = v100()
+        # Compute-bound: huge flops, no bytes.
+        t1 = device.compute_time(1e12, 0, "fp16")
+        # Memory-bound: no flops, huge bytes.
+        t2 = device.compute_time(0, 1e11, "fp16")
+        assert t1 > device.kernel_overhead
+        assert t2 > device.kernel_overhead
+
+    def test_compute_time_negative_raises(self):
+        with pytest.raises(ValueError):
+            v100().compute_time(-1, 0, "fp16")
+
+    def test_invalid_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(efficiency=0.0)
+        with pytest.raises(ValueError):
+            DeviceSpec(efficiency=1.5)
+
+    def test_a100_faster(self):
+        assert a100().sustained_flops("fp16") > v100().sustained_flops("fp16")
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(bandwidth=1e9, latency=1e-6)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+        assert link.transfer_time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0, latency=0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1, latency=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1e9, latency=0).transfer_time(-5)
+
+
+class TestClusterSpec:
+    def test_paper_cluster_shapes(self):
+        assert paper_cluster(32).num_nodes == 4
+        assert paper_cluster(8).num_nodes == 1
+        assert paper_cluster(4).num_gpus == 4
+
+    def test_paper_cluster_validation(self):
+        with pytest.raises(ValueError):
+            paper_cluster(0)
+        with pytest.raises(ValueError):
+            paper_cluster(12)  # not full nodes
+
+    def test_node_of(self):
+        cluster = paper_cluster(16)
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(8) == 1
+        with pytest.raises(IndexError):
+            cluster.node_of(16)
+
+    def test_group_spans_nodes(self):
+        cluster = paper_cluster(16)
+        assert not cluster.group_spans_nodes(range(8))
+        assert cluster.group_spans_nodes(range(4, 12))
+
+    def test_group_link_intra_vs_inter(self):
+        cluster = paper_cluster(16)
+        intra = cluster.group_link(range(8))
+        inter = cluster.group_link(range(16))
+        assert intra.bandwidth > inter.bandwidth
+
+    def test_inter_node_bandwidth_shared(self):
+        cluster = paper_cluster(16)
+        few = cluster.group_link([0, 8])
+        many = cluster.group_link(range(16))
+        assert few.bandwidth > many.bandwidth
+
+    def test_link_for_group_size_bounds(self):
+        cluster = paper_cluster(8)
+        with pytest.raises(ValueError):
+            cluster.link_for_group_size(16)
+        with pytest.raises(ValueError):
+            cluster.link_for_group_size(0)
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValueError):
+            paper_cluster(8).group_link([])
+
+    def test_describe(self):
+        assert "V100" in paper_cluster(8).describe()
+
+
+class TestCollectives:
+    @pytest.fixture()
+    def model(self):
+        return CollectiveCostModel(paper_cluster(16))
+
+    def test_allreduce_single_rank_free(self, model):
+        assert model.allreduce_time(1 << 20, 1) == 0.0
+
+    def test_allreduce_zero_bytes_free(self, model):
+        assert model.allreduce_time(0, 8) == 0.0
+
+    def test_allreduce_monotone_in_bytes(self, model):
+        assert model.allreduce_time(2 << 20, 8) > model.allreduce_time(
+            1 << 20, 8
+        )
+
+    def test_allreduce_crossing_nodes_costs_more(self, model):
+        within = model.allreduce_time(64 << 20, 8)
+        across = model.allreduce_time(64 << 20, 16)
+        assert across > within
+
+    def test_allgather_half_of_allreduce_wire(self, model):
+        # Ring all-gather moves half the bytes of ring all-reduce.
+        ar = model.allreduce_time(64 << 20, 8)
+        ag = model.allgather_time(64 << 20, 8)
+        assert ag < ar
+
+    def test_reducescatter_equals_allgather(self, model):
+        assert model.reducescatter_time(8 << 20, 8) == pytest.approx(
+            model.allgather_time(8 << 20, 8)
+        )
+
+    def test_broadcast_positive(self, model):
+        assert model.broadcast_time(1 << 20, 4) > 0
+
+    def test_p2p_intra_faster_than_inter(self, model):
+        intra = model.p2p_time(8 << 20, 0, 1)
+        inter = model.p2p_time(8 << 20, 7, 8)
+        assert intra < inter
+
+    def test_p2p_between_stages_boundary(self, model):
+        # Boundary inside node 0 vs at the node edge.
+        inside = model.p2p_time_between_stages(8 << 20, 3)
+        edge = model.p2p_time_between_stages(8 << 20, 7)
+        assert inside < edge
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.allreduce_time(-1, 2)
+        with pytest.raises(ValueError):
+            model.allreduce_time(1, 0)

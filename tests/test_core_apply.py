@@ -1,0 +1,203 @@
+"""Tests for primitive application."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApplyContext,
+    apply_primitive,
+    identify_bottleneck,
+    move_ops,
+)
+from repro.parallel import balanced_config, is_valid, validate_config
+
+
+@pytest.fixture()
+def ctx(tiny_graph, small_cluster, tiny_perf_model):
+    config = balanced_config(tiny_graph, small_cluster, 4)
+    report = tiny_perf_model.estimate(config)
+    return ApplyContext(
+        graph=tiny_graph,
+        cluster=small_cluster,
+        perf_model=tiny_perf_model,
+        config=config,
+        report=report,
+        bottleneck=identify_bottleneck(report),
+    )
+
+
+def _ctx_for(graph, cluster, perf_model, config, stage=None):
+    report = perf_model.estimate(config)
+    bottleneck = identify_bottleneck(report)
+    if stage is not None:
+        from repro.core.bottleneck import Bottleneck
+
+        bottleneck = Bottleneck(
+            stage=stage, resources=bottleneck.resources, is_oom=False
+        )
+    return ApplyContext(
+        graph=graph,
+        cluster=cluster,
+        perf_model=perf_model,
+        config=config,
+        report=report,
+        bottleneck=bottleneck,
+    )
+
+
+class TestMoveOps:
+    def test_adjacent_move(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        before = [s.num_ops for s in config.stages]
+        moved = move_ops(config, tiny_graph, 0, 1, 2)
+        after = [s.num_ops for s in moved.stages]
+        assert after[0] == before[0] - 2
+        assert after[1] == before[1] + 2
+        validate_config(moved, tiny_graph, small_cluster)
+
+    def test_relay_move(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        before = [s.num_ops for s in config.stages]
+        moved = move_ops(config, tiny_graph, 0, 3, 1)
+        after = [s.num_ops for s in moved.stages]
+        assert after[0] == before[0] - 1
+        assert after[1] == before[1]
+        assert after[2] == before[2]
+        assert after[3] == before[3] + 1
+        validate_config(moved, tiny_graph, small_cluster)
+
+    def test_backward_move(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        moved = move_ops(config, tiny_graph, 3, 0, 2)
+        assert moved.stages[3].num_ops == config.stages[3].num_ops - 2
+        assert moved.stages[0].num_ops == config.stages[0].num_ops + 2
+        validate_config(moved, tiny_graph, small_cluster)
+
+    def test_refuses_emptying_stage(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        span = config.stages[0].num_ops
+        assert move_ops(config, tiny_graph, 0, 1, span) is None
+
+    def test_same_stage_is_noop(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        assert move_ops(config, tiny_graph, 1, 1, 1) is None
+
+    def test_moved_ops_adopt_new_stage_settings(
+        self, tiny_graph, small_cluster
+    ):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        config.stages[1].set_uniform_parallel(2)
+        moved = move_ops(config, tiny_graph, 0, 1, 3)
+        # Ops arriving in stage 1 adopt tp=2.
+        assert np.all(moved.stages[1].tp == 2)
+        validate_config(moved, tiny_graph, small_cluster)
+
+
+class TestAppliers:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "inc-op#", "dec-op#", "inc-mbs", "dec-mbs",
+            "inc-dp", "dec-dp", "inc-tp", "dec-tp", "inc-rc", "dec-rc",
+        ],
+    )
+    def test_all_candidates_valid(self, ctx, name):
+        for candidate in apply_primitive(name, ctx):
+            validate_config(candidate, ctx.graph, ctx.cluster)
+            assert candidate.signature() != ctx.config.signature()
+
+    def test_unknown_primitive_raises(self, ctx):
+        with pytest.raises(KeyError):
+            apply_primitive("inc-zz", ctx)
+
+    def test_inc_mbs_doubles(self, ctx):
+        candidates = apply_primitive("inc-mbs", ctx)
+        assert candidates
+        assert candidates[0].microbatch_size == ctx.config.microbatch_size * 2
+
+    def test_dec_mbs_blocked_at_minimum(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        assert config.microbatch_size == 1
+        ctx = _ctx_for(tiny_graph, small_cluster, tiny_perf_model, config)
+        assert apply_primitive("dec-mbs", ctx) == []
+
+    def test_inc_tp_swaps_dp_for_tp(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        config = balanced_config(tiny_graph, small_cluster, 2)  # dp=2/stage
+        ctx = _ctx_for(tiny_graph, small_cluster, tiny_perf_model, config, 0)
+        candidates = apply_primitive("inc-tp", ctx)
+        assert candidates
+        swap = candidates[0]
+        assert np.all(swap.stages[0].tp == 2)
+        assert np.all(swap.stages[0].dp == 1)
+        # Devices unchanged.
+        assert swap.stages[0].num_devices == 2
+
+    def test_inc_dp_swaps_tp_for_dp(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        config = balanced_config(tiny_graph, small_cluster, 2, tp=2,
+                                 microbatch_size=4)
+        ctx = _ctx_for(tiny_graph, small_cluster, tiny_perf_model, config, 0)
+        candidates = apply_primitive("inc-dp", ctx)
+        assert candidates
+        assert np.all(candidates[0].stages[0].dp == 2)
+
+    def test_device_transfer_needs_double_partner(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        # (1, 1, 2) split: stage 0 can double by taking from stage 2.
+        from repro.parallel import ParallelConfig, StageConfig
+
+        n = tiny_graph.num_ops
+        config = ParallelConfig(
+            stages=[
+                StageConfig.uniform(0, n // 3, 1),
+                StageConfig.uniform(n // 3, 2 * n // 3, 1),
+                StageConfig.uniform(2 * n // 3, n, 2),
+            ],
+            microbatch_size=2,
+        )
+        validate_config(config, tiny_graph, small_cluster)
+        ctx = _ctx_for(tiny_graph, small_cluster, tiny_perf_model, config, 0)
+        grown = [
+            c for c in apply_primitive("inc-dp", ctx)
+            if c.stages[0].num_devices == 2
+        ]
+        assert grown
+        assert grown[0].stages[2].num_devices == 1
+        assert grown[0].total_devices == 4
+
+    def test_inc_rc_enables_recompute(self, ctx):
+        candidates = apply_primitive("inc-rc", ctx)
+        assert candidates
+        stage = ctx.bottleneck.stage
+        assert any(c.stages[stage].recompute.any() for c in candidates)
+
+    def test_dec_rc_noop_without_recompute(self, ctx):
+        # The balanced init has no recomputation and plenty of memory,
+        # so dec-rc has nothing to do.
+        assert apply_primitive("dec-rc", ctx) == []
+
+    def test_dec_rc_disables(self, tiny_graph, small_cluster,
+                             tiny_perf_model):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        config.stages[0].recompute[:] = True
+        ctx = _ctx_for(tiny_graph, small_cluster, tiny_perf_model, config, 0)
+        candidates = apply_primitive("dec-rc", ctx)
+        assert candidates
+        assert any(
+            c.stages[0].recompute.sum() < config.stages[0].num_ops
+            for c in candidates
+        )
+
+    def test_single_stage_op_moves_empty(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        config = balanced_config(tiny_graph, small_cluster, 1)
+        ctx = _ctx_for(tiny_graph, small_cluster, tiny_perf_model, config)
+        assert apply_primitive("dec-op#", ctx) == []
+        assert apply_primitive("inc-op#", ctx) == []

@@ -1,0 +1,137 @@
+"""Tests for greedy argument selection (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    greedy_recompute,
+    greedy_unrecompute,
+    op_move_counts,
+    stage_activation_bytes,
+    tune_recompute,
+)
+from repro.parallel import balanced_config, is_valid
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+
+from conftest import (
+    make_activation_heavy_gpt,
+    make_tight_cluster,
+    make_tiny_gpt,
+)
+
+
+@pytest.fixture(scope="module")
+def tight_setup():
+    """A model that does NOT fit its cluster without recomputation."""
+    graph = make_activation_heavy_gpt()
+    cluster = make_tight_cluster(num_gpus=4, memory_mb=64)
+    database = SimulatedProfiler(cluster, seed=0).profile(graph)
+    perf_model = PerfModel(graph, cluster, database)
+    config = balanced_config(graph, cluster, 2, microbatch_size=16)
+    report = perf_model.estimate(config)
+    assert report.is_oom, "fixture must start out-of-memory"
+    return graph, cluster, perf_model, config
+
+
+class TestStageActivationBytes:
+    def test_shape_and_positive(self, tiny_graph, small_cluster,
+                                tiny_perf_model, tiny_config):
+        act = stage_activation_bytes(tiny_graph, tiny_config, 0)
+        assert act.shape == (tiny_config.stages[0].num_ops,)
+        assert np.all(act >= 0)
+        assert act.sum() > 0
+
+
+class TestGreedyRecompute:
+    def test_fixes_oom(self, tight_setup):
+        graph, cluster, perf_model, config = tight_setup
+        report = perf_model.estimate(config)
+        oom_stage = report.oom_stages[0]
+        fixed = greedy_recompute(perf_model, config, oom_stage)
+        assert fixed is not None
+        new_report = perf_model.estimate(fixed)
+        assert (
+            new_report.stages[oom_stage].peak_memory
+            <= new_report.memory_limit
+        )
+
+    def test_recomputes_subset_not_everything(self, tight_setup):
+        graph, cluster, perf_model, config = tight_setup
+        report = perf_model.estimate(config)
+        oom_stage = report.oom_stages[0]
+        fixed = greedy_recompute(perf_model, config, oom_stage)
+        stage = fixed.stages[oom_stage]
+        assert 0 < stage.recompute.sum() <= stage.num_ops
+
+    def test_noop_when_already_fits(self, tiny_perf_model, tiny_config):
+        assert greedy_recompute(tiny_perf_model, tiny_config, 0) is None
+
+    def test_returns_none_when_hopeless(self):
+        graph = make_tiny_gpt(num_layers=6, batch_size=64)
+        cluster = make_tight_cluster(num_gpus=2, memory_mb=1)
+        db = SimulatedProfiler(cluster, seed=0).profile(graph)
+        pm = PerfModel(graph, cluster, db)
+        config = balanced_config(graph, cluster, 2, microbatch_size=32)
+        assert greedy_recompute(pm, config, 0) is None
+
+
+class TestGreedyUnrecompute:
+    def test_releases_when_slack(self, tiny_perf_model, tiny_config):
+        config = tiny_config.clone()
+        config.stages[0].recompute[:] = True
+        relaxed = greedy_unrecompute(tiny_perf_model, config, 0)
+        assert relaxed is not None
+        assert relaxed.stages[0].recompute.sum() < config.stages[0].num_ops
+        report = tiny_perf_model.estimate(relaxed)
+        assert report.stages[0].peak_memory <= report.memory_limit
+
+    def test_noop_without_recompute(self, tiny_perf_model, tiny_config):
+        assert greedy_unrecompute(tiny_perf_model, tiny_config, 0) is None
+
+    def test_improves_objective(self, tiny_perf_model, tiny_config):
+        config = tiny_config.clone()
+        config.stages[0].recompute[:] = True
+        relaxed = greedy_unrecompute(tiny_perf_model, config, 0)
+        assert (
+            tiny_perf_model.objective(relaxed)
+            < tiny_perf_model.objective(config)
+        )
+
+
+class TestTuneRecompute:
+    def test_fixes_all_oom_stages(self, tight_setup):
+        graph, cluster, perf_model, config = tight_setup
+        tuned = tune_recompute(
+            perf_model, config, list(range(config.num_stages))
+        )
+        report = perf_model.estimate(tuned)
+        assert not report.is_oom
+
+    def test_out_of_range_stage_ignored(self, tiny_perf_model, tiny_config):
+        tuned = tune_recompute(tiny_perf_model, tiny_config, [99, -1])
+        assert tuned.signature() == tiny_config.signature()
+
+
+class TestOpMoveCounts:
+    def test_ladder_bounded(self, tiny_graph, tiny_config):
+        counts = op_move_counts(
+            tiny_graph, tiny_config, 0, 1, from_front=False
+        )
+        assert counts
+        span = tiny_config.stages[0].num_ops
+        assert all(1 <= k < span for k in counts)
+        assert counts == sorted(counts)
+
+    def test_single_op_stage_empty(self, tiny_graph, small_cluster):
+        from repro.parallel import ParallelConfig, StageConfig
+
+        n = tiny_graph.num_ops
+        config = ParallelConfig(
+            stages=[
+                StageConfig.uniform(0, 1, 2),
+                StageConfig.uniform(1, n, 2),
+            ],
+            microbatch_size=2,
+        )
+        assert op_move_counts(tiny_graph, config, 0, 1, from_front=False) == []

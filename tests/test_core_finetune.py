@@ -1,0 +1,66 @@
+"""Tests for op-level fine-tuning (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import finetune
+from repro.core.finetune import _split_points
+from repro.parallel import balanced_config, validate_config
+
+
+class TestSplitPoints:
+    def test_sampled_and_sorted(self):
+        points = _split_points(100, 8)
+        assert points == sorted(points)
+        assert len(points) <= 8
+        assert points[0] == 0
+
+    def test_single_op_no_points(self):
+        assert _split_points(1, 8) == []
+
+
+class TestFinetune:
+    def test_never_worse(self, tiny_graph, small_cluster, tiny_perf_model):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        tuned = finetune(
+            config, tiny_graph, small_cluster, tiny_perf_model
+        )
+        assert (
+            tiny_perf_model.objective(tuned)
+            <= tiny_perf_model.objective(config)
+        )
+        validate_config(tuned, tiny_graph, small_cluster)
+
+    def test_targets_specific_stage(self, tiny_graph, small_cluster,
+                                    tiny_perf_model):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        tuned = finetune(
+            config, tiny_graph, small_cluster, tiny_perf_model, stages=[0]
+        )
+        validate_config(tuned, tiny_graph, small_cluster)
+
+    def test_can_flip_partition_dim(self, tiny_graph, small_cluster,
+                                    tiny_perf_model):
+        """With tp enabled, the dim-flip pass explores option 1 and
+        keeps it only on improvement; either way the result is valid
+        and not worse."""
+        config = balanced_config(tiny_graph, small_cluster, 1, tp=4)
+        tuned = finetune(
+            config, tiny_graph, small_cluster, tiny_perf_model
+        )
+        validate_config(tuned, tiny_graph, small_cluster)
+        assert (
+            tiny_perf_model.objective(tuned)
+            <= tiny_perf_model.objective(config)
+        )
+
+    def test_suffix_tp_tuning_preserves_validity(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        config = balanced_config(tiny_graph, small_cluster, 2,
+                                 microbatch_size=4)
+        tuned = finetune(
+            config, tiny_graph, small_cluster, tiny_perf_model,
+            max_split_points=4,
+        )
+        validate_config(tuned, tiny_graph, small_cluster)

@@ -1,0 +1,115 @@
+"""Final property batch: op-movement conservation and report algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import move_ops
+from repro.parallel import balanced_config, validate_config
+from repro.perfmodel.timing import stage_totals
+
+from conftest import make_tiny_gpt
+
+_GRAPH = make_tiny_gpt()
+
+
+class TestMoveOpsProperties:
+    @given(
+        src=st.integers(0, 3),
+        dst=st.integers(0, 3),
+        count=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_validity(self, src, dst, count):
+        """Op movement conserves coverage, device counts, and validity
+        (or cleanly refuses)."""
+        from repro.cluster import paper_cluster
+
+        cluster = paper_cluster(4)
+        config = balanced_config(_GRAPH, cluster, 4)
+        moved = move_ops(config, _GRAPH, src, dst, count)
+        if src == dst:
+            assert moved is None
+            return
+        if moved is None:
+            # Refusal must be because a stage would drain.
+            assert count >= min(
+                s.num_ops for s in config.stages
+            )
+            return
+        validate_config(moved, _GRAPH, cluster)
+        assert moved.num_ops == config.num_ops
+        assert [s.num_devices for s in moved.stages] == [
+            s.num_devices for s in config.stages
+        ]
+        assert moved.stages[src].num_ops == config.stages[src].num_ops - count
+        assert moved.stages[dst].num_ops == config.stages[dst].num_ops + count
+
+    @given(
+        src=st.integers(0, 3),
+        dst=st.integers(0, 3),
+        count=st.integers(1, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_signature_changes_on_real_moves(self, src, dst, count):
+        from repro.cluster import paper_cluster
+
+        cluster = paper_cluster(4)
+        config = balanced_config(_GRAPH, cluster, 4)
+        moved = move_ops(config, _GRAPH, src, dst, count)
+        if moved is not None:
+            assert moved.signature() != config.signature()
+
+
+class TestTimingAlgebra:
+    @given(
+        fwd=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=6),
+        bwd=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=6),
+        n=st.integers(1, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_totals_monotone_in_microbatches(self, fwd, bwd, n):
+        size = min(len(fwd), len(bwd))
+        fwd, bwd = fwd[:size], bwd[:size]
+        t_n = stage_totals(fwd, bwd, n)
+        t_n1 = stage_totals(fwd, bwd, n + 1)
+        assert np.all(t_n1 >= t_n)
+
+    @given(
+        fwd=st.lists(st.floats(0.01, 5.0), min_size=2, max_size=6),
+        n=st.integers(1, 32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_later_stages_pay_warmup(self, fwd, n):
+        """With equal steady-state loads, the per-stage totals grow
+        with position (earlier stages' warmup accumulates)."""
+        size = len(fwd)
+        uniform = [1.0] * size
+        totals = stage_totals(uniform, uniform, n)
+        assert np.all(np.diff(totals) >= 0)
+
+
+class TestReportAlgebra:
+    def test_stage_time_decomposition(self, tiny_perf_model, tiny_config):
+        report = tiny_perf_model.estimate(tiny_config)
+        n = report.num_microbatches
+        for stage in report.stages:
+            assert stage.stage_time(n) == pytest.approx(
+                stage.compute_time(n) + stage.comm_time(n)
+            )
+            assert stage.compute_time_mb == pytest.approx(
+                stage.fwd_time_mb
+                + stage.bwd_time_mb
+                + stage.recompute_time_mb
+            )
+
+    def test_iteration_at_least_bottleneck_steady(
+        self, tiny_perf_model, tiny_config
+    ):
+        report = tiny_perf_model.estimate(tiny_config)
+        n = report.num_microbatches
+        steady = max(
+            (s.compute_time_mb + s.comm_time_mb) * n for s in report.stages
+        )
+        assert report.iteration_time >= steady * 0.999

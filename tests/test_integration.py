@@ -1,0 +1,127 @@
+"""Cross-module integration tests: full search -> deploy pipelines."""
+
+import pytest
+
+from repro.core import (
+    AcesoSearch,
+    SearchBudget,
+    search_all_stage_counts,
+)
+from repro.parallel import (
+    balanced_config,
+    imbalanced_gpu_config,
+    imbalanced_op_config,
+    validate_config,
+)
+from repro.perfmodel import PerfModel
+from repro.profiling import ProfileDatabase, SimulatedProfiler
+from repro.runtime import Executor
+
+from conftest import (
+    make_activation_heavy_gpt,
+    make_tight_cluster,
+    make_tiny_gpt,
+)
+
+
+class TestSearchDeployLoop:
+    def test_found_config_executes(self, tiny_graph, small_cluster,
+                                   tiny_perf_model, tiny_executor):
+        multi = search_all_stage_counts(
+            tiny_graph, small_cluster, tiny_perf_model,
+            budget_per_count={"max_iterations": 6},
+        )
+        best = multi.best.best_config
+        validate_config(best, tiny_graph, small_cluster)
+        run = tiny_executor.run(best)
+        assert not run.oom
+        assert run.iteration_time > 0
+
+    def test_search_beats_naive_on_executor(self, tiny_graph, small_cluster,
+                                            tiny_perf_model, tiny_executor):
+        naive = balanced_config(tiny_graph, small_cluster, 4)
+        multi = search_all_stage_counts(
+            tiny_graph, small_cluster, tiny_perf_model,
+            budget_per_count={"max_iterations": 10},
+        )
+        best = multi.best.best_config
+        assert (
+            tiny_executor.run(best).iteration_time
+            <= tiny_executor.run(naive).iteration_time * 1.05
+        )
+
+    def test_memory_pressured_end_to_end(self):
+        """OOM start -> feasible, deployable plan with recomputation."""
+        graph = make_activation_heavy_gpt()
+        cluster = make_tight_cluster(num_gpus=4, memory_mb=64)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        perf_model = PerfModel(graph, cluster, database)
+        init = balanced_config(graph, cluster, 2, microbatch_size=16)
+        assert perf_model.estimate(init).is_oom
+        search = AcesoSearch(graph, cluster, perf_model)
+        result = search.run(init, SearchBudget(max_iterations=12))
+        assert result.is_feasible
+        executor = Executor(graph, cluster, seed=0)
+        run = executor.run(result.best_config)
+        assert not run.oom
+
+
+class TestInitRobustness:
+    """Exp#7 in miniature: different starts converge to similar quality."""
+
+    def test_three_inits_converge(self, tiny_graph, small_cluster,
+                                  tiny_perf_model):
+        inits = {
+            "balanced": balanced_config(tiny_graph, small_cluster, 4),
+            "imbalance-op": imbalanced_op_config(
+                tiny_graph, small_cluster, 4
+            ),
+            "imbalance-gpu": imbalanced_gpu_config(
+                tiny_graph, small_cluster, 4
+            ),
+        }
+        finals = {}
+        for name, init in inits.items():
+            search = AcesoSearch(tiny_graph, small_cluster, tiny_perf_model)
+            result = search.run(init, SearchBudget(max_iterations=12))
+            finals[name] = result.best_objective
+        best = min(finals.values())
+        for name, value in finals.items():
+            assert value <= best * 1.15, f"{name} diverged: {finals}"
+
+
+class TestDatabaseReuse:
+    def test_profile_reused_across_layer_counts(self, small_cluster):
+        """The paper's database reuse: profiling gpt-4l covers gpt-8l."""
+        profiler = SimulatedProfiler(small_cluster, seed=0)
+        database = profiler.profile(make_tiny_gpt(num_layers=4))
+        cost_before = profiler.profile_seconds
+        profiler.profile(make_tiny_gpt(num_layers=8), database=database)
+        # Same unique op signatures -> nothing new measured.
+        assert profiler.profile_seconds == cost_before
+
+    def test_database_roundtrip_preserves_estimates(
+        self, tiny_graph, small_cluster, tiny_database, tmp_path
+    ):
+        path = tmp_path / "db.json"
+        tiny_database.save(path)
+        reloaded = ProfileDatabase.load(path)
+        a = PerfModel(tiny_graph, small_cluster, tiny_database)
+        b = PerfModel(tiny_graph, small_cluster, reloaded)
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        assert a.estimate(config).iteration_time == pytest.approx(
+            b.estimate(config).iteration_time
+        )
+
+
+class TestScalability:
+    def test_search_handles_many_layers(self, small_cluster):
+        """Exp#3 in miniature: a deep model still searches fine."""
+        graph = make_tiny_gpt(num_layers=64)
+        database = SimulatedProfiler(small_cluster, seed=0).profile(graph)
+        perf_model = PerfModel(graph, small_cluster, database)
+        init = balanced_config(graph, small_cluster, 4)
+        search = AcesoSearch(graph, small_cluster, perf_model)
+        result = search.run(init, SearchBudget(max_iterations=3))
+        assert result.best_objective < float("inf")
+        assert graph.num_ops > 500

@@ -1,0 +1,127 @@
+"""Tests for the GPT-3 / T5 / Wide-ResNet builders and registry."""
+
+import pytest
+
+from repro.ir.models import (
+    GPT3_SIZES,
+    T5_SIZES,
+    WRN_SIZES,
+    available_models,
+    build_gpt3,
+    build_gpt3_layers,
+    build_model,
+    build_t5,
+    build_wide_resnet,
+)
+from repro.ir.models.gpt3 import GPTSpec
+
+
+class TestGPT3:
+    def test_all_paper_sizes_build(self):
+        for size in GPT3_SIZES:
+            graph = build_gpt3(size)
+            assert graph.num_ops > 0
+            assert graph.precision == "fp16"
+            assert graph.global_batch_size == 1024
+
+    def test_param_counts_near_labels(self):
+        # Labels are approximate; require the right order of magnitude
+        # and monotone growth along the ladder.
+        sizes = ["350m", "1.3b", "2.6b", "6.7b", "13b"]
+        params = [build_gpt3(s).total_params for s in sizes]
+        assert params == sorted(params)
+        assert 0.2e9 < params[0] < 0.6e9
+        assert 9e9 < params[-1] < 17e9
+
+    def test_layer_spans_cover_layers(self):
+        graph = build_gpt3("350m")
+        assert graph.num_layers == 24
+        for start, end in graph.layer_spans:
+            assert end > start
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            build_gpt3("9000b")
+
+    def test_hidden_heads_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            GPTSpec(num_layers=1, hidden=10, num_heads=3)
+
+    def test_layers_variant(self):
+        graph = build_gpt3_layers(128)
+        assert graph.num_layers == 128
+        assert graph.name == "gpt-128l"
+
+    def test_layers_variant_validates(self):
+        with pytest.raises(ValueError):
+            build_gpt3_layers(0)
+
+
+class TestT5:
+    def test_all_paper_sizes_build(self):
+        for size in T5_SIZES:
+            graph = build_t5(size)
+            assert graph.num_ops > 0
+
+    def test_heterogeneous_costs(self):
+        """Encoder layers (seq 2048) cost more than decoder self-attn
+        at seq 512 — the imbalance the paper highlights."""
+        graph = build_t5("770m")
+        enc_qkv = graph.ops[graph.op_index("enc0.attn_qkv")]
+        dec_qkv = graph.ops[graph.op_index("dec0.attn_qkv")]
+        assert enc_qkv.flops == 4 * dec_qkv.flops
+
+    def test_decoder_has_cross_attention(self):
+        graph = build_t5("770m")
+        assert graph.op_index("dec0.xattn_core") > 0
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            build_t5("100t")
+
+
+class TestWideResNet:
+    def test_all_paper_sizes_build(self):
+        for size in WRN_SIZES:
+            graph = build_wide_resnet(size)
+            assert graph.precision == "fp32"
+            assert graph.global_batch_size == 1536
+
+    def test_param_monotone(self):
+        sizes = ["500m", "2b", "4b", "6.8b", "13b"]
+        params = [build_wide_resnet(s).total_params for s in sizes]
+        assert params == sorted(params)
+
+    def test_conv_ops_present(self):
+        graph = build_wide_resnet("500m")
+        kinds = {op.kind for op in graph.ops}
+        assert "conv2d" in kinds
+        assert "norm2d" in kinds
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            build_wide_resnet("tiny")
+
+
+class TestRegistry:
+    def test_available_models_cover_families(self):
+        names = available_models()
+        assert "gpt3-1.3b" in names
+        assert "t5-3b" in names
+        assert "wresnet-6.8b" in names
+
+    def test_build_by_name(self):
+        assert build_model("gpt3-350m").name == "gpt3-350m"
+        assert build_model("GPT3-350M").name == "gpt3-350m"
+
+    def test_layers_pattern(self):
+        assert build_model("gpt-32l").num_layers == 32
+
+    def test_batch_size_override(self):
+        assert build_model("gpt3-350m", batch_size=64).global_batch_size == 64
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet-50")
+        with pytest.raises(KeyError):
+            build_model("nonsense")

@@ -1,0 +1,117 @@
+"""Tests for repro.ir.ops."""
+
+import pytest
+
+from repro.ir.ops import (
+    OpSpec,
+    PartitionOption,
+    attention_core_op,
+    conv2d_op,
+    elementwise_op,
+    embedding_op,
+    layernorm_op,
+    lm_head_op,
+    loss_op,
+    matmul_op,
+)
+
+
+class TestOpSpec:
+    def test_bwd_flops_default_ratio(self):
+        op = matmul_op("m", 4, 4, 2)
+        assert op.bwd_flops == pytest.approx(2.0 * op.flops)
+        assert op.total_flops == pytest.approx(3.0 * op.flops)
+
+    def test_negative_cost_raises(self):
+        with pytest.raises(ValueError):
+            OpSpec("bad", "x", flops=-1, params=0, out_numel=1, saved_numel=1)
+
+    def test_no_options_raises(self):
+        with pytest.raises(ValueError):
+            OpSpec(
+                "bad", "x", flops=1, params=0, out_numel=1, saved_numel=1,
+                partition_options=(),
+            )
+
+    def test_option_lookup(self):
+        op = matmul_op("m", 4, 8, 2)
+        assert op.option(0).name == "column"
+        assert op.option(1).name == "row"
+        with pytest.raises(IndexError):
+            op.option(5)
+
+
+class TestMatmulOp:
+    def test_flops_formula(self):
+        op = matmul_op("m", 16, 32, 8)
+        assert op.flops == 2.0 * 8 * 16 * 32
+
+    def test_params_include_bias(self):
+        op = matmul_op("m", 16, 32, 8)
+        assert op.params == 16 * 32 + 32
+
+    def test_column_style_has_no_fwd_comm(self):
+        op = matmul_op("m", 16, 32, 8, parallel_style="column")
+        assert op.option(0).fwd_comm_numel == 0
+        assert op.option(0).bwd_comm_numel == 8 * 16
+
+    def test_row_style_allreduces_output(self):
+        op = matmul_op("m", 16, 32, 8, parallel_style="row")
+        assert op.option(0).name == "row"
+        assert op.option(0).fwd_comm_numel == 8 * 32
+        assert not op.option(0).shards_output
+
+    def test_both_dims_always_available(self):
+        for style in ("column", "row"):
+            op = matmul_op("m", 16, 32, 8, parallel_style=style)
+            assert {o.name for o in op.partition_options} == {"row", "column"}
+
+
+class TestAttentionCoreOp:
+    def test_max_tp_is_heads(self):
+        op = attention_core_op("a", 32, 32, 64, num_heads=4)
+        assert op.max_tp == 4
+
+    def test_no_params(self):
+        assert attention_core_op("a", 32, 32, 64, 4).params == 0
+
+    def test_flops_scale_with_kv_len(self):
+        short = attention_core_op("a", 32, 32, 64, 4)
+        long = attention_core_op("a", 32, 64, 64, 4)
+        assert long.flops == 2 * short.flops
+
+
+class TestOtherOps:
+    def test_layernorm_not_partitionable(self):
+        op = layernorm_op("ln", 32, 64)
+        assert op.max_tp == 1
+        assert op.params == 128
+
+    def test_elementwise_no_params(self):
+        op = elementwise_op("gelu", "gelu", 1024)
+        assert op.params == 0
+        assert op.out_numel == 1024
+
+    def test_embedding_saves_only_ids(self):
+        op = embedding_op("emb", 512, 64, 32)
+        assert op.saved_numel == 32
+        assert op.params == 512 * 64
+
+    def test_lm_head_large_output(self):
+        op = lm_head_op("head", 512, 64, 32)
+        assert op.out_numel == 32 * 512
+
+    def test_loss_scalar_output(self):
+        assert loss_op("loss", 1000).out_numel == 1
+
+    def test_conv_flops(self):
+        op = conv2d_op("c", 8, 16, 3, 14)
+        assert op.flops == 2.0 * 9 * 8 * 16 * 14 * 14
+
+    def test_conv_max_tp_limited_by_channels(self):
+        op = conv2d_op("c", 8, 16, 3, 14)
+        assert op.max_tp == 8
+
+    def test_conv_partition_styles(self):
+        op = conv2d_op("c", 8, 16, 1, 14, parallel_style="in_channel")
+        assert op.option(0).name == "in_channel"

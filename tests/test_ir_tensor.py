@@ -1,0 +1,67 @@
+"""Tests for repro.ir.tensor."""
+
+import pytest
+
+from repro.ir.tensor import (
+    DTYPE_BYTES,
+    TensorSpec,
+    UnknownDtypeError,
+    dtype_bytes,
+)
+
+
+class TestDtypeBytes:
+    def test_known_dtypes(self):
+        assert dtype_bytes("fp16") == 2
+        assert dtype_bytes("fp32") == 4
+        assert dtype_bytes("fp64") == 8
+        assert dtype_bytes("int8") == 1
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(UnknownDtypeError):
+            dtype_bytes("fp8")
+
+    def test_table_is_consistent(self):
+        for name, size in DTYPE_BYTES.items():
+            assert dtype_bytes(name) == size
+
+
+class TestTensorSpec:
+    def test_numel_and_bytes(self):
+        spec = TensorSpec((4, 8), "fp16")
+        assert spec.numel == 32
+        assert spec.bytes == 64
+
+    def test_scalar_shape(self):
+        assert TensorSpec((), "fp32").numel == 1
+
+    def test_invalid_dimension_raises(self):
+        with pytest.raises(ValueError):
+            TensorSpec((0, 4))
+        with pytest.raises(ValueError):
+            TensorSpec((-1,))
+
+    def test_invalid_dtype_raises(self):
+        with pytest.raises(UnknownDtypeError):
+            TensorSpec((2,), "bogus")
+
+    def test_with_dim(self):
+        spec = TensorSpec((4, 8)).with_dim(1, 2)
+        assert spec.shape == (4, 2)
+
+    def test_split_even(self):
+        spec = TensorSpec((4, 8)).split(1, 4)
+        assert spec.shape == (4, 2)
+
+    def test_split_uneven_raises(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, 9)).split(1, 2)
+
+    def test_split_invalid_ways_raises(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, 8)).split(1, 0)
+
+    def test_frozen(self):
+        spec = TensorSpec((2, 2))
+        with pytest.raises(AttributeError):
+            spec.dtype = "fp32"

@@ -1,0 +1,90 @@
+"""Tests for the memory-timeline tool."""
+
+import pytest
+
+from repro.parallel import balanced_config
+from repro.runtime import (
+    all_stage_timelines,
+    max_in_flight,
+    stage_memory_timeline,
+)
+
+
+class TestStageMemoryTimeline:
+    def test_peak_matches_in_flight_model(self, tiny_graph, small_cluster):
+        """The replayed activation peak equals Eq. 1's (p - i) bound."""
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        num_mb = config.num_microbatches(tiny_graph.global_batch_size)
+        for stage in range(4):
+            timeline = stage_memory_timeline(tiny_graph, config, stage)
+            per_mb = max(timeline.held_bytes) / max_in_flight(
+                stage, 4, num_mb
+            )
+            expected = per_mb * max_in_flight(stage, 4, num_mb)
+            assert max(timeline.held_bytes) == pytest.approx(expected)
+            # Earlier stages hold more concurrent activation.
+            if stage > 0:
+                earlier = stage_memory_timeline(
+                    tiny_graph, config, stage - 1
+                )
+                assert max(earlier.held_bytes) >= max(timeline.held_bytes)
+
+    def test_timeline_drains_to_zero(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        timeline = stage_memory_timeline(tiny_graph, config, 0)
+        assert timeline.held_bytes[-1] == pytest.approx(0.0)
+
+    def test_steps_cover_schedule(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        num_mb = config.num_microbatches(tiny_graph.global_batch_size)
+        timeline = stage_memory_timeline(tiny_graph, config, 1)
+        assert len(timeline.steps) == 2 * num_mb
+        assert timeline.steps[0].startswith("F")
+
+    def test_recompute_lowers_peak(self, tiny_graph, small_cluster):
+        plain = balanced_config(tiny_graph, small_cluster, 2)
+        recomputed = plain.clone()
+        recomputed.stages[0].recompute[:] = True
+        a = stage_memory_timeline(tiny_graph, plain, 0)
+        b = stage_memory_timeline(tiny_graph, recomputed, 0)
+        assert max(b.held_bytes) < max(a.held_bytes)
+        # Static (weights/optimizer) bytes are untouched.
+        assert b.static_bytes == pytest.approx(a.static_bytes)
+
+    def test_peak_properties(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        timeline = stage_memory_timeline(tiny_graph, config, 0)
+        assert timeline.peak_bytes >= timeline.static_bytes
+        assert 0 <= timeline.peak_step < len(timeline.steps)
+
+    def test_all_stage_timelines(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 3)
+        timelines = all_stage_timelines(tiny_graph, config)
+        assert [t.stage for t in timelines] == [0, 1, 2]
+
+    def test_bad_stage_raises(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        with pytest.raises(IndexError):
+            stage_memory_timeline(tiny_graph, config, 5)
+
+
+class TestProfilerParallelism:
+    def test_wall_clock_scales_with_workers(self, small_cluster):
+        from conftest import make_tiny_gpt
+        from repro.profiling import SimulatedProfiler
+
+        graph = make_tiny_gpt()
+        seq = SimulatedProfiler(small_cluster, seed=0)
+        seq.profile(graph)
+        par = SimulatedProfiler(small_cluster, seed=0, parallel_workers=4)
+        par.profile(graph)
+        assert seq.profile_seconds == pytest.approx(par.profile_seconds)
+        assert par.profile_wall_seconds == pytest.approx(
+            seq.profile_wall_seconds / 4
+        )
+
+    def test_validation(self, small_cluster):
+        from repro.profiling import SimulatedProfiler
+
+        with pytest.raises(ValueError):
+            SimulatedProfiler(small_cluster, parallel_workers=0)

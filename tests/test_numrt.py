@@ -1,0 +1,183 @@
+"""Tests for the numeric runtime: the semantic-preservation claims."""
+
+import numpy as np
+import pytest
+
+from repro.numrt import (
+    MLP,
+    checkpoint_segments,
+    dp_fn,
+    dp_loss_and_grads,
+    linear_bwd,
+    linear_fwd,
+    make_dataset,
+    max_weight_difference,
+    mse_loss_bwd,
+    mse_loss_fwd,
+    pp_fn,
+    rc_fn,
+    relu_bwd,
+    relu_fwd,
+    runs_equivalent,
+    serial_fn,
+    shard_batch,
+    split_columns,
+    split_rows,
+    split_stages,
+    tp_fn,
+    train,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = MLP([16, 32, 16, 32, 8], seed=1)
+    x, target = make_dataset(24, 16, 8, seed=2)
+    reference = train(model, x, target, serial_fn)
+    return model, x, target, reference
+
+
+class TestTensorOps:
+    def test_linear_matches_manual(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(3, 5))
+        b = rng.normal(size=5)
+        np.testing.assert_allclose(linear_fwd(x, w, b), x @ w + b)
+
+    def test_linear_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fwd(np.ones((2, 3)), np.ones((4, 5)), np.ones(5))
+
+    def test_linear_bwd_gradcheck(self):
+        """Finite differences agree with the analytic gradients."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 2))
+        b = rng.normal(size=2)
+        target = rng.normal(size=(3, 2))
+
+        def loss_of(weight):
+            return mse_loss_fwd(linear_fwd(x, weight, b), target)
+
+        pred = linear_fwd(x, w, b)
+        _, grad_w, _ = linear_bwd(x, w, mse_loss_bwd(pred, target))
+        eps = 1e-6
+        for index in [(0, 0), (2, 1), (3, 0)]:
+            bumped = w.copy()
+            bumped[index] += eps
+            numeric = (loss_of(bumped) - loss_of(w)) / eps
+            assert numeric == pytest.approx(grad_w[index], rel=1e-4)
+
+    def test_relu_roundtrip(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(relu_fwd(x), [0.0, 0.0, 2.0])
+        np.testing.assert_allclose(
+            relu_bwd(x, np.ones(3)), [0.0, 0.0, 1.0]
+        )
+
+    def test_mse_validation(self):
+        with pytest.raises(ValueError):
+            mse_loss_fwd(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestMLP:
+    def test_loss_decreases_with_training(self, setup):
+        _, _, _, reference = setup
+        assert reference.losses[-1] < reference.losses[0]
+
+    def test_clone_independent(self):
+        model = MLP([4, 4], seed=0)
+        copy = model.clone()
+        copy.layers[0].weight[:] = 0
+        assert model.layers[0].weight.any()
+
+    def test_apply_grads_mismatch_raises(self):
+        model = MLP([4, 4], seed=0)
+        with pytest.raises(ValueError):
+            model.apply_grads([], lr=0.1)
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+
+class TestSharding:
+    def test_shard_batch(self):
+        x = np.arange(12).reshape(6, 2).astype(float)
+        t = x.copy()
+        shards = shard_batch(x, t, 3)
+        assert len(shards) == 3
+        assert shards[0][0].shape == (2, 2)
+        with pytest.raises(ValueError):
+            shard_batch(x, t, 5)
+
+    def test_split_columns_roundtrip(self):
+        model = MLP([4, 8], seed=0)
+        shards = split_columns(model.layers[0], 2)
+        rebuilt = np.concatenate([s.weight for s in shards], axis=1)
+        np.testing.assert_allclose(rebuilt, model.layers[0].weight)
+        with pytest.raises(ValueError):
+            split_columns(model.layers[0], 3)
+
+    def test_split_rows_bias_once(self):
+        model = MLP([4, 8], seed=0)
+        shards = split_rows(model.layers[0], 2)
+        np.testing.assert_allclose(shards[0].bias, model.layers[0].bias)
+        assert not shards[1].bias.any()
+
+    def test_split_stages(self):
+        assert split_stages(4, 2) == [(0, 2), (2, 4)]
+        with pytest.raises(ValueError):
+            split_stages(2, 3)
+
+    def test_checkpoint_segments(self):
+        assert checkpoint_segments(5, 2) == [(0, 2), (2, 4), (4, 5)]
+        with pytest.raises(ValueError):
+            checkpoint_segments(5, 0)
+
+
+class TestSemanticPreservation:
+    """The §3.2.1 claim: every mechanism yields serial-identical
+    training (losses and final weights)."""
+
+    def test_data_parallel(self, setup):
+        model, x, target, reference = setup
+        for workers in (2, 4, 8):
+            run = train(model, x, target, dp_fn(workers))
+            assert runs_equivalent(reference, run), f"dp={workers}"
+
+    def test_tensor_parallel(self, setup):
+        model, x, target, reference = setup
+        for ways in (2, 4):
+            run = train(model, x, target, tp_fn(ways))
+            assert runs_equivalent(reference, run), f"tp={ways}"
+
+    def test_pipeline_parallel(self, setup):
+        model, x, target, reference = setup
+        for stages, microbatches in [(2, 2), (2, 4), (4, 8)]:
+            run = train(model, x, target, pp_fn(stages, microbatches))
+            assert runs_equivalent(reference, run), (
+                f"pp={stages} mb={microbatches}"
+            )
+
+    def test_recompute(self, setup):
+        model, x, target, reference = setup
+        for segment in (1, 2, 3):
+            run = train(model, x, target, rc_fn(segment))
+            assert runs_equivalent(reference, run), f"rc seg={segment}"
+
+    def test_dp_loss_matches_serial_loss(self, setup):
+        model, x, target, _ = setup
+        serial_loss, _ = model.loss_and_grads(x, target)
+        dp_loss, _ = dp_loss_and_grads(model, x, target, 4)
+        assert dp_loss == pytest.approx(serial_loss)
+
+    def test_max_weight_difference_zero_for_clone(self):
+        model = MLP([4, 4], seed=0)
+        assert max_weight_difference(model, model.clone()) == 0.0
+
+    def test_runs_equivalent_rejects_mismatch(self, setup):
+        model, x, target, reference = setup
+        shorter = train(model, x, target, serial_fn, steps=3)
+        assert not runs_equivalent(reference, shorter)

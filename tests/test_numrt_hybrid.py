@@ -1,0 +1,88 @@
+"""Tests for hybrid-mechanism training equivalence.
+
+Real Aceso configurations combine mechanisms hierarchically (Figure 2);
+these tests validate the §4 correctness claim for the *combinations*,
+not just the individual mechanisms.
+"""
+
+import pytest
+
+from repro.numrt import (
+    MLP,
+    dp_pp_loss_and_grads,
+    dp_pp_rc_loss_and_grads,
+    dp_rc_loss_and_grads,
+    make_dataset,
+    pp_rc_loss_and_grads,
+    runs_equivalent,
+    serial_fn,
+    train,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = MLP([16, 32, 16, 32, 8], seed=1)
+    x, target = make_dataset(24, 16, 8, seed=2)
+    reference = train(model, x, target, serial_fn)
+    return model, x, target, reference
+
+
+class TestHybridEquivalence:
+    @pytest.mark.parametrize("dp,stages,microbatches", [
+        (2, 2, 2), (2, 2, 3), (4, 2, 2), (2, 4, 6),
+    ])
+    def test_dp_over_pipeline(self, setup, dp, stages, microbatches):
+        model, x, target, reference = setup
+        run = train(
+            model, x, target,
+            lambda m, a, b: dp_pp_loss_and_grads(
+                m, a, b, dp, stages, microbatches
+            ),
+        )
+        assert runs_equivalent(reference, run)
+
+    @pytest.mark.parametrize("dp,segment", [(2, 1), (2, 2), (4, 3)])
+    def test_dp_over_recompute(self, setup, dp, segment):
+        model, x, target, reference = setup
+        run = train(
+            model, x, target,
+            lambda m, a, b: dp_rc_loss_and_grads(m, a, b, dp, segment),
+        )
+        assert runs_equivalent(reference, run)
+
+    @pytest.mark.parametrize("stages,microbatches,segment", [
+        (2, 2, 1), (2, 3, 2), (4, 6, 1),
+    ])
+    def test_pipeline_with_recompute(self, setup, stages, microbatches,
+                                     segment):
+        model, x, target, reference = setup
+        run = train(
+            model, x, target,
+            lambda m, a, b: pp_rc_loss_and_grads(
+                m, a, b, stages, microbatches, segment
+            ),
+        )
+        assert runs_equivalent(reference, run)
+
+    def test_full_hierarchy(self, setup):
+        """dp x pp x recompute — the shape of a real deployed plan."""
+        model, x, target, reference = setup
+        run = train(
+            model, x, target,
+            lambda m, a, b: dp_pp_rc_loss_and_grads(m, a, b, 2, 2, 3, 2),
+        )
+        assert runs_equivalent(reference, run)
+
+    def test_loss_matches_serial(self, setup):
+        model, x, target, _ = setup
+        serial_loss, _ = model.loss_and_grads(x, target)
+        hybrid_loss, _ = dp_pp_rc_loss_and_grads(
+            model, x, target, 2, 2, 2, 1
+        )
+        assert hybrid_loss == pytest.approx(serial_loss)
+
+    def test_bad_microbatching_rejected(self, setup):
+        model, x, target, _ = setup
+        with pytest.raises(ValueError):
+            pp_rc_loss_and_grads(model, x, target, 2, 7, 1)

@@ -1,0 +1,102 @@
+"""Tests for repro.parallel.config."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelConfig, StageConfig
+
+
+def two_stage_config():
+    return ParallelConfig(
+        stages=[
+            StageConfig.uniform(0, 4, 2, tp=2),
+            StageConfig.uniform(4, 10, 2, tp=1),
+        ],
+        microbatch_size=4,
+    )
+
+
+class TestStructure:
+    def test_basics(self):
+        config = two_stage_config()
+        assert config.num_stages == 2
+        assert config.num_ops == 10
+        assert config.total_devices == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(stages=[])
+
+    def test_bad_microbatch_raises(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(
+                stages=[StageConfig.uniform(0, 2, 1)], microbatch_size=0
+            )
+
+    def test_num_microbatches(self):
+        config = two_stage_config()
+        assert config.num_microbatches(64) == 16
+        with pytest.raises(ValueError):
+            config.num_microbatches(63)
+
+    def test_stage_of_op(self):
+        config = two_stage_config()
+        assert config.stage_of_op(0) == 0
+        assert config.stage_of_op(4) == 1
+        assert config.stage_of_op(9) == 1
+        with pytest.raises(IndexError):
+            config.stage_of_op(10)
+
+    def test_stage_first_device(self):
+        config = two_stage_config()
+        assert config.stage_first_device(0) == 0
+        assert config.stage_first_device(1) == 2
+
+
+class TestIdentity:
+    def test_clone_independent(self):
+        config = two_stage_config()
+        copy = config.clone()
+        copy.stages[0].tp[0] = 1
+        assert config.stages[0].tp[0] == 2
+
+    def test_signature_equal_for_equal_configs(self):
+        assert two_stage_config().signature() == two_stage_config().signature()
+
+    def test_signature_differs_on_microbatch(self):
+        a = two_stage_config()
+        b = two_stage_config()
+        b.microbatch_size = 8
+        assert a.signature() != b.signature()
+
+    def test_signature_differs_on_op_setting(self):
+        a = two_stage_config()
+        b = two_stage_config()
+        b.stages[1].recompute[0] = True
+        assert a.signature() != b.signature()
+
+    def test_clone_drops_signature_cache(self):
+        config = two_stage_config()
+        sig = config.signature()
+        copy = config.clone()
+        copy.stages[0].tp_dim[0] = 1
+        assert copy.signature() != sig
+
+
+class TestViews:
+    def test_gather_arrays(self):
+        tp, dp, tp_dim, rc, stage_id = two_stage_config().gather_arrays()
+        assert tp.shape == (10,)
+        assert np.all(tp[:4] == 2)
+        assert np.all(stage_id[:4] == 0)
+        assert np.all(stage_id[4:] == 1)
+        assert not rc.any()
+
+    def test_describe(self):
+        text = two_stage_config().describe()
+        assert "2-stage pipeline" in text
+        assert "microbatch=4" in text
+
+    def test_summary_tuple(self):
+        summary = two_stage_config().summary_tuple()
+        assert summary == ((0, 4, 2), (4, 10, 2), 4)

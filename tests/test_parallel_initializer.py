@@ -1,0 +1,151 @@
+"""Tests for repro.parallel.initializer and .space."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.parallel import (
+    balanced_config,
+    config_space_table,
+    dp_tp_choices,
+    imbalanced_gpu_config,
+    imbalanced_op_config,
+    is_valid,
+    log10_configs_2mech,
+    log10_configs_3mech,
+    log10_configs_4mech,
+    minimum_microbatch_size,
+    split_devices,
+    split_ops_balanced,
+)
+
+from conftest import make_tiny_gpt
+
+
+class TestSplitDevices:
+    def test_even_split(self):
+        assert split_devices(8, 2) == [4, 4]
+        assert split_devices(8, 8) == [1] * 8
+
+    def test_uneven_split_pow2(self):
+        assert split_devices(32, 3) == [8, 8, 16]
+        assert split_devices(8, 3) == [2, 2, 4]
+
+    def test_exhaustive_feasibility(self):
+        """Every (total, parts) pair yields a valid power-of-two split."""
+        for exp in range(6):
+            total = 1 << exp
+            for parts in range(1, total + 1):
+                counts = split_devices(total, parts)
+                assert sum(counts) == total
+                assert len(counts) == parts
+                assert all(c & (c - 1) == 0 for c in counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_devices(6, 2)
+        with pytest.raises(ValueError):
+            split_devices(4, 5)
+        with pytest.raises(ValueError):
+            split_devices(4, 0)
+
+
+class TestSplitOps:
+    def test_balanced_by_flops(self):
+        graph = make_tiny_gpt()
+        bounds = split_ops_balanced(graph, 4)
+        assert bounds[0] == 0 and bounds[-1] == graph.num_ops
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+
+    def test_custom_weights(self):
+        graph = make_tiny_gpt()
+        ones = np.ones(graph.num_ops)
+        bounds = split_ops_balanced(graph, 2, weights=ones)
+        mid = bounds[1]
+        assert abs(mid - graph.num_ops / 2) <= 1
+
+    def test_validation(self):
+        graph = make_tiny_gpt()
+        with pytest.raises(ValueError):
+            split_ops_balanced(graph, 0)
+        with pytest.raises(ValueError):
+            split_ops_balanced(graph, graph.num_ops + 1)
+
+
+class TestInitializers:
+    @pytest.fixture()
+    def graph(self):
+        return make_tiny_gpt()
+
+    @pytest.fixture()
+    def cluster(self):
+        return paper_cluster(4)
+
+    def test_balanced_valid_all_stage_counts(self, graph, cluster):
+        for stages in (1, 2, 3, 4):
+            config = balanced_config(graph, cluster, stages)
+            assert is_valid(config, graph, cluster)
+            assert config.num_stages == stages
+
+    def test_minimum_microbatch(self, graph, cluster):
+        config = balanced_config(graph, cluster, 2)
+        assert config.microbatch_size == minimum_microbatch_size([2, 2])
+
+    def test_balanced_with_tp(self, graph, cluster):
+        config = balanced_config(graph, cluster, 2, tp=2)
+        assert np.all(config.stages[0].tp == 2)
+        assert is_valid(config, graph, cluster)
+
+    def test_imbalanced_op_differs_from_balanced(self, graph, cluster):
+        balanced = balanced_config(graph, cluster, 4)
+        skewed = imbalanced_op_config(graph, cluster, 4)
+        assert is_valid(skewed, graph, cluster)
+        assert skewed.summary_tuple() != balanced.summary_tuple()
+
+    def test_imbalanced_op_front_loads(self, graph, cluster):
+        skewed = imbalanced_op_config(graph, cluster, 2, skew=5.0)
+        balanced = balanced_config(graph, cluster, 2)
+        assert skewed.stages[0].num_ops < balanced.stages[0].num_ops
+
+    def test_imbalanced_gpu(self, graph, cluster):
+        config = imbalanced_gpu_config(graph, cluster, 3)
+        assert is_valid(config, graph, cluster)
+        assert config.stages[0].num_devices == 2
+
+    def test_imbalanced_gpu_single_stage_falls_back(self, graph, cluster):
+        config = imbalanced_gpu_config(graph, cluster, 1)
+        assert config.num_stages == 1
+
+    def test_skew_validation(self, graph, cluster):
+        with pytest.raises(ValueError):
+            imbalanced_op_config(graph, cluster, 2, skew=0)
+
+
+class TestConfigSpace:
+    def test_dp_tp_choices(self):
+        assert dp_tp_choices(16) == 5
+        with pytest.raises(ValueError):
+            dp_tp_choices(12)
+
+    def test_growth_with_mechanisms(self):
+        """Figure 1's key property: more mechanisms, bigger space."""
+        for layers in (8, 32, 128):
+            two = log10_configs_2mech(layers, 16)
+            three = log10_configs_3mech(layers, 16)
+            four = log10_configs_4mech(layers, 16)
+            assert two < three < four
+
+    def test_growth_with_layers(self):
+        values = [log10_configs_4mech(n, 16) for n in (8, 32, 128, 1024)]
+        assert values == sorted(values)
+
+    def test_table_structure(self):
+        table = config_space_table([8, 16], num_gpus=16)
+        assert set(table) == {
+            "layers", "2 mechanisms", "3 mechanisms", "4 mechanisms"
+        }
+        assert len(table["2 mechanisms"]) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log10_configs_2mech(0, 16)

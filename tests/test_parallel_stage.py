@@ -1,0 +1,82 @@
+"""Tests for repro.parallel.stage."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import StageConfig, is_power_of_two
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for v in (1, 2, 4, 1024):
+            assert is_power_of_two(v)
+
+    def test_non_powers(self):
+        for v in (0, 3, 6, -4):
+            assert not is_power_of_two(v)
+
+
+class TestStageConfig:
+    def test_uniform_basics(self):
+        stage = StageConfig.uniform(0, 4, 8, tp=2)
+        assert stage.num_ops == 4
+        assert list(stage.op_indices) == [0, 1, 2, 3]
+        assert np.all(stage.tp == 2)
+        assert np.all(stage.dp == 4)
+        assert not np.any(stage.recompute)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            StageConfig.uniform(4, 4, 2)  # empty span
+        with pytest.raises(ValueError):
+            StageConfig.uniform(0, 4, 3)  # non-pow2 devices
+        with pytest.raises(ValueError):
+            StageConfig.uniform(0, 4, 2, tp=4)  # tp > devices
+        with pytest.raises(ValueError):
+            StageConfig.uniform(0, 4, 4, tp=3)  # non-pow2 tp
+
+    def test_array_shape_validated(self):
+        with pytest.raises(ValueError):
+            StageConfig(
+                start=0, end=2, num_devices=2,
+                tp=np.ones(3, dtype=np.int64),
+                dp=np.ones(2, dtype=np.int64),
+                tp_dim=np.zeros(2, dtype=np.int64),
+                recompute=np.zeros(2, dtype=bool),
+            )
+
+    def test_clone_is_deep(self):
+        stage = StageConfig.uniform(0, 4, 4)
+        copy = stage.clone()
+        copy.tp[0] = 4
+        assert stage.tp[0] == 1
+
+    def test_slice_arrays(self):
+        stage = StageConfig.uniform(2, 8, 4, tp=2)
+        part = stage.slice_arrays(1, 3)
+        assert part.start == 3 and part.end == 5
+        assert np.all(part.tp == 2)
+        with pytest.raises(ValueError):
+            stage.slice_arrays(3, 3)
+
+    def test_set_uniform_parallel(self):
+        stage = StageConfig.uniform(0, 4, 8)
+        stage.set_uniform_parallel(4)
+        assert np.all(stage.tp == 4)
+        assert np.all(stage.dp == 2)
+        with pytest.raises(ValueError):
+            stage.set_uniform_parallel(16)
+
+    def test_with_devices_rescales(self):
+        stage = StageConfig.uniform(0, 4, 8, tp=4)
+        grown = stage.with_devices(16)
+        assert np.all(grown.dp == 4)
+        shrunk = stage.with_devices(2)
+        assert np.all(shrunk.tp == 2)
+        assert np.all(shrunk.dp == 1)
+
+    def test_signature_bytes_changes_with_settings(self):
+        a = StageConfig.uniform(0, 4, 4, tp=1)
+        b = StageConfig.uniform(0, 4, 4, tp=2)
+        assert a.signature_bytes() != b.signature_bytes()
+        assert a.signature_bytes() == a.clone().signature_bytes()

@@ -1,0 +1,116 @@
+"""Tests for repro.parallel.validation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.parallel import (
+    ConfigError,
+    ParallelConfig,
+    StageConfig,
+    balanced_config,
+    is_valid,
+    validate_config,
+)
+
+from conftest import make_tiny_gpt
+
+
+@pytest.fixture()
+def graph():
+    return make_tiny_gpt()
+
+
+@pytest.fixture()
+def cluster():
+    return paper_cluster(4)
+
+
+def good_config(graph):
+    n = graph.num_ops
+    return ParallelConfig(
+        stages=[
+            StageConfig.uniform(0, n // 2, 2, tp=1),
+            StageConfig.uniform(n // 2, n, 2, tp=2),
+        ],
+        microbatch_size=2,
+    )
+
+
+class TestValidateConfig:
+    def test_valid_passes(self, graph, cluster):
+        validate_config(good_config(graph), graph, cluster)
+
+    def test_balanced_init_valid(self, graph, cluster):
+        for stages in (1, 2, 4):
+            validate_config(
+                balanced_config(graph, cluster, stages), graph, cluster
+            )
+
+    def test_gap_in_spans(self, graph, cluster):
+        config = good_config(graph)
+        config.stages[1].start += 1
+        config.stages[1].tp = config.stages[1].tp[1:]
+        config.stages[1].dp = config.stages[1].dp[1:]
+        config.stages[1].tp_dim = config.stages[1].tp_dim[1:]
+        config.stages[1].recompute = config.stages[1].recompute[1:]
+        with pytest.raises(ConfigError, match="starts at op"):
+            validate_config(config, graph, cluster)
+
+    def test_incomplete_coverage(self, graph, cluster):
+        n = graph.num_ops
+        config = ParallelConfig(
+            stages=[StageConfig.uniform(0, n - 1, 4)], microbatch_size=4
+        )
+        with pytest.raises(ConfigError, match="cover"):
+            validate_config(config, graph, cluster)
+
+    def test_wrong_device_total(self, graph, cluster):
+        n = graph.num_ops
+        config = ParallelConfig(
+            stages=[StageConfig.uniform(0, n, 2)], microbatch_size=2
+        )
+        with pytest.raises(ConfigError, match="devices"):
+            validate_config(config, graph, cluster)
+
+    def test_tp_dp_product_mismatch(self, graph, cluster):
+        config = good_config(graph)
+        config.stages[0].tp[0] = 2  # tp*dp becomes 4 != 2
+        with pytest.raises(ConfigError, match="tp \\* dp"):
+            validate_config(config, graph, cluster)
+
+    def test_non_pow2_degree(self, graph, cluster):
+        config = good_config(graph)
+        config.stages[0].tp[:] = 0
+        with pytest.raises(ConfigError):
+            validate_config(config, graph, cluster)
+
+    def test_tp_dim_out_of_range(self, graph, cluster):
+        config = good_config(graph)
+        config.stages[0].tp_dim[:] = 99
+        with pytest.raises(ConfigError, match="partition options"):
+            validate_config(config, graph, cluster)
+
+    def test_negative_tp_dim(self, graph, cluster):
+        config = good_config(graph)
+        config.stages[0].tp_dim[0] = -1
+        with pytest.raises(ConfigError, match="negative"):
+            validate_config(config, graph, cluster)
+
+    def test_microbatch_not_dividing_batch(self, graph, cluster):
+        config = good_config(graph)
+        config.microbatch_size = 3
+        with pytest.raises(ConfigError, match="microbatch"):
+            validate_config(config, graph, cluster)
+
+    def test_microbatch_not_divisible_by_dp(self, graph, cluster):
+        config = good_config(graph)
+        config.microbatch_size = 1  # stage 0 has dp=2
+        with pytest.raises(ConfigError, match="divisible"):
+            validate_config(config, graph, cluster)
+
+    def test_is_valid_wrapper(self, graph, cluster):
+        assert is_valid(good_config(graph), graph, cluster)
+        bad = good_config(graph)
+        bad.microbatch_size = 3
+        assert not is_valid(bad, graph, cluster)

@@ -1,0 +1,191 @@
+"""Tests for repro.profiling: cost functions, database, profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster, v100
+from repro.ir.ops import layernorm_op, matmul_op
+from repro.profiling import (
+    ProfileDatabase,
+    ProfiledGraph,
+    SimulatedProfiler,
+    effective_tp,
+    op_bwd_time,
+    op_fwd_time,
+    op_signature,
+    option_bias,
+    tp_efficiency,
+    tp_level_index,
+    tp_levels,
+)
+
+from conftest import make_tiny_gpt
+
+
+class TestCostFunctions:
+    def test_effective_tp_clamped(self):
+        ln = layernorm_op("ln", 32, 64)
+        assert effective_tp(ln, 8) == 1
+        mm = matmul_op("m", 64, 64, 32)
+        assert effective_tp(mm, 8) == 8
+
+    def test_effective_tp_validates(self):
+        with pytest.raises(ValueError):
+            effective_tp(matmul_op("m", 4, 4, 2), 0)
+
+    def test_tp_efficiency_decreases(self):
+        assert tp_efficiency(1) == 1.0
+        assert tp_efficiency(8) < tp_efficiency(2)
+
+    def test_fwd_time_scales_down_with_tp(self):
+        op = matmul_op("m", 1024, 1024, 512)
+        device = v100()
+        t1 = op_fwd_time(op, device, "fp16", 8, 1)
+        t4 = op_fwd_time(op, device, "fp16", 8, 4)
+        assert t4 < t1
+        # But not perfectly (efficiency penalty + overhead).
+        assert t4 > t1 / 4
+
+    def test_bwd_slower_than_fwd(self):
+        op = matmul_op("m", 1024, 1024, 512)
+        device = v100()
+        assert op_bwd_time(op, device, "fp16", 8, 1) > op_fwd_time(
+            op, device, "fp16", 8, 1
+        )
+
+    def test_negative_samples_raise(self):
+        op = matmul_op("m", 4, 4, 2)
+        with pytest.raises(ValueError):
+            op_fwd_time(op, v100(), "fp16", -1, 1)
+
+    def test_option_bias_deterministic_and_small(self):
+        op = matmul_op("m", 64, 64, 32)
+        b0 = option_bias(op, 0)
+        b1 = option_bias(op, 1)
+        assert b0 == option_bias(op, 0)
+        assert 0.95 < b0 < 1.05
+        assert 0.95 < b1 < 1.05
+
+    def test_signature_stable_and_name_independent(self):
+        a = matmul_op("alpha", 64, 64, 32)
+        b = matmul_op("beta", 64, 64, 32)
+        assert op_signature(a) == op_signature(b)
+        c = matmul_op("gamma", 64, 128, 32)
+        assert op_signature(a) != op_signature(c)
+
+
+class TestLevels:
+    def test_tp_level_index(self):
+        assert tp_level_index(1) == 0
+        assert tp_level_index(8) == 3
+
+    def test_tp_level_index_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            tp_level_index(3)
+        with pytest.raises(ValueError):
+            tp_level_index(0)
+
+    def test_tp_levels(self):
+        assert tp_levels(8) == [1, 2, 4, 8]
+        assert tp_levels(1) == [1]
+        with pytest.raises(ValueError):
+            tp_levels(0)
+
+
+class TestProfiler:
+    def test_dedupes_repeated_ops(self, tiny_graph, tiny_database):
+        # A 4-layer GPT has far fewer unique signatures than ops.
+        assert tiny_database.num_ops < tiny_graph.num_ops
+        assert tiny_database.num_ops >= 8
+
+    def test_collectives_profiled(self, tiny_database):
+        for kind in ("allreduce", "allgather", "p2p_intra", "p2p_inter"):
+            assert kind in tiny_database.collectives
+
+    def test_collective_time_monotone(self, tiny_database):
+        profile = tiny_database.collective("allreduce")
+        assert profile.time(2 << 20, 4) > profile.time(1 << 20, 4)
+        assert profile.time(1 << 20, 1) == 0.0
+
+    def test_profile_reuse_skips_existing(self, tiny_graph, small_cluster):
+        profiler = SimulatedProfiler(small_cluster, seed=0)
+        db = profiler.profile(tiny_graph)
+        before = profiler.profile_seconds
+        profiler.profile(tiny_graph, database=db)
+        assert profiler.profile_seconds == before  # nothing re-measured
+
+    def test_precision_mismatch_raises(self, tiny_graph, small_cluster):
+        db = ProfileDatabase(max_tp=4, precision="fp32")
+        with pytest.raises(ValueError):
+            SimulatedProfiler(small_cluster).profile(tiny_graph, database=db)
+
+    def test_deterministic_across_runs(self, tiny_graph, small_cluster):
+        db1 = SimulatedProfiler(small_cluster, seed=7).profile(tiny_graph)
+        db2 = SimulatedProfiler(small_cluster, seed=7).profile(tiny_graph)
+        sig = next(iter(db1.ops))
+        np.testing.assert_array_equal(
+            db1.ops[sig].fwd_slope, db2.ops[sig].fwd_slope
+        )
+
+    def test_noise_changes_with_seed(self, tiny_graph, small_cluster):
+        db1 = SimulatedProfiler(small_cluster, seed=1).profile(tiny_graph)
+        db2 = SimulatedProfiler(small_cluster, seed=2).profile(tiny_graph)
+        sig = next(iter(db1.ops))
+        assert not np.array_equal(
+            db1.ops[sig].fwd_slope, db2.ops[sig].fwd_slope
+        )
+
+    def test_fit_close_to_truth(self, tiny_graph, small_cluster):
+        db = SimulatedProfiler(small_cluster, seed=0).profile(tiny_graph)
+        from repro.profiling.cost import op_fwd_time
+
+        op = tiny_graph.ops[tiny_graph.op_index("layer0.mlp_fc1")]
+        record = db.lookup(op_signature(op))
+        true = op_fwd_time(op, small_cluster.device, "fp16", 4, 1)
+        fitted = record.fwd_fixed[0, 0] + 4 * record.fwd_slope[0, 0]
+        assert fitted == pytest.approx(true, rel=0.1)
+
+    def test_validation(self, small_cluster):
+        with pytest.raises(ValueError):
+            SimulatedProfiler(small_cluster, repeats=0)
+        with pytest.raises(ValueError):
+            SimulatedProfiler(small_cluster, noise=-0.1)
+
+
+class TestDatabase:
+    def test_save_load_roundtrip(self, tiny_database, tmp_path):
+        path = tmp_path / "profile.json"
+        tiny_database.save(path)
+        loaded = ProfileDatabase.load(path)
+        assert loaded.max_tp == tiny_database.max_tp
+        assert loaded.precision == tiny_database.precision
+        assert set(loaded.ops) == set(tiny_database.ops)
+        sig = next(iter(tiny_database.ops))
+        np.testing.assert_allclose(
+            loaded.ops[sig].fwd_fixed, tiny_database.ops[sig].fwd_fixed
+        )
+        np.testing.assert_allclose(
+            loaded.collectives["allreduce"].latency,
+            tiny_database.collectives["allreduce"].latency,
+        )
+
+    def test_lookup_missing_raises(self, tiny_database):
+        with pytest.raises(KeyError):
+            tiny_database.lookup("not-a-signature")
+        with pytest.raises(KeyError):
+            tiny_database.collective("alltoall")
+
+    def test_profiled_graph_shapes(self, tiny_graph, tiny_database):
+        pg = ProfiledGraph(tiny_graph, tiny_database)
+        assert pg.fwd_fixed.shape[0] == tiny_graph.num_ops
+        assert pg.num_tp_levels == tp_level_index(tiny_database.max_tp) + 1
+
+    def test_profiled_graph_immutable(self, tiny_graph, tiny_database):
+        pg = ProfiledGraph(tiny_graph, tiny_database)
+        with pytest.raises(ValueError):
+            pg.fwd_fixed[0, 0, 0] = 1.0
+
+    def test_collective_group_too_big_raises(self, tiny_database):
+        profile = tiny_database.collective("allreduce")
+        with pytest.raises(ValueError):
+            profile.time(1 << 20, 64)

@@ -1,0 +1,209 @@
+"""Tests for the ground-truth runtime: schedule, allocator, simulator,
+executor."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import balanced_config
+from repro.runtime import (
+    BACKWARD,
+    FORWARD,
+    CachingAllocator,
+    Executor,
+    full_schedule,
+    max_in_flight,
+    replay_transients,
+    simulate_pipeline,
+    stage_schedule,
+)
+
+
+class TestSchedule:
+    def test_1f1b_order_first_stage(self):
+        tasks = stage_schedule(0, 2, 3)
+        text = [f"{t.direction}{t.microbatch}" for t in tasks]
+        assert text == ["F0", "F1", "B0", "F2", "B1", "B2"]
+
+    def test_last_stage_no_warmup(self):
+        tasks = stage_schedule(1, 2, 3)
+        text = [f"{t.direction}{t.microbatch}" for t in tasks]
+        assert text == ["F0", "B0", "F1", "B1", "F2", "B2"]
+
+    def test_every_microbatch_runs_once_each_direction(self):
+        for stage in range(4):
+            tasks = stage_schedule(stage, 4, 8)
+            fwd = [t.microbatch for t in tasks if t.direction == FORWARD]
+            bwd = [t.microbatch for t in tasks if t.direction == BACKWARD]
+            assert sorted(fwd) == list(range(8))
+            assert sorted(bwd) == list(range(8))
+
+    def test_backward_never_precedes_forward(self):
+        for stage in range(4):
+            done = set()
+            for task in stage_schedule(stage, 4, 8):
+                if task.direction == BACKWARD:
+                    assert task.microbatch in done
+                else:
+                    done.add(task.microbatch)
+
+    def test_max_in_flight_matches_eq1(self):
+        for p in (1, 2, 4, 8):
+            for i in range(p):
+                assert max_in_flight(i, p, 100) == p - i
+
+    def test_max_in_flight_capped(self):
+        assert max_in_flight(0, 8, 2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_schedule(2, 2, 4)
+        with pytest.raises(ValueError):
+            stage_schedule(0, 2, 0)
+
+    def test_full_schedule(self):
+        schedules = full_schedule(3, 5)
+        assert len(schedules) == 3
+        assert all(len(s) == 10 for s in schedules)
+
+
+class TestAllocator:
+    def test_reuse_keeps_reserved_flat(self):
+        allocator = CachingAllocator()
+        h1 = allocator.malloc(10 << 20)
+        allocator.free(h1)
+        h2 = allocator.malloc(10 << 20)
+        assert allocator.reserved_bytes == allocator._rounded(10 << 20)
+        allocator.free(h2)
+
+    def test_growth_without_reuse(self):
+        allocator = CachingAllocator()
+        allocator.malloc(10 << 20)
+        allocator.malloc(10 << 20)
+        assert allocator.reserved_bytes == 2 * allocator._rounded(10 << 20)
+
+    def test_no_reuse_of_oversized_blocks(self):
+        allocator = CachingAllocator(reuse_ratio=2.0)
+        big = allocator.malloc(64 << 20)
+        allocator.free(big)
+        allocator.malloc(1 << 20)  # too small to reuse the 64MB block
+        assert allocator.reserved_bytes > allocator._rounded(64 << 20)
+
+    def test_double_free_raises(self):
+        allocator = CachingAllocator()
+        handle = allocator.malloc(1)
+        allocator.free(handle)
+        with pytest.raises(KeyError):
+            allocator.free(handle)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachingAllocator(block_bytes=0)
+        with pytest.raises(ValueError):
+            CachingAllocator(reuse_ratio=0.5)
+        with pytest.raises(ValueError):
+            CachingAllocator().malloc(-1)
+
+    def test_replay_transients_roughly_peak(self):
+        sizes = [1 << 20, 8 << 20, 2 << 20, 8 << 20]
+        reserved = replay_transients(sizes)
+        # At least the two largest concurrent allocations.
+        assert reserved >= (8 << 20)
+
+
+class TestSimulator:
+    def test_homogeneous_matches_closed_form(self):
+        p, n, f, b = 4, 16, 2.0, 3.0
+        result = simulate_pipeline([f] * p, [b] * p, n)
+        assert result.makespan == pytest.approx(
+            (p - 1) * (f + b) + n * (f + b)
+        )
+
+    def test_single_stage_no_bubble(self):
+        result = simulate_pipeline([1.0], [1.0], 10)
+        assert result.makespan == pytest.approx(20.0)
+        assert result.bubble_fraction == pytest.approx(0.0)
+
+    def test_bubble_grows_with_imbalance(self):
+        even = simulate_pipeline([1.0, 1.0], [1.0, 1.0], 8)
+        skew = simulate_pipeline([1.0, 3.0], [1.0, 3.0], 8)
+        assert skew.bubble_fraction > even.bubble_fraction
+
+    def test_p2p_delays_downstream(self):
+        free = simulate_pipeline([1.0, 1.0], [1.0, 1.0], 4)
+        slow = simulate_pipeline(
+            [1.0, 1.0], [1.0, 1.0], 4, p2p_times=[0.5]
+        )
+        assert slow.makespan > free.makespan
+
+    def test_dp_sync_extends_finish(self):
+        base = simulate_pipeline([1.0, 1.0], [1.0, 1.0], 4)
+        synced = simulate_pipeline(
+            [1.0, 1.0], [1.0, 1.0], 4, dp_sync_times=[2.0, 0.0]
+        )
+        assert synced.makespan >= base.makespan
+
+    def test_matrix_durations(self):
+        fwd = np.ones((2, 4))
+        bwd = np.ones((2, 4)) * 2
+        result = simulate_pipeline(fwd, bwd, 4)
+        assert result.makespan > 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            simulate_pipeline(np.ones((2, 3)), np.ones((2, 4)), 4)
+        with pytest.raises(ValueError):
+            simulate_pipeline([1.0, 1.0], [1.0, 1.0], 4, p2p_times=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            simulate_pipeline([1.0], [1.0], 4, dp_sync_times=[1.0, 2.0])
+
+    def test_stage_busy_reported(self):
+        result = simulate_pipeline([1.0, 2.0], [1.0, 2.0], 4)
+        assert result.stage_busy[1] == pytest.approx(16.0)
+
+
+class TestExecutor:
+    def test_run_structure(self, tiny_graph, small_cluster, tiny_executor,
+                           tiny_config):
+        result = tiny_executor.run(tiny_config)
+        assert result.iteration_time > 0
+        assert len(result.stage_peak_memory) == tiny_config.num_stages
+        assert not result.oom
+        assert 0 <= result.bubble_fraction < 1
+        assert result.throughput(tiny_graph.global_batch_size) > 0
+
+    def test_deterministic_per_config(self, tiny_executor, tiny_config):
+        a = tiny_executor.run(tiny_config)
+        b = tiny_executor.run(tiny_config.clone())
+        assert a.iteration_time == b.iteration_time
+        assert a.stage_peak_memory == b.stage_peak_memory
+
+    def test_noise_varies_across_configs(self, tiny_executor, tiny_config):
+        other = tiny_config.clone()
+        other.microbatch_size *= 2
+        a = tiny_executor.run(tiny_config)
+        b = tiny_executor.run(other)
+        assert a.iteration_time != b.iteration_time
+
+    def test_actual_close_to_predicted(
+        self, tiny_perf_model, tiny_executor, tiny_config
+    ):
+        predicted = tiny_perf_model.estimate(tiny_config)
+        actual = tiny_executor.run(tiny_config)
+        error = abs(
+            predicted.iteration_time - actual.iteration_time
+        ) / actual.iteration_time
+        assert error < 0.25
+
+    def test_oom_throughput_zero(self, tiny_graph):
+        from conftest import make_tight_cluster
+
+        cluster = make_tight_cluster(num_gpus=4, memory_mb=1)
+        executor = Executor(tiny_graph, cluster)
+        config = balanced_config(tiny_graph, cluster, 2)
+        result = executor.run(config)
+        assert result.oom
+        assert result.throughput(tiny_graph.global_batch_size) == 0.0
+
+    def test_noise_validation(self, tiny_graph, small_cluster):
+        with pytest.raises(ValueError):
+            Executor(tiny_graph, small_cluster, noise=-0.1)

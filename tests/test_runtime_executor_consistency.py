@@ -1,0 +1,110 @@
+"""Cross-checks between the executor and the performance model.
+
+Exp#8/9 in miniature, plus failure-injection around the executor's
+noise and overhead modelling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import balanced_config
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+from repro.runtime import Executor, FRAMEWORK_OVERHEAD
+
+from conftest import make_tiny_gpt
+
+
+class TestPredictionConsistency:
+    @pytest.mark.parametrize("stages,tp,mbs", [
+        (1, 1, 4), (2, 1, 2), (4, 1, 1), (1, 4, 4), (2, 2, 4),
+    ])
+    def test_time_error_bounded_across_configs(
+        self, tiny_graph, small_cluster, tiny_perf_model, tiny_executor,
+        stages, tp, mbs,
+    ):
+        config = balanced_config(
+            tiny_graph, small_cluster, stages, tp=tp, microbatch_size=mbs
+        )
+        predicted = tiny_perf_model.estimate(config).iteration_time
+        actual = tiny_executor.run(config).iteration_time
+        assert abs(predicted - actual) / actual < 0.25
+
+    @pytest.mark.parametrize("stages", [1, 2, 4])
+    def test_memory_never_badly_underestimated(
+        self, tiny_graph, small_cluster, tiny_perf_model, tiny_executor,
+        stages,
+    ):
+        """At tiny-model scale the 2MB allocator granularity makes the
+        over/under sign noisy; the safety property that matters is a
+        bounded under-estimate (the realistic-scale bias is asserted by
+        bench_fig16)."""
+        config = balanced_config(tiny_graph, small_cluster, stages)
+        report = tiny_perf_model.estimate(config)
+        run = tiny_executor.run(config)
+        for p, a in zip(report.peak_memories, run.stage_peak_memory):
+            assert p >= 0.9 * a
+
+    def test_model_ranking_survives_execution(
+        self, tiny_graph, small_cluster, tiny_perf_model, tiny_executor
+    ):
+        """If the model says A is clearly faster than B, the executor
+        agrees — the property the whole search relies on."""
+        fast = balanced_config(tiny_graph, small_cluster, 2)
+        slow = balanced_config(tiny_graph, small_cluster, 2,
+                               microbatch_size=2)
+        slow.stages[0].recompute[:] = True
+        slow.stages[1].recompute[:] = True
+        p_fast = tiny_perf_model.estimate(fast).iteration_time
+        p_slow = tiny_perf_model.estimate(slow).iteration_time
+        assert p_slow > p_fast * 1.1  # clearly distinguished
+        a_fast = tiny_executor.run(fast).iteration_time
+        a_slow = tiny_executor.run(slow).iteration_time
+        assert a_slow > a_fast
+
+
+class TestExecutorNoiseModel:
+    def test_zero_noise_still_carries_overhead(self, tiny_graph,
+                                               small_cluster,
+                                               tiny_perf_model):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        quiet = Executor(tiny_graph, small_cluster, noise=0.0)
+        predicted = tiny_perf_model.estimate(config).iteration_time
+        actual = quiet.run(config).iteration_time
+        # Without noise the gap is (almost exactly) the framework
+        # overhead plus the simulator's true-bubble correction.
+        assert actual > predicted
+        assert actual < predicted * (1 + FRAMEWORK_OVERHEAD + 0.1)
+
+    def test_different_seeds_different_measurements(self, tiny_graph,
+                                                    small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        a = Executor(tiny_graph, small_cluster, seed=1).run(config)
+        b = Executor(tiny_graph, small_cluster, seed=2).run(config)
+        assert a.iteration_time != b.iteration_time
+
+    def test_noise_magnitude_bounded(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        times = [
+            Executor(tiny_graph, small_cluster, seed=s).run(config)
+            .iteration_time
+            for s in range(5)
+        ]
+        spread = (max(times) - min(times)) / min(times)
+        assert spread < 0.10
+
+
+class TestBubbleAccounting:
+    def test_deep_pipelines_pay_bubbles(self, small_cluster):
+        """More stages on a fixed device count => larger bubble share
+        when the microbatch count is small."""
+        graph = make_tiny_gpt(batch_size=32)
+        db = SimulatedProfiler(small_cluster, seed=0).profile(graph)
+        executor = Executor(graph, small_cluster, seed=0)
+        shallow = balanced_config(graph, small_cluster, 2,
+                                  microbatch_size=8)
+        deep = balanced_config(graph, small_cluster, 4, microbatch_size=8)
+        assert (
+            executor.run(deep).bubble_fraction
+            > executor.run(shallow).bubble_fraction
+        )

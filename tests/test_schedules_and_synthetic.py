@@ -1,0 +1,116 @@
+"""Tests for GPipe scheduling and the synthetic workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AcesoSearch, SearchBudget
+from repro.ir.models import build_synthetic
+from repro.parallel import balanced_config, validate_config
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+from repro.runtime import (
+    GPIPE,
+    ONE_F_ONE_B,
+    Executor,
+    max_in_flight,
+    simulate_pipeline,
+    stage_schedule,
+)
+
+from conftest import make_tiny_gpt
+
+
+class TestGPipeSchedule:
+    def test_all_forwards_then_backwards(self):
+        tasks = stage_schedule(0, 2, 3, style=GPIPE)
+        text = [f"{t.direction}{t.microbatch}" for t in tasks]
+        assert text == ["F0", "F1", "F2", "B2", "B1", "B0"]
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            stage_schedule(0, 2, 3, style="zigzag")
+
+    def test_gpipe_holds_all_microbatches(self):
+        for stage in range(4):
+            assert max_in_flight(stage, 4, 16, style=GPIPE) == 16
+
+    def test_gpipe_simulation_no_deadlock(self):
+        result = simulate_pipeline(
+            [1.0] * 4, [2.0] * 4, 8, style=GPIPE
+        )
+        assert result.makespan > 0
+
+    def test_gpipe_bubbles_exceed_1f1b(self):
+        """The classic result: 1F1B and GPipe share the warmup bubble,
+        but GPipe pays it per phase."""
+        f1b = simulate_pipeline([1.0] * 4, [2.0] * 4, 8, style=ONE_F_ONE_B)
+        gpipe = simulate_pipeline([1.0] * 4, [2.0] * 4, 8, style=GPIPE)
+        assert gpipe.makespan >= f1b.makespan
+
+    def test_executor_gpipe_memory_higher(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        f1b = Executor(tiny_graph, small_cluster, seed=0).run(config)
+        gpipe = Executor(
+            tiny_graph, small_cluster, seed=0, schedule_style=GPIPE
+        ).run(config)
+        # Holding every microbatch's activations costs memory...
+        assert gpipe.max_memory > f1b.max_memory
+        # ...and the schedule is never faster.
+        assert gpipe.iteration_time >= f1b.iteration_time * 0.99
+
+    def test_executor_style_validated(self, tiny_graph, small_cluster):
+        with pytest.raises(ValueError):
+            Executor(tiny_graph, small_cluster, schedule_style="bogus")
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_per_seed(self):
+        a = build_synthetic(40, seed=5)
+        b = build_synthetic(40, seed=5)
+        assert [op.name for op in a.ops] == [op.name for op in b.ops]
+        assert a.total_params == b.total_params
+
+    def test_seeds_differ(self):
+        a = build_synthetic(40, seed=5)
+        b = build_synthetic(40, seed=6)
+        assert a.total_fwd_flops_per_sample != b.total_fwd_flops_per_sample
+
+    def test_size_control(self):
+        assert build_synthetic(10).num_ops == 10
+        assert build_synthetic(100).num_ops == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_synthetic(1)
+        with pytest.raises(ValueError):
+            build_synthetic(10, hidden_range=(64, 32))
+
+    def test_ends_with_loss(self):
+        graph = build_synthetic(20, seed=1)
+        assert graph.ops[-1].kind == "loss"
+
+
+class TestSearchFuzzing:
+    """The planner must handle arbitrary well-formed graphs."""
+
+    @given(
+        num_ops=st.integers(8, 48),
+        seed=st.integers(0, 50),
+        stages=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_search_valid_on_random_graphs(self, num_ops, seed, stages):
+        from repro.cluster import paper_cluster
+
+        graph = build_synthetic(num_ops, seed=seed)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        perf_model = PerfModel(graph, cluster, database)
+        stages = min(stages, graph.num_ops)
+        init = balanced_config(graph, cluster, stages)
+        search = AcesoSearch(graph, cluster, perf_model)
+        result = search.run(init, SearchBudget(max_iterations=3))
+        validate_config(result.best_config, graph, cluster)
+        assert result.best_objective <= perf_model.objective(init)

@@ -1,0 +1,106 @@
+"""Behavioural tests of search internals under memory pressure."""
+
+import pytest
+
+from repro.core import (
+    AcesoSearch,
+    AcesoSearchOptions,
+    ApplyContext,
+    SearchBudget,
+    candidate_groups,
+    identify_bottleneck,
+)
+from repro.parallel import balanced_config
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+
+from conftest import make_activation_heavy_gpt, make_tight_cluster
+
+
+@pytest.fixture(scope="module")
+def pressured():
+    graph = make_activation_heavy_gpt()
+    cluster = make_tight_cluster(num_gpus=4, memory_mb=64)
+    database = SimulatedProfiler(cluster, seed=0).profile(graph)
+    perf_model = PerfModel(graph, cluster, database)
+    config = balanced_config(graph, cluster, 2, microbatch_size=16)
+    return graph, cluster, perf_model, config
+
+
+class TestOOMPriorities:
+    def test_memory_ranked_first_under_oom(self, pressured):
+        graph, cluster, perf_model, config = pressured
+        report = perf_model.estimate(config)
+        bottleneck = identify_bottleneck(report)
+        assert bottleneck.is_oom
+        assert bottleneck.primary_resource == "memory"
+
+    def test_first_group_is_memory_reliever(self, pressured):
+        graph, cluster, perf_model, config = pressured
+        report = perf_model.estimate(config)
+        ctx = ApplyContext(
+            graph=graph,
+            cluster=cluster,
+            perf_model=perf_model,
+            config=config,
+            report=report,
+            bottleneck=identify_bottleneck(report),
+        )
+        groups = candidate_groups(ctx)
+        assert groups
+        assert groups[0].resource == "memory"
+        from repro.core import get_primitive
+
+        assert get_primitive(groups[0].primitive).decreases("memory")
+
+    def test_some_candidate_reduces_bottleneck_memory(self, pressured):
+        graph, cluster, perf_model, config = pressured
+        report = perf_model.estimate(config)
+        ctx = ApplyContext(
+            graph=graph,
+            cluster=cluster,
+            perf_model=perf_model,
+            config=config,
+            report=report,
+            bottleneck=identify_bottleneck(report),
+        )
+        stage = ctx.bottleneck.stage
+        before = report.peak_memories[stage]
+        groups = candidate_groups(ctx)
+        best_memory = min(
+            perf_model.estimate(c).peak_memories[stage]
+            for g in groups
+            for c in g.candidates
+        )
+        assert best_memory < before
+
+
+class TestSearchRobustness:
+    def test_attach_recompute_off_still_recovers(self, pressured):
+        """Without rc-attach the standalone inc-rc primitive must still
+        rescue an OOM start (just potentially slower)."""
+        graph, cluster, perf_model, config = pressured
+        options = AcesoSearchOptions(attach_recompute=False)
+        search = AcesoSearch(graph, cluster, perf_model, options=options)
+        result = search.run(config, SearchBudget(max_iterations=15))
+        assert result.is_feasible
+
+    def test_beam_width_one_still_works(self, pressured):
+        graph, cluster, perf_model, config = pressured
+        options = AcesoSearchOptions(beam_width=1)
+        search = AcesoSearch(graph, cluster, perf_model, options=options)
+        result = search.run(config, SearchBudget(max_iterations=15))
+        assert result.is_feasible
+
+    def test_converged_flag_on_exhausted_space(self, tiny_graph,
+                                               small_cluster,
+                                               tiny_perf_model):
+        """A very long budget on a small space ends with convergence
+        (unexplored pool drained), not budget exhaustion."""
+        init = balanced_config(tiny_graph, small_cluster, 1)
+        options = AcesoSearchOptions(max_hops=2,
+                                     max_nodes_per_iteration=20)
+        search = AcesoSearch(tiny_graph, small_cluster, tiny_perf_model,
+                             options=options)
+        result = search.run(init, SearchBudget(max_iterations=500))
+        assert result.converged or result.trace.num_iterations == 500

@@ -1,0 +1,102 @@
+"""Tests for plan serialization and trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SearchTrace
+from repro.parallel import (
+    balanced_config,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+    validate_config,
+)
+
+from conftest import make_tiny_gpt
+
+
+class TestConfigSerialization:
+    def test_roundtrip_preserves_signature(self, tiny_graph, small_cluster,
+                                           tmp_path):
+        config = balanced_config(tiny_graph, small_cluster, 3)
+        config.stages[0].recompute[:3] = True
+        # Stage 2 owns 2 devices in the (1, 1, 2) split; give it tp=2.
+        config.stages[2].tp[:] = 2
+        config.stages[2].dp[:] = 1
+        path = tmp_path / "plan.json"
+        save_config(config, path)
+        loaded = load_config(path)
+        assert loaded.signature() == config.signature()
+        validate_config(loaded, tiny_graph, small_cluster)
+
+    def test_roundtrip_dict(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        data = config_to_dict(config)
+        rebuilt = config_from_dict(data)
+        assert rebuilt.summary_tuple() == config.summary_tuple()
+        np.testing.assert_array_equal(
+            rebuilt.stages[0].tp, config.stages[0].tp
+        )
+
+    def test_json_is_plain(self, tiny_graph, small_cluster):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        text = json.dumps(config_to_dict(config))  # must not raise
+        assert "microbatch_size" in text
+
+    def test_unknown_version_rejected(self, tiny_graph, small_cluster):
+        data = config_to_dict(balanced_config(tiny_graph, small_cluster, 2))
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            config_from_dict(data)
+
+    def test_estimates_survive_roundtrip(self, tiny_graph, small_cluster,
+                                         tiny_perf_model, tmp_path):
+        config = balanced_config(tiny_graph, small_cluster, 2)
+        path = tmp_path / "plan.json"
+        save_config(config, path)
+        loaded = load_config(path)
+        assert tiny_perf_model.estimate(loaded).iteration_time == (
+            tiny_perf_model.estimate(config).iteration_time
+        )
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self):
+        trace = SearchTrace()
+        trace.record_iteration(
+            index=1, elapsed=0.5, bottlenecks_tried=1, hops_used=2,
+            improved=True, objective=3.0, best_objective=3.0,
+        )
+        trace.record_iteration(
+            index=2, elapsed=1.0, bottlenecks_tried=2, hops_used=0,
+            improved=False, objective=3.0, best_objective=3.0,
+        )
+        rebuilt = SearchTrace.from_json(
+            json.loads(json.dumps(trace.to_json()))
+        )
+        assert rebuilt.num_iterations == 2
+        assert rebuilt.records[0].hops_used == 2
+        assert rebuilt.convergence == trace.convergence
+        assert rebuilt.hop_histogram() == trace.hop_histogram()
+
+
+class TestCliOutput:
+    def test_search_saves_plan(self, tmp_path, capsys):
+        from repro.cli import search_main
+        from repro.parallel import load_config as load
+
+        path = tmp_path / "plan.json"
+        code = search_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "2", "--output", str(path), "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan_file"] == str(path)
+        plan = load(path)
+        assert plan.total_devices == 2
