@@ -1,0 +1,188 @@
+"""Microbenchmark: estimator throughput and the multiprocess driver.
+
+Quantifies the two perf claims of the incremental-estimation work:
+
+* **estimates/sec** — costing search-style candidates (one dirty stage
+  per candidate) with the per-stage cost cache warm vs the cold path
+  that re-costs every stage (the pre-refactor behaviour), on a 48- and
+  a 1000-layer GPT chain.
+* **search wall-clock** — ``search_all_stage_counts`` serial vs a
+  4-process ``ProcessPoolExecutor`` fan-out, which must return the
+  identical best configuration.
+
+Results are emitted to ``benchmarks/results/BENCH_perfmodel.json`` so
+later PRs can track the estimator's perf trajectory.
+"""
+
+import json
+import os
+import time
+
+from repro.cluster import paper_cluster
+from repro.core import search_all_stage_counts
+from repro.ir.models import build_model
+from repro.parallel import balanced_config
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+
+from common import RESULTS_DIR, emit, print_header, print_table
+
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_perfmodel.json")
+
+#: Candidate estimates per timing run (distinct configs, so every one
+#: misses the whole-config cache like fresh search candidates do).
+NUM_CANDIDATES = 200
+
+
+def _setup(model_name, num_gpus=8, stages=8):
+    graph = build_model(model_name)
+    cluster = paper_cluster(num_gpus)
+    database = SimulatedProfiler(cluster, seed=0).profile(graph)
+    base = balanced_config(graph, cluster, stages)
+    return graph, cluster, database, base
+
+
+def _candidates(base, count):
+    """Distinct search-style candidates: one dirty stage each."""
+    variants = []
+    num_stages = base.num_stages
+    for i in range(count):
+        stage_index = i % num_stages
+        child = base.mutated_copy([stage_index])
+        stage = child.stages[stage_index]
+        stage.recompute[(i // num_stages) % stage.num_ops] = True
+        variants.append(child)
+    return variants
+
+def _rate(model, variants):
+    started = time.perf_counter()
+    for config in variants:
+        model.estimate(config)
+    elapsed = time.perf_counter() - started
+    return len(variants) / elapsed, elapsed
+
+
+def _estimate_rates(model_name):
+    graph, cluster, database, base = _setup(model_name)
+    variants = _candidates(base, NUM_CANDIDATES)
+
+    cold_model = PerfModel(graph, cluster, database, stage_cache_size=0)
+    cold_rate, cold_s = _rate(cold_model, variants)
+
+    warm_model = PerfModel(graph, cluster, database)
+    warm_model.estimate(base)  # prime the stage cache
+    warm_rate, warm_s = _rate(warm_model, variants)
+    info = warm_model.cache_info()
+    return {
+        "model": model_name,
+        "num_ops": graph.num_ops,
+        "candidates": NUM_CANDIDATES,
+        "cold_estimates_per_s": cold_rate,
+        "warm_estimates_per_s": warm_rate,
+        "speedup": warm_rate / cold_rate,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "stage_cache_hits": info["num_stage_hits"],
+        "stage_cache_misses": info["num_stage_costs"],
+    }
+
+
+def test_estimates_per_second():
+    """Warm stage cache must beat full re-costing, >=3x at 1000 layers."""
+    print_header("PerfModel estimates/sec: cold vs warm stage cache")
+    rows, results = [], []
+    for model_name in ("gpt-48l", "gpt-1000l"):
+        out = _estimate_rates(model_name)
+        results.append(out)
+        rows.append([
+            model_name,
+            out["num_ops"],
+            f"{out['cold_estimates_per_s']:.0f}",
+            f"{out['warm_estimates_per_s']:.0f}",
+            f"{out['speedup']:.1f}x",
+        ])
+    print_table(
+        ["model", "ops", "cold est/s", "warm est/s", "speedup"], rows
+    )
+    _merge_json({"estimates": results})
+    deep = next(r for r in results if r["model"] == "gpt-1000l")
+    assert deep["speedup"] >= 3.0, deep
+    for out in results:
+        assert out["warm_estimates_per_s"] > out["cold_estimates_per_s"]
+
+
+def _usable_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_search_serial_vs_workers():
+    """--workers 4 beats serial wall-clock with an identical answer.
+
+    The wall-clock comparison needs real cores: on a single-core
+    machine process fan-out can only add scheduling overhead, so there
+    the bench records both timings (and the core count, so the JSON is
+    interpretable) but only enforces result identity.
+    """
+    print_header("search_all_stage_counts: serial vs --workers 4")
+    graph = build_model("gpt3-350m")
+    cluster = paper_cluster(8)
+    database = SimulatedProfiler(cluster, seed=0).profile(graph)
+    budget = {"max_iterations": 10}
+    outcomes = {}
+    for workers in (1, 4):
+        model = PerfModel(graph, cluster, database)
+        outcomes[workers] = search_all_stage_counts(
+            graph, cluster, model,
+            budget_per_count=budget, workers=workers,
+        )
+    serial, parallel = outcomes[1], outcomes[4]
+    cores = _usable_cores()
+    rows = [
+        ["serial", f"{serial.wall_seconds:.2f}s",
+         f"{serial.best.best_objective:.4f}"],
+        ["workers=4", f"{parallel.wall_seconds:.2f}s",
+         f"{parallel.best.best_objective:.4f}"],
+    ]
+    print_table(["driver", "wall-clock", "best objective"], rows)
+    emit(
+        f"speedup: {serial.wall_seconds / parallel.wall_seconds:.2f}x "
+        f"on {cores} usable core(s)"
+    )
+    _merge_json({
+        "search": {
+            "model": "gpt3-350m",
+            "gpus": 8,
+            "stage_counts": [r.num_stages for r in serial.runs],
+            "iterations_per_count": budget["max_iterations"],
+            "usable_cores": cores,
+            "serial_wall_seconds": serial.wall_seconds,
+            "workers4_wall_seconds": parallel.wall_seconds,
+            "speedup": serial.wall_seconds / parallel.wall_seconds,
+            "best_identical": (
+                serial.best.best_config.signature()
+                == parallel.best.best_config.signature()
+            ),
+        }
+    })
+    assert (
+        serial.best.best_config.signature()
+        == parallel.best.best_config.signature()
+    )
+    assert serial.best.best_objective == parallel.best.best_objective
+    if cores >= 2:
+        assert parallel.wall_seconds < serial.wall_seconds
+
+
+def _merge_json(fragment):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            payload = json.load(handle)
+    payload.update(fragment)
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    emit(f"(written to {BENCH_JSON})")

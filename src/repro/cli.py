@@ -63,6 +63,12 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         metavar="PLAN.json",
         help="save the winning plan as a JSON deployment artifact",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes searching stage counts concurrently (default 1)",
+    )
     args = parser.parse_args(argv)
 
     graph = build_model(args.model)
@@ -74,6 +80,7 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         perf_model,
         stage_counts=args.stage_counts,
         budget_per_count={"max_iterations": args.iterations},
+        workers=args.workers,
     )
     best = multi.best
     executor = Executor(graph, cluster, seed=args.seed)
@@ -87,6 +94,8 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         "throughput_samples_per_s": throughput,
         "tflops_per_gpu": tflops_per_gpu(graph, throughput, args.gpus),
         "search_seconds_parallel": multi.parallel_seconds,
+        "search_seconds_wall": multi.wall_seconds,
+        "search_workers": multi.workers,
         "estimates": multi.num_estimates,
         "config": best.best_config.describe(),
     }

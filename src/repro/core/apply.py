@@ -92,6 +92,11 @@ def move_ops(
     stages: List[StageConfig] = []
     for i, old in enumerate(config.stages):
         lo, hi = bounds[i], bounds[i + 1]
+        if lo == old.start and hi == old.end:
+            # Span untouched by the relay: share the stage object so
+            # its cached digest (and stage-level cost) stays valid.
+            stages.append(old)
+            continue
         seg_tp = tp[lo:hi].copy()
         seg_dp = dp[lo:hi].copy()
         seg_dim = tp_dim[lo:hi].copy()
@@ -203,7 +208,7 @@ def apply_inc_mbs(ctx: ApplyContext) -> List[ParallelConfig]:
     mbs = ctx.config.microbatch_size * 2
     if ctx.graph.global_batch_size % mbs:
         return []
-    new = ctx.config.clone()
+    new = ctx.config.mutated_copy()
     new.microbatch_size = mbs
     new = ctx.retune(new, list(range(new.num_stages)))
     return _finalize(ctx, [new])
@@ -217,7 +222,7 @@ def apply_dec_mbs(ctx: ApplyContext) -> List[ParallelConfig]:
     for stage in ctx.config.stages:
         if np.any(mbs % stage.dp):
             return []
-    new = ctx.config.clone()
+    new = ctx.config.mutated_copy()
     new.microbatch_size = mbs
     new = ctx.retune(new, list(range(new.num_stages)))
     return _finalize(ctx, [new])
@@ -237,7 +242,7 @@ def _swap_within_stage(
         movable = stage.tp >= 2
     if not np.any(movable):
         return None
-    new = ctx.config.clone()
+    new = ctx.config.mutated_copy([stage_index])
     target = new.stages[stage_index]
     if toward == "tp":
         target.tp[movable] *= 2
@@ -288,7 +293,7 @@ def _grow_devices(
     partner = _choose_partner(ctx, wanted_devices=stage.num_devices * 2)
     if partner is None:
         return None
-    new = ctx.config.clone()
+    new = ctx.config.mutated_copy([src, partner])
     grown = new.stages[src]
     grown.num_devices *= 2
     if grow_mechanism == "dp":
@@ -319,7 +324,7 @@ def _shrink_devices(
     partner = _choose_partner(ctx, wanted_devices=stage.num_devices // 2)
     if partner is None:
         return None
-    new = ctx.config.clone()
+    new = ctx.config.mutated_copy([src, partner])
     shrunk = new.stages[src]
     shrunk.num_devices //= 2
     if shrink_mechanism == "dp":
@@ -392,10 +397,10 @@ def apply_inc_rc(ctx: ApplyContext) -> List[ParallelConfig]:
         candidates.append(fitted)
     stage = ctx.config.stages[stage_index]
     if not np.all(stage.recompute):
-        everything = ctx.config.clone()
+        everything = ctx.config.mutated_copy([stage_index])
         everything.stages[stage_index].recompute[:] = True
         candidates.append(everything)
-        half = ctx.config.clone()
+        half = ctx.config.mutated_copy([stage_index])
         target = half.stages[stage_index]
         from .arguments import stage_activation_bytes
 
@@ -417,7 +422,7 @@ def apply_dec_rc(ctx: ApplyContext) -> List[ParallelConfig]:
         candidates.append(relaxed)
     stage = ctx.config.stages[stage_index]
     if np.any(stage.recompute):
-        nothing = ctx.config.clone()
+        nothing = ctx.config.mutated_copy([stage_index])
         nothing.stages[stage_index].recompute[:] = False
         candidates.append(nothing)
     return _finalize(ctx, candidates)

@@ -66,7 +66,7 @@ def greedy_recompute(
     savings = np.cumsum(act[order]) * max(1, stage_report.in_flight)
 
     def with_prefix(k: int) -> ParallelConfig:
-        new = config.clone()
+        new = config.mutated_copy([stage_index])
         new.stages[stage_index].recompute[order[:k]] = True
         return new
 
@@ -108,7 +108,7 @@ def greedy_unrecompute(
     growth = np.cumsum(act[order]) * max(1, stage_report.in_flight)
 
     def with_prefix(k: int) -> ParallelConfig:
-        new = config.clone()
+        new = config.mutated_copy([stage_index])
         new.stages[stage_index].recompute[order[:k]] = False
         return new
 

@@ -78,7 +78,7 @@ def _tune_suffix_parallel(
     best = config
     for split in _split_points(stage.num_ops, max_split_points):
         for toward_tp in (True, False):
-            candidate = config.clone()
+            candidate = config.mutated_copy([stage_index])
             target = candidate.stages[stage_index]
             suffix = slice(split, target.num_ops)
             if toward_tp:
@@ -131,7 +131,7 @@ def _tune_partition_dims(
     for kind in np.unique(kinds[flippable]):
         mask = flippable & (kinds == kind)
         for new_dim in (1, 0):
-            candidate = config.clone()
+            candidate = config.mutated_copy([stage_index])
             target = candidate.stages[stage_index]
             if np.all(target.tp_dim[mask] == new_dim):
                 continue

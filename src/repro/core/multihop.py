@@ -11,13 +11,13 @@ up to ``max_hops`` deep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..cluster.topology import ClusterSpec
 from ..ir.graph import OpGraph
-from ..parallel.config import ParallelConfig
+from ..parallel.config import ParallelConfig, changed_stages
 from ..perfmodel.model import PerfModel
 from .apply import ApplyContext
 from .bottleneck import Bottleneck, rank_bottlenecks
@@ -27,11 +27,19 @@ from .ranking import candidate_groups
 
 @dataclass
 class MultiHopResult:
-    """A successful multi-hop improvement."""
+    """A successful multi-hop improvement.
+
+    ``dirty_stages`` lists the stages of ``config`` that differ from
+    the configuration the search started at (identity-based: primitive
+    application shares untouched stage objects), so downstream passes
+    like fine-tuning can focus on what actually changed.  ``None``
+    means unknown — treat every stage as dirty.
+    """
 
     config: ParallelConfig
     objective: float
     hops_used: int
+    dirty_stages: Optional[Tuple[int, ...]] = None
 
 
 class MultiHopSearcher:
@@ -95,7 +103,7 @@ class MultiHopSearcher:
         init_objective = self.perf_model.objective(config)
         visited.add(config)
         self._nodes_left = self.max_nodes
-        return self._hop(
+        result = self._hop(
             config,
             hop_index=0,
             init_objective=init_objective,
@@ -103,6 +111,9 @@ class MultiHopSearcher:
             unexplored=unexplored,
             forced_bottleneck=bottleneck,
         )
+        if result is not None:
+            result.dirty_stages = changed_stages(result.config, config)
+        return result
 
     # ------------------------------------------------------------------
     def _hop(

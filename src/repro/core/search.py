@@ -14,6 +14,8 @@ search (reported alongside the serial total).
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -53,7 +55,13 @@ class SearchResult:
 
 @dataclass
 class AcesoSearchOptions:
-    """Tunable knobs of the search (paper defaults)."""
+    """Tunable knobs of the search (paper defaults).
+
+    ``finetune_dirty_only`` scopes the op-level fine-tuning pass to the
+    stages the multi-hop result actually changed (plus its current top
+    bottleneck) instead of sweeping every stage — a one-stage edit on a
+    deep pipeline then re-costs a handful of stages, not all of them.
+    """
 
     max_hops: int = 7
     max_bottlenecks: int = 3
@@ -65,6 +73,7 @@ class AcesoSearchOptions:
     beam_width: int = 2
     max_nodes_per_iteration: int = 60
     attach_recompute: bool = True
+    finetune_dirty_only: bool = True
 
 
 class AcesoSearch:
@@ -143,12 +152,21 @@ class AcesoSearch:
             if result is not None:
                 new_config = result.config
                 if opts.enable_finetune:
+                    scope = None
+                    if (
+                        opts.finetune_dirty_only
+                        and result.dirty_stages is not None
+                    ):
+                        new_report = self.perf_model.estimate(new_config)
+                        hot = rank_bottlenecks(new_report)[0].stage
+                        scope = sorted(set(result.dirty_stages) | {hot})
                     new_config = finetune(
                         new_config,
                         self.graph,
                         self.cluster,
                         self.perf_model,
                         max_split_points=opts.finetune_split_points,
+                        stages=scope,
                     )
                 objective = self.perf_model.objective(new_config)
                 config = new_config
@@ -215,9 +233,17 @@ class StageCountResult:
 
 @dataclass
 class MultiStageSearchResult:
-    """Aggregate of the per-stage-count searches."""
+    """Aggregate of the per-stage-count searches.
+
+    ``workers`` records how many processes searched concurrently and
+    ``wall_seconds`` the measured wall-clock of the whole driver —
+    with ``workers > 1`` the §4.3 "parallel cost" is observed rather
+    than simulated.
+    """
 
     runs: List[StageCountResult] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
 
     @property
     def best(self) -> SearchResult:
@@ -264,6 +290,23 @@ def default_stage_counts(graph: OpGraph, cluster: ClusterSpec) -> List[int]:
     return counts
 
 
+def _stage_count_worker(payload: tuple) -> StageCountResult:
+    """Search one stage count in a fresh process.
+
+    Module-level so it pickles; rebuilds a :class:`PerfModel` from the
+    (picklable) graph/cluster/database because live models carry cache
+    state not worth shipping.  Budgets count estimate *deltas*, so a
+    fresh model searches exactly like a shared serial one.
+    """
+    (graph, cluster, database, count, options, budget_kwargs,
+     model_kwargs) = payload
+    perf_model = PerfModel(graph, cluster, database, **model_kwargs)
+    init = balanced_config(graph, cluster, count)
+    search = AcesoSearch(graph, cluster, perf_model, options=options)
+    result = search.run(init, SearchBudget(**budget_kwargs))
+    return StageCountResult(num_stages=count, result=result)
+
+
 def search_all_stage_counts(
     graph: OpGraph,
     cluster: ClusterSpec,
@@ -272,11 +315,15 @@ def search_all_stage_counts(
     stage_counts: Optional[Sequence[int]] = None,
     options: Optional[AcesoSearchOptions] = None,
     budget_per_count: Optional[dict] = None,
+    workers: int = 1,
 ) -> MultiStageSearchResult:
     """Run one independent search per pipeline stage count.
 
     ``budget_per_count`` holds :class:`SearchBudget` keyword arguments
     applied to each stage count's search (default: 60 iterations).
+    With ``workers > 1`` the per-count searches fan out over a
+    ``ProcessPoolExecutor``; results merge in stage-count order, so
+    the outcome is deterministic and identical to the serial path.
     """
     if stage_counts is None:
         counts = default_stage_counts(graph, cluster)
@@ -284,13 +331,36 @@ def search_all_stage_counts(
         counts = list(stage_counts)
     if not counts:
         raise ValueError("no stage counts to search")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     budget_kwargs = budget_per_count or {"max_iterations": 60}
-    outcome = MultiStageSearchResult()
-    for count in counts:
-        init = balanced_config(graph, cluster, count)
-        search = AcesoSearch(graph, cluster, perf_model, options=options)
-        result = search.run(init, SearchBudget(**budget_kwargs))
-        outcome.runs.append(
-            StageCountResult(num_stages=count, result=result)
-        )
+    started = time.perf_counter()
+    outcome = MultiStageSearchResult(workers=min(workers, len(counts)))
+    if workers <= 1 or len(counts) == 1:
+        for count in counts:
+            init = balanced_config(graph, cluster, count)
+            search = AcesoSearch(
+                graph, cluster, perf_model, options=options
+            )
+            result = search.run(init, SearchBudget(**budget_kwargs))
+            outcome.runs.append(
+                StageCountResult(num_stages=count, result=result)
+            )
+    else:
+        model_kwargs = {
+            "cache_size": perf_model._cache_size,
+            "stage_cache_size": perf_model._stage_cache_size,
+            "reserve_safety_factor": perf_model.reserve_safety_factor,
+        }
+        payloads = [
+            (graph, cluster, perf_model.database, count, options,
+             budget_kwargs, model_kwargs)
+            for count in counts
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(counts))
+        ) as pool:
+            # Executor.map preserves input order: deterministic merge.
+            outcome.runs.extend(pool.map(_stage_count_worker, payloads))
+    outcome.wall_seconds = time.perf_counter() - started
     return outcome

@@ -1,6 +1,6 @@
 """Parallel-configuration representation, validation, initialization."""
 
-from .config import ParallelConfig
+from .config import ParallelConfig, changed_stages
 from .initializer import (
     balanced_config,
     imbalanced_gpu_config,
@@ -34,6 +34,7 @@ __all__ = [
     "ParallelConfig",
     "StageConfig",
     "balanced_config",
+    "changed_stages",
     "config_space_table",
     "dp_tp_choices",
     "imbalanced_gpu_config",

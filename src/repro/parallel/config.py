@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
@@ -84,12 +84,33 @@ class ParallelConfig:
             microbatch_size=self.microbatch_size,
         )
 
+    def mutated_copy(
+        self, dirty_stages: Iterable[int] = ()
+    ) -> "ParallelConfig":
+        """Copy that deep-copies only ``dirty_stages``.
+
+        Clean stages are *shared by reference* with this config, which
+        keeps their cached signatures/digests (and therefore the
+        performance model's per-stage cost cache) valid in the copy.
+        Callers must only mutate the stages they declared dirty.
+        """
+        dirty = set(dirty_stages)
+        return ParallelConfig(
+            stages=[
+                stage.clone() if i in dirty else stage
+                for i, stage in enumerate(self.stages)
+            ],
+            microbatch_size=self.microbatch_size,
+        )
+
     def signature(self) -> str:
         """Semantic hash for deduplication (§4.3).
 
         Two configurations that apply the same settings to the same op
         spans hash identically even when reached via different primitive
-        sequences.
+        sequences.  Stages cache their raw ``signature_bytes``, so for
+        configs produced via :meth:`mutated_copy` only the dirty
+        stages re-serialize their arrays.
         """
         if not self._signature:
             digest = hashlib.blake2b(digest_size=16)
@@ -146,3 +167,22 @@ class ParallelConfig:
         return tuple(
             (s.start, s.end, s.num_devices) for s in self.stages
         ) + (self.microbatch_size,)
+
+
+def changed_stages(
+    new: ParallelConfig, old: ParallelConfig
+) -> Tuple[int, ...]:
+    """Stage indices of ``new`` that differ from ``old``.
+
+    Relies on the copy-on-write discipline of
+    :meth:`ParallelConfig.mutated_copy`: a stage object shared by
+    identity between the two configs is by construction unchanged.
+    When the stage counts differ every stage of ``new`` is reported.
+    """
+    if new.num_stages != old.num_stages:
+        return tuple(range(new.num_stages))
+    return tuple(
+        i
+        for i, (a, b) in enumerate(zip(new.stages, old.stages))
+        if a is not b
+    )

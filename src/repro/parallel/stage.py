@@ -10,7 +10,8 @@ application (copy + slice assignment) cheap during search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -42,6 +43,16 @@ class StageConfig:
     dp: np.ndarray
     tp_dim: np.ndarray
     recompute: np.ndarray
+    # Lazily computed identity caches.  A stage is semantically frozen
+    # once it has been costed/hashed; the mutation helpers that are
+    # allowed to edit arrays in place reset these (see
+    # ``_invalidate_signature``), and ``clone()`` never copies them.
+    _sig_bytes: Optional[bytes] = field(
+        default=None, repr=False, compare=False
+    )
+    _sig_digest: Optional[bytes] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def uniform(
@@ -122,6 +133,12 @@ class StageConfig:
             raise ValueError(f"invalid tp={tp} for {self.num_devices} devices")
         self.tp[:] = tp
         self.dp[:] = self.num_devices // tp
+        self._invalidate_signature()
+
+    def _invalidate_signature(self) -> None:
+        """Drop cached identity after an in-place mutation."""
+        self._sig_bytes = None
+        self._sig_digest = None
 
     def with_devices(self, num_devices: int) -> "StageConfig":
         """Copy with a new device count, rescaling per-op dp.
@@ -139,15 +156,25 @@ class StageConfig:
 
     def signature_bytes(self) -> bytes:
         """Raw bytes identifying this stage's semantics (for hashing)."""
-        header = np.array(
-            [self.start, self.end, self.num_devices], dtype=np.int64
-        )
-        return b"".join(
-            (
-                header.tobytes(),
-                self.tp.tobytes(),
-                self.dp.tobytes(),
-                self.tp_dim.tobytes(),
-                self.recompute.tobytes(),
+        if self._sig_bytes is None:
+            header = np.array(
+                [self.start, self.end, self.num_devices], dtype=np.int64
             )
-        )
+            self._sig_bytes = b"".join(
+                (
+                    header.tobytes(),
+                    self.tp.tobytes(),
+                    self.dp.tobytes(),
+                    self.tp_dim.tobytes(),
+                    self.recompute.tobytes(),
+                )
+            )
+        return self._sig_bytes
+
+    def digest(self) -> bytes:
+        """16-byte stable hash of :meth:`signature_bytes` (cached)."""
+        if self._sig_digest is None:
+            self._sig_digest = hashlib.blake2b(
+                self.signature_bytes(), digest_size=16
+            ).digest()
+        return self._sig_digest

@@ -4,22 +4,25 @@ from .memory import (
     activation_kept_mask,
     allocator_reserve,
     in_flight_counts,
+    stage_allocator_reserve,
     stage_peak_memory,
 )
 from .model import PerfModel, build_perf_model
-from .report import RESOURCES, PerfReport, StageReport
+from .report import RESOURCES, PerfReport, StageCost, StageReport
 from .timing import iteration_time_1f1b, stage_totals
 
 __all__ = [
     "PerfModel",
     "PerfReport",
     "RESOURCES",
+    "StageCost",
     "StageReport",
     "activation_kept_mask",
     "allocator_reserve",
     "build_perf_model",
     "in_flight_counts",
     "iteration_time_1f1b",
+    "stage_allocator_reserve",
     "stage_peak_memory",
     "stage_totals",
 ]

@@ -80,6 +80,25 @@ def allocator_reserve(
     return blocks * safety_factor
 
 
+def stage_allocator_reserve(
+    transient_bytes: np.ndarray,
+    *,
+    safety_factor: float = RESERVE_SAFETY_FACTOR,
+) -> float:
+    """Allocator reserve of a single stage (scalar form).
+
+    Same rule as :func:`allocator_reserve` applied to one stage's
+    transient footprints; used by the per-stage costing path.
+    """
+    if len(transient_bytes) == 0:
+        raise ValueError("transient_bytes must be non-empty")
+    if safety_factor <= 0:
+        raise ValueError("safety_factor must be positive")
+    peak = transient_bytes.max()
+    blocks = np.ceil(peak / ALLOCATOR_BLOCK_BYTES) * ALLOCATOR_BLOCK_BYTES
+    return float(blocks * safety_factor)
+
+
 def stage_peak_memory(
     weight_bytes: float,
     optimizer_bytes: float,

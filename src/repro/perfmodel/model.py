@@ -2,38 +2,58 @@
 
 ``PerfModel`` composes the profiled per-op linear time models and
 collective coefficients into per-stage resource predictions and the
-Eq. 2 iteration time, entirely with vectorized numpy gathers — one
-estimate costs microseconds even for 1K-layer models, which is what
-makes iterating over thousands of candidate configurations cheap.
+Eq. 2 iteration time, entirely with vectorized numpy gathers.
 
-Estimates are memoized by configuration signature; the miss counter
-(`num_estimates`) is the "explored configurations" metric of Exp#4.
+Estimation is structured in two layers:
+
+1. :meth:`PerfModel._cost_stage` prices one pipeline stage in
+   isolation — compute, tensor-parallel collectives, in-stage
+   resharding, dp gradient sync, and memory.  Every one of those terms
+   is *stage-count invariant*, so the resulting :class:`StageCost` is
+   memoized in a bounded LRU keyed by ``(stage.digest(),
+   microbatch_size)``.  Reconfiguration primitives touch one or two
+   stages, so after the first estimate of a configuration family a new
+   candidate re-costs only its dirty stages instead of the whole op
+   chain.
+2. A cheap assembly step combines the cached stage costs with the
+   stage-count-dependent parts: pipeline p2p boundary transfers, 1F1B
+   in-flight counts, the allocator view of peak memory, and the Eq. 2
+   warmup/steady/cooldown totals.
+
+Whole-config estimates are additionally memoized by configuration
+signature in a second LRU; the miss counter (``num_estimates``) is the
+"explored configurations" metric of Exp#4.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..cluster.topology import ClusterSpec
 from ..ir.graph import OpGraph
 from ..parallel.config import ParallelConfig
+from ..parallel.stage import StageConfig
 from ..profiling.database import ProfileDatabase, ProfiledGraph
-from .memory import activation_kept_mask, allocator_reserve, in_flight_counts
-from .report import PerfReport, StageReport
+from .memory import (
+    activation_kept_mask,
+    in_flight_counts,
+    stage_allocator_reserve,
+)
+from .report import PerfReport, StageCost, StageReport
 from .timing import stage_totals
 
 
 def _log2_int(values: np.ndarray) -> np.ndarray:
-    """Exact log2 of power-of-two int arrays."""
-    result = np.zeros_like(values)
-    v = values.copy()
-    while np.any(v > 1):
-        mask = v > 1
-        v[mask] >>= 1
-        result[mask] += 1
-    return result
+    """Exact log2 of power-of-two int arrays (via the float exponent).
+
+    ``frexp`` writes a power of two ``2**k`` as ``0.5 * 2**(k+1)``, so
+    the binary exponent minus one is the exact integer log — no loop,
+    no float ``log2`` rounding hazard.
+    """
+    return np.frexp(values.astype(np.float64))[1] - 1
 
 
 class PerfModel:
@@ -43,7 +63,12 @@ class PerfModel:
         graph: the model under planning.
         cluster: the hardware.
         database: a profile database covering the graph's operators.
-        cache_size: memoized estimates kept before the cache resets.
+        cache_size: whole-config estimates kept in the LRU.
+        stage_cache_size: per-stage costs kept in the LRU (0 disables
+            stage-level memoization; every estimate then re-costs all
+            stages, which is the reference path the equivalence tests
+            compare against).
+        reserve_safety_factor: override for the allocator over-reserve.
     """
 
     def __init__(
@@ -53,6 +78,7 @@ class PerfModel:
         database: ProfileDatabase,
         *,
         cache_size: int = 500_000,
+        stage_cache_size: int = 200_000,
         reserve_safety_factor: float = None,
     ) -> None:
         from .memory import RESERVE_SAFETY_FACTOR
@@ -68,9 +94,15 @@ class PerfModel:
             else reserve_safety_factor
         )
         self._elem = graph.elem_bytes
-        self._cache: Dict[str, PerfReport] = {}
+        self._cache: "OrderedDict[str, PerfReport]" = OrderedDict()
         self._cache_size = cache_size
+        self._stage_cache: "OrderedDict[Tuple[bytes, int], StageCost]" = (
+            OrderedDict()
+        )
+        self._stage_cache_size = stage_cache_size
         self.num_estimates = 0  # unique configurations costed
+        self.num_stage_costs = 0  # stage-cache misses
+        self.num_stage_hits = 0  # stage-cache hits
 
         ar = database.collective("allreduce")
         ag = database.collective("allgather")
@@ -80,6 +112,19 @@ class PerfModel:
         self._ag_ibw = ag.inv_bandwidth
         self._p2p_intra = database.collective("p2p_intra")
         self._p2p_inter = database.collective("p2p_inter")
+        # Pipeline p2p always moves data between exactly two ranks, so
+        # only the group-size-2 coefficients are ever used; hoist them
+        # to scalars for the vectorized boundary pricing.  Single-GPU
+        # clusters may not profile level 1 — they also never build a
+        # multi-stage pipeline, so zeros are never read.
+        self._p2p_lat = np.array([
+            kind.latency[1] if len(kind.latency) > 1 else 0.0
+            for kind in (self._p2p_intra, self._p2p_inter)
+        ])
+        self._p2p_ibw = np.array([
+            kind.inv_bandwidth[1] if len(kind.inv_bandwidth) > 1 else 0.0
+            for kind in (self._p2p_intra, self._p2p_inter)
+        ])
 
     # ------------------------------------------------------------------
     # public API
@@ -89,17 +134,44 @@ class PerfModel:
         key = config.signature()
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
             return cached
         report = self._estimate_uncached(config)
         if len(self._cache) >= self._cache_size:
-            self._cache.clear()
+            self._cache.popitem(last=False)
         self._cache[key] = report
         self.num_estimates += 1
         return report
 
+    def estimate_fresh(self, config: ParallelConfig) -> PerfReport:
+        """Re-cost every stage from scratch, bypassing both caches.
+
+        Reference path for the incremental-vs-full equivalence tests:
+        the result must be bit-identical to :meth:`estimate` no matter
+        what the caches contain.
+        """
+        mbs = config.microbatch_size
+        costs = [
+            self._cost_stage_uncached(stage, mbs)
+            for stage in config.stages
+        ]
+        return self._assemble(config, costs)
+
     def iteration_time(self, config: ParallelConfig) -> float:
         """Shortcut: predicted seconds per training iteration."""
         return self.estimate(config).iteration_time
+
+    def cache_info(self) -> dict:
+        """Sizes and hit/miss counters of both memo layers."""
+        return {
+            "config_cache_len": len(self._cache),
+            "config_cache_size": self._cache_size,
+            "stage_cache_len": len(self._stage_cache),
+            "stage_cache_size": self._stage_cache_size,
+            "num_estimates": self.num_estimates,
+            "num_stage_costs": self.num_stage_costs,
+            "num_stage_hits": self.num_stage_hits,
+        }
 
     #: Objective offset separating every OOM config from feasible ones.
     OOM_PENALTY = 1e9
@@ -122,19 +194,31 @@ class PerfModel:
         return self.OOM_PENALTY * (1.0 + overflow / report.memory_limit)
 
     # ------------------------------------------------------------------
-    # estimation
+    # per-stage costing (stage-count invariant, memoized)
     # ------------------------------------------------------------------
-    def _estimate_uncached(self, config: ParallelConfig) -> PerfReport:
+    def _cost_stage(self, stage: StageConfig, mbs: int) -> StageCost:
+        """Memoized per-stage cost, keyed by stage identity + mbs."""
+        if self._stage_cache_size <= 0:
+            return self._cost_stage_uncached(stage, mbs)
+        key = (stage.digest(), mbs)
+        cached = self._stage_cache.get(key)
+        if cached is not None:
+            self._stage_cache.move_to_end(key)
+            self.num_stage_hits += 1
+            return cached
+        cost = self._cost_stage_uncached(stage, mbs)
+        if len(self._stage_cache) >= self._stage_cache_size:
+            self._stage_cache.popitem(last=False)
+        self._stage_cache[key] = cost
+        self.num_stage_costs += 1
+        return cost
+
+    def _cost_stage_uncached(self, stage: StageConfig, mbs: int) -> StageCost:
         graph, ga, pg = self.graph, self.graph.arrays, self.profiled
         elem = self._elem
-        num_stages = config.num_stages
-        mbs = config.microbatch_size
-        num_mb = config.num_microbatches(graph.global_batch_size)
-
-        tp, dp, tp_dim, rc, stage_id = config.gather_arrays()
-        n = tp.shape[0]
-        idx = np.arange(n)
-        etp = np.minimum(tp, ga.max_tp)
+        idx = np.arange(stage.start, stage.end)
+        tp, dp, tp_dim, rc = stage.tp, stage.dp, stage.tp_dim, stage.recompute
+        etp = np.minimum(tp, ga.max_tp[idx])
         tp_lv = _log2_int(tp)
         etp_lv = _log2_int(etp)
         samples = mbs / dp.astype(np.float64)
@@ -148,7 +232,7 @@ class PerfModel:
         ]
         rc_extra = np.where(rc, fwd, 0.0)
 
-        # --- tensor-parallel collectives per microbatch -----------------
+        # --- tensor-parallel collectives per microbatch ----------------
         comm_mask = etp > 1
         fwd_bytes = ga.fwd_comm_numel[idx, tp_dim] * samples * elem
         bwd_bytes = ga.bwd_comm_numel[idx, tp_dim] * samples * elem
@@ -166,110 +250,140 @@ class PerfModel:
         rc_comm = np.where(rc, tp_fwd_comm, 0.0)
 
         # --- in-stage resharding (flexible tp/dp combinations, §4.2) ---
-        layout_change = (tp[:-1] != tp[1:]) | (dp[:-1] != dp[1:])
-        same_stage = stage_id[:-1] == stage_id[1:]
-        resh_mask = layout_change & same_stage
-        group = tp * dp  # stage device count, per op
-        group_lv = _log2_int(group)
-        resh_bytes = ga.out_numel[:-1] * samples[:-1] * elem
-        resh_time = np.where(
-            resh_mask,
-            self._ag_lat[group_lv[:-1]] + resh_bytes * self._ag_ibw[group_lv[:-1]],
-            0.0,
+        # One-way cost; assembly charges it once forward, once backward.
+        reshard = 0.0
+        if stage.num_ops > 1:
+            change = (tp[:-1] != tp[1:]) | (dp[:-1] != dp[1:])
+            group_lv = _log2_int(tp[:-1] * dp[:-1])
+            resh_bytes = ga.out_numel[idx[:-1]] * samples[:-1] * elem
+            reshard = float(
+                np.where(
+                    change,
+                    self._ag_lat[group_lv] + resh_bytes * self._ag_ibw[group_lv],
+                    0.0,
+                ).sum()
+            )
+
+        # --- data-parallel gradient sync per iteration -----------------
+        # One allreduce per distinct dp degree present in the stage
+        # (ops sharing a degree share a process group).  Bucket grad
+        # bytes by log-level instead of looping over np.unique.
+        grad_bytes = ga.params[idx] * elem / etp
+        dp_lv = _log2_int(dp)
+        counts = np.bincount(dp_lv)
+        sums = np.bincount(dp_lv, weights=grad_bytes)
+        levels = np.nonzero(counts[1:])[0] + 1
+        dp_sync = float(
+            np.sum(self._ar_lat[levels] + sums[levels] * self._ar_ibw[levels])
         )
 
-        # --- aggregate per stage ---------------------------------------
-        def per_stage(values: np.ndarray) -> np.ndarray:
-            return np.bincount(stage_id, weights=values, minlength=num_stages)
+        # --- memory ----------------------------------------------------
+        kept = activation_kept_mask(
+            rc, np.zeros(stage.num_ops, dtype=np.int64)
+        )
+        act_bytes = ga.saved_numel[idx] * samples / etp * elem * kept
+        weight_bytes = ga.params[idx] * elem / etp
+        optimizer_bytes = (
+            ga.params[idx] * float(graph.optimizer_bytes_per_param) / etp
+        )
+        transient = (
+            (ga.saved_numel[idx] + ga.out_numel[idx]) * samples / etp * elem
+        )
+        reserve = stage_allocator_reserve(
+            transient, safety_factor=self.reserve_safety_factor
+        )
+        egress = float(
+            ga.out_numel[stage.end - 1] * mbs / float(dp[-1]) * elem
+        )
 
-        stage_fwd = per_stage(fwd)
-        stage_bwd = per_stage(bwd)
-        stage_rc = per_stage(rc_extra + rc_comm)
-        stage_tp_comm = per_stage(tp_fwd_comm + tp_bwd_comm)
-        stage_resh = np.bincount(
-            stage_id[:-1], weights=resh_time, minlength=num_stages
-        ) * 2.0  # forward reshard + mirrored gradient reshard
+        return StageCost(
+            fwd_time=float(fwd.sum()),
+            bwd_time=float(bwd.sum()),
+            recompute_time=float((rc_extra + rc_comm).sum()),
+            tp_fwd_comm_time=float(tp_fwd_comm.sum()),
+            tp_bwd_comm_time=float(tp_bwd_comm.sum()),
+            reshard_time=reshard,
+            dp_sync_time=dp_sync,
+            weight_bytes=float(weight_bytes.sum()),
+            optimizer_bytes=float(optimizer_bytes.sum()),
+            activation_bytes=float(act_bytes.sum()),
+            reserved_bytes=reserve,
+            egress_bytes=egress,
+        )
 
-        # --- pipeline p2p per microbatch --------------------------------
+    # ------------------------------------------------------------------
+    # assembly (stage-count dependent, cheap)
+    # ------------------------------------------------------------------
+    def _estimate_uncached(self, config: ParallelConfig) -> PerfReport:
+        mbs = config.microbatch_size
+        costs = [self._cost_stage(stage, mbs) for stage in config.stages]
+        return self._assemble(config, costs)
+
+    def _assemble(
+        self, config: ParallelConfig, costs: List[StageCost]
+    ) -> PerfReport:
+        num_stages = config.num_stages
+        num_mb = config.num_microbatches(self.graph.global_batch_size)
+
+        # --- pipeline p2p per microbatch (vectorized boundary loop) ----
         p2p_fwd_in = np.zeros(num_stages)
         p2p_bwd_in = np.zeros(num_stages)
-        for i in range(num_stages - 1):
-            last = config.stages[i].end - 1
-            boundary_bytes = (
-                ga.out_numel[last] * mbs / float(dp[last]) * elem
+        if num_stages > 1:
+            devs = np.array(
+                [s.num_devices for s in config.stages], dtype=np.int64
             )
-            boundary_device = config.stage_first_device(i + 1) - 1
-            kind = self._p2p_kind(boundary_device)
-            transfer = kind.time(boundary_bytes, 2)
-            p2p_fwd_in[i + 1] = transfer
-            p2p_bwd_in[i] = transfer
+            boundary_dev = np.clip(
+                np.cumsum(devs)[:-1] - 1, 0, self.cluster.num_gpus - 2
+            )
+            gpn = self.cluster.gpus_per_node
+            inter = (boundary_dev // gpn) != ((boundary_dev + 1) // gpn)
+            kind = inter.astype(np.int64)  # 0 -> intra, 1 -> inter
+            egress = np.array([c.egress_bytes for c in costs[:-1]])
+            transfer = np.where(
+                egress > 0,
+                self._p2p_lat[kind] + egress * self._p2p_ibw[kind],
+                0.0,
+            )
+            p2p_fwd_in[1:] = transfer
+            p2p_bwd_in[:-1] = transfer
 
-        # --- data-parallel gradient sync per iteration -------------------
-        dp_sync = np.zeros(num_stages)
-        grad_bytes = ga.params * elem / etp
-        for i, stage in enumerate(config.stages):
-            sl = slice(stage.start, stage.end)
-            stage_dp = dp[sl]
-            for degree in np.unique(stage_dp):
-                if degree <= 1:
-                    continue
-                lv = int(degree).bit_length() - 1
-                total = float(grad_bytes[sl][stage_dp == degree].sum())
-                dp_sync[i] += self._ar_lat[lv] + total * self._ar_ibw[lv]
-
-        # --- memory -------------------------------------------------------
-        kept = activation_kept_mask(rc, stage_id)
-        act_bytes = ga.saved_numel * samples / etp * elem * kept
-        weight_bytes = ga.params * elem / etp
-        optimizer_bytes = (
-            ga.params * float(graph.optimizer_bytes_per_param) / etp
-        )
-        transient = (ga.saved_numel + ga.out_numel) * samples / etp * elem
-        stage_starts = np.array(
-            [s.start for s in config.stages], dtype=np.int64
-        )
-        reserve = allocator_reserve(
-            transient, stage_starts,
-            safety_factor=self.reserve_safety_factor,
-        )
-        stage_act = per_stage(act_bytes)
-        stage_weights = per_stage(weight_bytes)
-        stage_opt = per_stage(optimizer_bytes)
         in_flight = in_flight_counts(num_stages, num_mb)
 
-        # --- assemble -----------------------------------------------------
         stage_reports = []
-        for i in range(num_stages):
+        for i, cost in enumerate(costs):
             stage_reports.append(
                 StageReport(
-                    fwd_time_mb=float(stage_fwd[i]),
-                    bwd_time_mb=float(stage_bwd[i]),
-                    recompute_time_mb=float(stage_rc[i]),
-                    tp_comm_time_mb=float(stage_tp_comm[i]),
-                    reshard_time_mb=float(stage_resh[i]),
+                    fwd_time_mb=cost.fwd_time,
+                    bwd_time_mb=cost.bwd_time,
+                    recompute_time_mb=cost.recompute_time,
+                    tp_comm_time_mb=cost.tp_fwd_comm_time
+                    + cost.tp_bwd_comm_time,
+                    reshard_time_mb=cost.reshard_time * 2.0,
                     p2p_time_mb=float(p2p_fwd_in[i] + p2p_bwd_in[i]),
-                    dp_sync_time=float(dp_sync[i]),
-                    weight_bytes=float(stage_weights[i]),
-                    optimizer_bytes=float(stage_opt[i]),
-                    activation_bytes_mb=float(stage_act[i]),
+                    dp_sync_time=cost.dp_sync_time,
+                    weight_bytes=cost.weight_bytes,
+                    optimizer_bytes=cost.optimizer_bytes,
+                    activation_bytes_mb=cost.activation_bytes,
                     in_flight=int(in_flight[i]),
-                    reserved_bytes=float(reserve[i]),
+                    reserved_bytes=cost.reserved_bytes,
                 )
             )
 
         fwd_total = (
-            stage_fwd
-            + per_stage(tp_fwd_comm)
-            + stage_resh / 2.0
+            np.array(
+                [c.fwd_time + c.tp_fwd_comm_time + c.reshard_time
+                 for c in costs]
+            )
             + p2p_fwd_in
         )
         bwd_total = (
-            stage_bwd
-            + stage_rc
-            + per_stage(tp_bwd_comm)
-            + stage_resh / 2.0
+            np.array(
+                [c.bwd_time + c.recompute_time + c.tp_bwd_comm_time
+                 + c.reshard_time for c in costs]
+            )
             + p2p_bwd_in
         )
+        dp_sync = np.array([c.dp_sync_time for c in costs])
         totals = stage_totals(fwd_total, bwd_total, num_mb, dp_sync)
         return PerfReport(
             stages=tuple(stage_reports),

@@ -17,6 +17,40 @@ RESOURCES = ("compute", "communication", "memory")
 
 
 @dataclass(frozen=True)
+class StageCost:
+    """Stage-count-invariant cost of one pipeline stage.
+
+    Everything here depends only on the stage's own op span, device
+    count, per-op settings, and the microbatch size — never on how many
+    other stages exist or where they sit.  That invariance is what lets
+    :class:`~repro.perfmodel.PerfModel` memoize these by
+    ``(stage.digest(), microbatch_size)`` and reuse them across every
+    configuration that contains an identical stage.  The stage-count-
+    dependent parts (pipeline p2p transfers, 1F1B in-flight counts,
+    Eq. 2 totals) are added during assembly.
+
+    Times are seconds per microbatch except ``dp_sync_time`` (per
+    iteration); ``reshard_time`` is the one-way in-stage resharding
+    cost (charged once forward, once backward).  ``egress_bytes`` is
+    the stage's last-op output size, used to price the p2p transfer to
+    whatever stage follows.
+    """
+
+    fwd_time: float
+    bwd_time: float
+    recompute_time: float
+    tp_fwd_comm_time: float
+    tp_bwd_comm_time: float
+    reshard_time: float
+    dp_sync_time: float
+    weight_bytes: float
+    optimizer_bytes: float
+    activation_bytes: float
+    reserved_bytes: float
+    egress_bytes: float
+
+
+@dataclass(frozen=True)
 class StageReport:
     """Predicted resource consumption of one pipeline stage.
 

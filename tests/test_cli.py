@@ -39,6 +39,19 @@ class TestSearchMain:
         assert code == 0
         assert "2-stage pipeline" in capsys.readouterr().out
 
+    def test_workers_flag(self, capsys):
+        code = search_main(
+            [
+                "--model", "gpt3-350m", "--gpus", "2",
+                "--iterations", "2", "--workers", "2", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["search_workers"] == 2
+        assert payload["search_seconds_wall"] > 0
+        assert payload["throughput_samples_per_s"] > 0
+
     def test_bad_model_raises(self):
         with pytest.raises(KeyError):
             search_main(["--model", "bogus-1b", "--iterations", "1"])

@@ -1,0 +1,245 @@
+"""Incremental stage-level estimation: equivalence + cache semantics.
+
+The performance model memoizes per-stage costs and assembles whole
+configurations from them.  These tests pin the contract that makes the
+optimization safe: the cached/incremental path must be *bit-identical*
+to costing every stage from scratch, across random primitive walks,
+and the search must reach the same outcome with stage caching on, off,
+or fanned out over worker processes.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import (
+    AcesoSearch,
+    AcesoSearchOptions,
+    ApplyContext,
+    SearchBudget,
+    apply_primitive,
+    rank_bottlenecks,
+    search_all_stage_counts,
+)
+from repro.ir.models import build_model
+from repro.ir.models.synthetic import build_synthetic
+from repro.parallel import balanced_config, changed_stages
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+
+PRIMITIVES = [
+    "inc-op#", "dec-op#", "inc-mbs", "dec-mbs",
+    "inc-dp", "dec-dp", "inc-tp", "dec-tp", "inc-rc", "dec-rc",
+]
+
+
+def assert_reports_identical(a, b):
+    """Every PerfReport field equal to the last ulp (no approx)."""
+    assert a.num_microbatches == b.num_microbatches
+    assert a.iteration_time == b.iteration_time
+    assert a.memory_limit == b.memory_limit
+    assert len(a.stages) == len(b.stages)
+    for sa, sb in zip(a.stages, b.stages):
+        for f in dataclasses.fields(sa):
+            va, vb = getattr(sa, f.name), getattr(sb, f.name)
+            assert va == vb, (
+                f"stage field {f.name}: {va!r} != {vb!r}"
+            )
+
+
+def random_walk(model, graph, cluster, config, rng, steps=12):
+    """Apply random primitives, yielding each visited configuration."""
+    for _ in range(steps):
+        report = model.estimate(config)
+        ctx = ApplyContext(
+            graph=graph,
+            cluster=cluster,
+            perf_model=model,
+            config=config,
+            report=report,
+            bottleneck=rank_bottlenecks(report)[0],
+        )
+        name = PRIMITIVES[int(rng.integers(len(PRIMITIVES)))]
+        candidates = apply_primitive(name, ctx)
+        if not candidates:
+            continue
+        config = candidates[int(rng.integers(len(candidates)))]
+        yield config
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fuzz_matches_full_reestimation(self, seed):
+        """Random primitive walks on synthetic graphs: the memoized
+        estimate is bit-identical to costing every stage fresh."""
+        graph = build_synthetic(24, seed=seed)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        model = PerfModel(graph, cluster, database)
+        rng = np.random.default_rng(seed)
+        config = balanced_config(graph, cluster, 4)
+        checked = 0
+        for visited in random_walk(model, graph, cluster, config, rng):
+            warm = model.estimate(visited)
+            fresh = model.estimate_fresh(visited)
+            assert_reports_identical(warm, fresh)
+            checked += 1
+        assert checked > 0
+        # The walk produced genuine stage-cache reuse, not all misses.
+        info = model.cache_info()
+        assert info["num_stage_hits"] > 0
+
+    def test_dirty_stage_hints_match_identity(self):
+        """changed_stages only reports stages whose object changed, and
+        every shared stage is genuinely untouched."""
+        graph = build_synthetic(24, seed=7)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        model = PerfModel(graph, cluster, database)
+        rng = np.random.default_rng(7)
+        parent = balanced_config(graph, cluster, 4)
+        for child in random_walk(model, graph, cluster, parent, rng):
+            dirty = set(changed_stages(child, parent))
+            if child.num_stages == parent.num_stages:
+                for i, (a, b) in enumerate(
+                    zip(child.stages, parent.stages)
+                ):
+                    if i not in dirty:
+                        assert a is b
+                        np.testing.assert_array_equal(a.tp, b.tp)
+                        np.testing.assert_array_equal(
+                            a.recompute, b.recompute
+                        )
+            parent = child
+
+    def test_num_estimates_semantics_preserved(self):
+        """Exp#4's explored-configs metric: one increment per unique
+        configuration, never per stage-cache event."""
+        graph = build_synthetic(16, seed=1)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        model = PerfModel(graph, cluster, database)
+        config = balanced_config(graph, cluster, 2)
+        for _ in range(5):
+            model.estimate(config)
+        assert model.num_estimates == 1
+        # A different stage count shares no config-cache entry but may
+        # share stage work; the metric still counts the configuration.
+        model.estimate(balanced_config(graph, cluster, 4))
+        assert model.num_estimates == 2
+        # estimate_fresh never touches the metric.
+        model.estimate_fresh(config)
+        assert model.num_estimates == 2
+
+
+class TestLRUEviction:
+    def test_evicts_oldest_not_everything(self, tiny_graph, small_cluster,
+                                          tiny_database):
+        model = PerfModel(
+            tiny_graph, small_cluster, tiny_database, cache_size=2
+        )
+        c1 = balanced_config(tiny_graph, small_cluster, 1)
+        c2 = balanced_config(tiny_graph, small_cluster, 2)
+        c3 = balanced_config(tiny_graph, small_cluster, 4)
+        model.estimate(c1)
+        model.estimate(c2)
+        model.estimate(c1)  # refresh c1 -> c2 is now the oldest
+        model.estimate(c3)  # evicts only c2
+        before = model.num_estimates
+        model.estimate(c1)
+        model.estimate(c3)
+        assert model.num_estimates == before  # both still cached
+        model.estimate(c2)
+        assert model.num_estimates == before + 1  # c2 was the evictee
+
+    def test_stage_cache_bounded(self):
+        graph = build_synthetic(16, seed=2)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        model = PerfModel(
+            graph, cluster, database, stage_cache_size=3
+        )
+        for stages in (1, 2, 4):
+            for mbs in (1, 2, 4):
+                model.estimate(
+                    balanced_config(graph, cluster, stages,
+                                    microbatch_size=mbs)
+                )
+        assert model.cache_info()["stage_cache_len"] <= 3
+        # Results stay correct after evictions.
+        config = balanced_config(graph, cluster, 2)
+        assert_reports_identical(
+            model.estimate(config), model.estimate_fresh(config)
+        )
+
+    def test_stage_cache_disabled_still_exact(self):
+        graph = build_synthetic(16, seed=3)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        off = PerfModel(graph, cluster, database, stage_cache_size=0)
+        config = balanced_config(graph, cluster, 4)
+        report = off.estimate(config)
+        assert off.cache_info()["num_stage_hits"] == 0
+        assert_reports_identical(report, off.estimate_fresh(config))
+
+
+class TestSearchOutcomeEquivalence:
+    @pytest.mark.parametrize(
+        "model_name", ["gpt3-350m", "t5-770m", "wresnet-500m"]
+    )
+    def test_stage_cache_does_not_change_search(self, model_name):
+        """Seeded searches find the same best config and objective with
+        stage-level memoization on and off."""
+        graph = build_model(model_name, batch_size=64)
+        cluster = paper_cluster(4)
+        database = SimulatedProfiler(cluster, seed=0).profile(graph)
+        outcomes = []
+        for stage_cache_size in (200_000, 0):
+            model = PerfModel(
+                graph, cluster, database,
+                stage_cache_size=stage_cache_size,
+            )
+            search = AcesoSearch(graph, cluster, model)
+            result = search.run(
+                balanced_config(graph, cluster, 4),
+                SearchBudget(max_iterations=8),
+            )
+            outcomes.append(result)
+        cached, uncached = outcomes
+        assert cached.best_objective == uncached.best_objective
+        assert (
+            cached.best_config.signature()
+            == uncached.best_config.signature()
+        )
+        assert cached.num_estimates == uncached.num_estimates
+
+    def test_workers_match_serial(self, tiny_graph, small_cluster,
+                                  tiny_database):
+        """The process-pool driver returns the identical best config."""
+        options = AcesoSearchOptions(seed=0)
+        runs = {}
+        for workers in (1, 2):
+            model = PerfModel(tiny_graph, small_cluster, tiny_database)
+            runs[workers] = search_all_stage_counts(
+                tiny_graph, small_cluster, model,
+                stage_counts=[1, 2, 4],
+                options=options,
+                budget_per_count={"max_iterations": 4},
+                workers=workers,
+            )
+        serial, parallel = runs[1], runs[2]
+        assert parallel.workers == 2
+        assert serial.workers == 1
+        assert parallel.wall_seconds > 0
+        assert [r.num_stages for r in parallel.runs] == [1, 2, 4]
+        assert (
+            serial.best.best_objective == parallel.best.best_objective
+        )
+        assert (
+            serial.best.best_config.signature()
+            == parallel.best.best_config.signature()
+        )
+        for a, b in zip(serial.runs, parallel.runs):
+            assert a.result.best_objective == b.result.best_objective
