@@ -29,6 +29,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.baselines` — Megatron-LM grid / Alpa-style / DP / random
 - :mod:`repro.runtime` — ground-truth 1F1B executor
 - :mod:`repro.numrt` — numpy training runtime (semantics checks)
+- :mod:`repro.faults` — deterministic fault injection + elastic replan
 - :mod:`repro.analysis` — metrics + cross-system comparison
 """
 
@@ -38,9 +39,11 @@ from .core import (
     AcesoSearch,
     AcesoSearchOptions,
     SearchBudget,
+    SearchFailedError,
     SearchResult,
     search_all_stage_counts,
 )
+from .faults import FaultPlan, elastic_replan, random_fault_plan, shrink_cluster
 from .ir import OpGraph, OpSpec
 from .ir.models import available_models, build_model
 from .parallel import (
@@ -65,6 +68,7 @@ __all__ = [
     "DeviceSpec",
     "ExecutionResult",
     "Executor",
+    "FaultPlan",
     "OpGraph",
     "OpSpec",
     "ParallelConfig",
@@ -72,6 +76,7 @@ __all__ = [
     "PerfReport",
     "ProfileDatabase",
     "SearchBudget",
+    "SearchFailedError",
     "SearchResult",
     "SimulatedProfiler",
     "StageConfig",
@@ -80,8 +85,11 @@ __all__ = [
     "build_model",
     "build_perf_model",
     "compare_systems",
+    "elastic_replan",
     "paper_cluster",
+    "random_fault_plan",
     "search_all_stage_counts",
+    "shrink_cluster",
     "single_node",
     "tflops_per_gpu",
     "validate_config",

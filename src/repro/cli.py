@@ -1,8 +1,9 @@
 """Command-line entry points.
 
 ``repro-search`` runs the Aceso search on one model/cluster setting;
-``repro-compare`` runs all three systems and prints a comparison table.
-Both accept ``--json`` for machine-readable output.
+``repro-compare`` runs all three systems and prints a comparison table;
+``repro-replan`` simulates a device failure and measures warm vs. cold
+time-to-new-plan.  All accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ from typing import List, Optional
 from .analysis.compare import compare_systems
 from .analysis.metrics import tflops_per_gpu
 from .cluster.topology import paper_cluster
-from .core.search import search_all_stage_counts
+from .core.search import SearchFailedError, search_all_stage_counts
 from .ir.models.registry import available_models, build_model
 from .perfmodel.model import build_perf_model
 from .runtime.executor import Executor
@@ -69,20 +70,63 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="processes searching stage counts concurrently (default 1)",
     )
+    parser.add_argument(
+        "--timeout-per-count",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any stage-count worker that exceeds this "
+        "wall-clock limit (multiprocess mode only)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="extra attempts for a crashed/hung stage count (default 1)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist completed stage counts to this JSON file after "
+        "each one finishes",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed stage counts from --checkpoint instead "
+        "of re-searching them",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+
+    from .core.checkpoint import CheckpointError
 
     graph = build_model(args.model)
     cluster = paper_cluster(args.gpus)
     perf_model = build_perf_model(graph, cluster, seed=args.seed)
-    multi = search_all_stage_counts(
-        graph,
-        cluster,
-        perf_model,
-        stage_counts=args.stage_counts,
-        budget_per_count={"max_iterations": args.iterations},
-        workers=args.workers,
-    )
-    best = multi.best
+    try:
+        multi = search_all_stage_counts(
+            graph,
+            cluster,
+            perf_model,
+            stage_counts=args.stage_counts,
+            budget_per_count={"max_iterations": args.iterations},
+            workers=args.workers,
+            timeout_per_count=args.timeout_per_count,
+            max_retries=args.max_retries,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+    except CheckpointError as exc:
+        print(f"repro-search: {exc}", file=sys.stderr)
+        return 1
+    try:
+        best = multi.best
+    except SearchFailedError as exc:
+        print(f"repro-search: {exc}", file=sys.stderr)
+        return 1
     executor = Executor(graph, cluster, seed=args.seed)
     run = executor.run(best.best_config)
     throughput = run.throughput(graph.global_batch_size)
@@ -97,6 +141,14 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         "search_seconds_wall": multi.wall_seconds,
         "search_workers": multi.workers,
         "estimates": multi.num_estimates,
+        "failures": [
+            {
+                "num_stages": f.num_stages,
+                "error": f.error,
+                "attempts": f.attempts,
+            }
+            for f in multi.failures
+        ],
         "config": best.best_config.describe(),
     }
     if args.output:
@@ -120,6 +172,12 @@ def search_main(argv: Optional[List[str]] = None) -> int:
             f"search cost {multi.parallel_seconds:.1f}s "
             f"({multi.num_estimates} configurations estimated)"
         )
+        for failure in multi.failures:
+            print(
+                f"warning: {failure.num_stages}-stage search failed "
+                f"after {failure.attempts} attempt(s): {failure.error}",
+                file=sys.stderr,
+            )
         print(payload["config"])
     return 0
 
@@ -178,6 +236,13 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "plan", help="path to a plan JSON written by repro-search --output"
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FAULTS.json",
+        help="inject deployment faults from a FaultPlan JSON file "
+        "(see repro.faults.FaultPlan.save)",
+    )
     args = parser.parse_args(argv)
 
     from .parallel.serialization import load_config
@@ -187,9 +252,24 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
     cluster = paper_cluster(args.gpus)
     config = load_config(args.plan)
     validate_config(config, graph, cluster)
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(
+                f"repro-estimate: cannot load fault plan "
+                f"{args.fault_plan}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
     perf_model = build_perf_model(graph, cluster, seed=args.seed)
     report = perf_model.estimate(config)
-    run = Executor(graph, cluster, seed=args.seed).run(config)
+    run = Executor(graph, cluster, seed=args.seed).run(
+        config, fault_plan=fault_plan
+    )
     payload = {
         "model": args.model,
         "gpus": args.gpus,
@@ -208,6 +288,18 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
             graph.global_batch_size
         ),
     }
+    if fault_plan is not None:
+        payload.update(
+            {
+                "fault_plan": args.fault_plan,
+                "completed": run.completed,
+                "degraded": run.degraded,
+                "failure_time": run.failure_time,
+                "failed_device": run.failed_device,
+                "tasks_completed": run.tasks_completed,
+                "tasks_total": run.tasks_total,
+            }
+        )
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -231,7 +323,151 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
             f"deployment: {status}, "
             f"{payload['throughput_samples_per_s']:.2f} samples/s"
         )
-    return 0 if not run.oom else 1
+        if fault_plan is not None:
+            if not run.completed:
+                print(
+                    f"FAULT: device {run.failed_device} failed at "
+                    f"t={run.failure_time:.3f}s — "
+                    f"{run.tasks_completed}/{run.tasks_total} tasks done"
+                )
+            elif run.degraded:
+                print(
+                    "FAULT: iteration completed under degraded "
+                    "conditions (stragglers/links/allocator stalls)"
+                )
+    return 0 if not run.oom and run.completed else 1
+
+
+def replan_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-replan``: device loss → time-to-new-plan."""
+    parser = argparse.ArgumentParser(
+        prog="repro-replan",
+        description="Simulate a device failure mid-training, shrink the "
+        "cluster, and compare warm-start vs. cold-restart re-planning",
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--fail-device",
+        type=int,
+        default=0,
+        help="device lost mid-training (default 0)",
+    )
+    parser.add_argument(
+        "--fail-time",
+        type=float,
+        default=1.0,
+        help="failure time in seconds into the iteration (default 1.0)",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="surviving configurations to warm-start from (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    from .faults import (
+        DeviceFailure,
+        FaultPlan,
+        elastic_replan,
+        shrink_cluster,
+    )
+
+    if not 0 <= args.fail_device < args.gpus:
+        parser.error(
+            f"--fail-device {args.fail_device} is outside the "
+            f"{args.gpus}-GPU cluster"
+        )
+    graph = build_model(args.model)
+    cluster = paper_cluster(args.gpus)
+    perf_model = build_perf_model(graph, cluster, seed=args.seed)
+    budget = {"max_iterations": args.iterations}
+    initial = search_all_stage_counts(
+        graph, cluster, perf_model, budget_per_count=budget
+    )
+    best = initial.best
+
+    plan = FaultPlan(
+        seed=args.seed,
+        device_failures=(
+            DeviceFailure(
+                device_id=args.fail_device, time=args.fail_time
+            ),
+        ),
+    )
+    run = Executor(graph, cluster, seed=args.seed).run(
+        best.best_config, fault_plan=plan
+    )
+    survivors = initial.top_configs(args.top_k)
+    shrunk = shrink_cluster(cluster, plan.failed_devices())
+    comparison = elastic_replan(
+        graph,
+        shrunk,
+        survivors,
+        seed=args.seed,
+        budget_per_count=budget,
+    )
+
+    payload = {
+        "model": args.model,
+        "gpus": args.gpus,
+        "surviving_gpus": shrunk.num_gpus,
+        "failed_device": args.fail_device,
+        "failure_time": run.failure_time,
+        "tasks_completed": run.tasks_completed,
+        "tasks_total": run.tasks_total,
+        "strategies": {
+            outcome.strategy: {
+                "best_objective": outcome.best_objective,
+                "feasible": outcome.feasible,
+                "num_estimates": outcome.num_estimates,
+                "estimates_to_feasible": outcome.estimates_to_feasible,
+                "wall_seconds": outcome.wall_seconds,
+            }
+            for outcome in (comparison.warm, comparison.cold)
+        },
+        "estimate_savings": comparison.estimate_savings,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if run.completed:
+        # The measured iteration finished before the failure hit; the
+        # device is still gone for every iteration after it.
+        interruption = (
+            f"device {args.fail_device} lost at t={args.fail_time:.3f}s"
+        )
+    else:
+        interruption = (
+            f"device {args.fail_device} lost at t={run.failure_time:.3f}s "
+            f"({run.tasks_completed}/{run.tasks_total} tasks done)"
+        )
+    print(
+        f"{args.model}: {interruption}; "
+        f"cluster {cluster.num_gpus} -> {shrunk.num_gpus} GPUs"
+    )
+    header = (
+        f"{'strategy':<8} {'objective':>12} {'estimates':>10} "
+        f"{'to-feasible':>12} {'wall':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for outcome in (comparison.warm, comparison.cold):
+        to_feasible = (
+            str(outcome.estimates_to_feasible)
+            if outcome.estimates_to_feasible is not None
+            else "-"
+        )
+        print(
+            f"{outcome.strategy:<8} {outcome.best_objective:>12.6f} "
+            f"{outcome.num_estimates:>10} {to_feasible:>12} "
+            f"{outcome.wall_seconds:>7.2f}s"
+        )
+    print(
+        f"warm start avoided {comparison.estimate_savings:.0%} of the "
+        "cold-restart estimates"
+    )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,10 +33,13 @@ from .primitives import (
     unregister_primitive,
 )
 from .ranking import CandidateGroup, candidate_groups
+from .checkpoint import CheckpointError, SearchCheckpoint
 from .search import (
     AcesoSearch,
     AcesoSearchOptions,
     MultiStageSearchResult,
+    SearchFailedError,
+    SearchFailure,
     SearchResult,
     StageCountResult,
     default_stage_counts,
@@ -50,6 +53,7 @@ __all__ = [
     "ApplyContext",
     "Bottleneck",
     "CandidateGroup",
+    "CheckpointError",
     "Granularity",
     "IterationRecord",
     "MultiHopResult",
@@ -59,6 +63,9 @@ __all__ = [
     "PRIMITIVE_TABLE",
     "PrimitiveSpec",
     "SearchBudget",
+    "SearchCheckpoint",
+    "SearchFailedError",
+    "SearchFailure",
     "SearchResult",
     "SearchTrace",
     "StageCountResult",

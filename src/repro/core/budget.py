@@ -8,12 +8,36 @@ search.
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Optional
 
 
 class SearchBudget:
     """Tracks elapsed wall-clock, iterations, and model estimates."""
+
+    @classmethod
+    def validate_kwargs(cls, kwargs: dict) -> dict:
+        """Fail fast on budget keyword typos (e.g. ``max_iteration``).
+
+        The stage-count driver forwards ``budget_per_count`` into every
+        worker process; validating here surfaces a bad key once, in the
+        parent, instead of N times inside forked subprocesses.
+        Returns ``kwargs`` unchanged on success.
+        """
+        allowed = {
+            name
+            for name in inspect.signature(cls.__init__).parameters
+            if name != "self"
+        }
+        unknown = sorted(set(kwargs) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown SearchBudget argument(s): {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(allowed))}"
+            )
+        cls(**kwargs)  # also applies the value checks up front
+        return kwargs
 
     def __init__(
         self,

@@ -1,0 +1,221 @@
+"""Crash-safe checkpointing of the stage-count search driver.
+
+The paper's pitch — search cheap enough to re-run whenever the cluster
+changes — only holds if an interrupted search doesn't lose its work.
+A :class:`SearchCheckpoint` persists, as JSON, everything needed to
+resume ``search_all_stage_counts`` bit-exactly: per-stage-count best and
+top-k configurations (via :mod:`repro.parallel.serialization`), visited
+signatures, estimate counts, and structured failure records.  The file
+is rewritten atomically after every completed (or finally-failed) stage
+count, so a crash between writes costs at most one stage count of work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..parallel.serialization import config_from_dict, config_to_dict
+
+#: Format marker so future layout changes stay loadable.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable or belongs to another search."""
+
+
+def _result_to_dict(result) -> dict:
+    """Serialize a :class:`repro.core.search.SearchResult`."""
+    return {
+        "best_config": config_to_dict(result.best_config),
+        "best_objective": result.best_objective,
+        "top_configs": [
+            {"objective": objective, "config": config_to_dict(config)}
+            for objective, config in result.top_configs
+        ],
+        "num_estimates": result.num_estimates,
+        "elapsed_seconds": result.elapsed_seconds,
+        "converged": result.converged,
+        "visited_signatures": sorted(result.visited_signatures),
+    }
+
+
+def _result_from_dict(data: dict, perf_model):
+    """Rebuild a ``SearchResult``; the report is re-derived from the
+    (deterministic) performance model, everything else is stored."""
+    from .search import SearchResult
+    from .trace import SearchTrace
+
+    best_config = config_from_dict(data["best_config"])
+    return SearchResult(
+        best_config=best_config,
+        best_objective=float(data["best_objective"]),
+        best_report=perf_model.estimate(best_config),
+        trace=SearchTrace(),
+        top_configs=[
+            (float(entry["objective"]), config_from_dict(entry["config"]))
+            for entry in data["top_configs"]
+        ],
+        num_estimates=int(data["num_estimates"]),
+        elapsed_seconds=float(data["elapsed_seconds"]),
+        converged=bool(data["converged"]),
+        visited_signatures=tuple(data.get("visited_signatures", ())),
+    )
+
+
+@dataclass
+class SearchCheckpoint:
+    """Mutable on-disk state of one ``search_all_stage_counts`` run."""
+
+    stage_counts: List[int]
+    budget_kwargs: dict
+    context: dict = field(default_factory=dict)
+    completed: Dict[int, dict] = field(default_factory=dict)
+    failures: List[dict] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def new(
+        cls,
+        stage_counts,
+        budget_kwargs: dict,
+        context: dict,
+        path: Union[str, Path],
+    ) -> "SearchCheckpoint":
+        return cls(
+            stage_counts=list(stage_counts),
+            budget_kwargs=dict(budget_kwargs),
+            context=dict(context),
+            path=Path(path),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SearchCheckpoint":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read search checkpoint {path}: {exc}"
+            ) from exc
+        version = data.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format version: {version!r} "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        return cls(
+            stage_counts=[int(c) for c in data["stage_counts"]],
+            budget_kwargs=data["budget_kwargs"],
+            context=data.get("context", {}),
+            completed={
+                int(count): payload
+                for count, payload in data.get("completed", {}).items()
+            },
+            failures=list(data.get("failures", [])),
+            path=Path(path),
+        )
+
+    def save(self) -> None:
+        """Atomic write (temp file + rename) so a crash mid-write never
+        corrupts the previous checkpoint."""
+        if self.path is None:
+            raise CheckpointError("checkpoint has no path to save to")
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "stage_counts": self.stage_counts,
+            "budget_kwargs": self.budget_kwargs,
+            "context": self.context,
+            "completed": {
+                str(count): data for count, data in self.completed.items()
+            },
+            "failures": self.failures,
+        }
+        directory = self.path.parent
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=self.path.name, dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # compatibility
+    # ------------------------------------------------------------------
+    def ensure_compatible(
+        self, stage_counts, budget_kwargs: dict, context: dict
+    ) -> None:
+        """Refuse to resume into a different search problem."""
+        if self.budget_kwargs != dict(budget_kwargs):
+            raise CheckpointError(
+                f"checkpoint budget {self.budget_kwargs} does not match "
+                f"requested budget {dict(budget_kwargs)}"
+            )
+        for key, value in context.items():
+            stored = self.context.get(key)
+            if stored != value:
+                raise CheckpointError(
+                    f"checkpoint {key}={stored!r} does not match the "
+                    f"current search ({value!r})"
+                )
+        unknown = sorted(set(self.completed) - set(stage_counts))
+        if unknown:
+            raise CheckpointError(
+                f"checkpoint contains stage counts {unknown} absent from "
+                f"the requested {sorted(stage_counts)}"
+            )
+
+    # ------------------------------------------------------------------
+    # recording / restoring
+    # ------------------------------------------------------------------
+    def record_run(self, run) -> None:
+        """Store one completed ``StageCountResult`` and persist."""
+        self.completed[run.num_stages] = _result_to_dict(run.result)
+        # A later success supersedes any earlier failure record.
+        self.failures = [
+            f for f in self.failures if f.get("num_stages") != run.num_stages
+        ]
+        self.save()
+
+    def record_failure(self, failure) -> None:
+        """Store one final ``SearchFailure`` and persist."""
+        self.failures = [
+            f
+            for f in self.failures
+            if f.get("num_stages") != failure.num_stages
+        ]
+        self.failures.append(
+            {
+                "num_stages": failure.num_stages,
+                "error": failure.error,
+                "attempts": failure.attempts,
+            }
+        )
+        self.save()
+
+    def restore_runs(self, perf_model) -> list:
+        """Rebuild the completed ``StageCountResult`` list, count order."""
+        from .search import StageCountResult
+
+        return [
+            StageCountResult(
+                num_stages=count,
+                result=_result_from_dict(self.completed[count], perf_model),
+            )
+            for count in sorted(self.completed)
+        ]

@@ -34,6 +34,10 @@ class VisitedSet:
             self.hits += 1
         return seen
 
+    def signatures(self) -> frozenset:
+        """Snapshot of every signature seen (for checkpointing)."""
+        return frozenset(self._signatures)
+
     def __len__(self) -> int:
         return len(self._signatures)
 

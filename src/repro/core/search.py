@@ -10,14 +10,23 @@ explore.
 configurations under different pipeline stage numbers": independent
 searches per stage count whose *parallel* cost is the slowest single
 search (reported alongside the serial total).
+
+The multiprocess driver is crash-safe and self-healing: every stage
+count runs in its own subprocess with an optional per-count timeout,
+failed or hung workers are retried with exponential backoff, surviving
+results are always returned (failures become structured
+:class:`SearchFailure` records instead of exceptions), and — with a
+checkpoint path — completed stage counts persist to JSON so an
+interrupted search resumes without repeating work.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +46,14 @@ from .trace import SearchTrace
 
 @dataclass
 class SearchResult:
-    """Outcome of one search run."""
+    """Outcome of one search run.
+
+    ``num_estimates`` counts the estimates *this run* consumed (the
+    delta of the model's counter over the run), so serial searches
+    sharing one :class:`PerfModel` and parallel workers with fresh
+    models report the same quantity.  ``visited_signatures`` snapshots
+    the dedup set for checkpointing.
+    """
 
     best_config: ParallelConfig
     best_objective: float
@@ -47,6 +63,7 @@ class SearchResult:
     num_estimates: int
     elapsed_seconds: float
     converged: bool
+    visited_signatures: Tuple[str, ...] = ()
 
     @property
     def is_feasible(self) -> bool:
@@ -99,7 +116,8 @@ class AcesoSearch:
     ) -> SearchResult:
         """Search from ``init_config`` until ``budget`` is exhausted."""
         opts = self.options
-        budget.start(self.perf_model.num_estimates)
+        estimates_start = self.perf_model.num_estimates
+        budget.start(estimates_start)
         rng = (
             None
             if opts.use_heuristic2
@@ -204,9 +222,10 @@ class AcesoSearch:
             best_report=self.perf_model.estimate(best),
             trace=trace,
             top_configs=top,
-            num_estimates=self.perf_model.num_estimates,
+            num_estimates=self.perf_model.num_estimates - estimates_start,
             elapsed_seconds=budget.elapsed(),
             converged=converged,
+            visited_signatures=tuple(sorted(visited.signatures())),
         )
 
 
@@ -231,6 +250,19 @@ class StageCountResult:
     result: SearchResult
 
 
+class SearchFailedError(RuntimeError):
+    """No stage-count search produced a result."""
+
+
+@dataclass(frozen=True)
+class SearchFailure:
+    """Structured record of one stage count that never succeeded."""
+
+    num_stages: int
+    error: str
+    attempts: int
+
+
 @dataclass
 class MultiStageSearchResult:
     """Aggregate of the per-stage-count searches.
@@ -238,15 +270,30 @@ class MultiStageSearchResult:
     ``workers`` records how many processes searched concurrently and
     ``wall_seconds`` the measured wall-clock of the whole driver —
     with ``workers > 1`` the §4.3 "parallel cost" is observed rather
-    than simulated.
+    than simulated.  ``failures`` lists stage counts whose workers
+    crashed, raised, or timed out past their retry budget; the runs
+    that survived are still reported.
     """
 
     runs: List[StageCountResult] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
+    failures: List[SearchFailure] = field(default_factory=list)
+
+    def _require_runs(self, what: str) -> None:
+        if not self.runs:
+            failed = [f.num_stages for f in self.failures]
+            detail = (
+                f"stage counts {failed} all failed "
+                f"({'; '.join(f.error for f in self.failures)})"
+                if failed
+                else "no stage counts were searched"
+            )
+            raise SearchFailedError(f"cannot report {what}: {detail}")
 
     @property
     def best(self) -> SearchResult:
+        self._require_runs("best")
         return min(
             (run.result for run in self.runs),
             key=lambda r: r.best_objective,
@@ -260,11 +307,18 @@ class MultiStageSearchResult:
     @property
     def parallel_seconds(self) -> float:
         """Wall-clock cost when stage counts search in parallel (§4.3)."""
+        self._require_runs("parallel_seconds")
         return max(run.result.elapsed_seconds for run in self.runs)
 
     @property
     def num_estimates(self) -> int:
-        return max(run.result.num_estimates for run in self.runs)
+        """Total estimates consumed across all per-count runs.
+
+        Each run reports its own delta (see :class:`SearchResult`), so
+        the sum is directly comparable between the serial path (shared
+        model) and the multiprocess path (fresh model per worker).
+        """
+        return sum(run.result.num_estimates for run in self.runs)
 
     def top_configs(self, k: int = 5) -> List[Tuple[float, ParallelConfig]]:
         merged: List[Tuple[float, ParallelConfig]] = []
@@ -307,6 +361,157 @@ def _stage_count_worker(payload: tuple) -> StageCountResult:
     return StageCountResult(num_stages=count, result=result)
 
 
+def _subprocess_entry(worker_fn, payload, conn) -> None:
+    """Run one worker and ship its outcome through a pipe.
+
+    Raised exceptions travel back as ``("error", message)`` so the
+    parent distinguishes a clean failure from a crashed process (which
+    sends nothing and is detected by its exit code).
+    """
+    try:
+        result = worker_fn(payload)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - report, don't mask
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _ActiveWorker:
+    process: multiprocessing.Process
+    conn: object
+    deadline: Optional[float]
+    attempt: int
+
+
+def _run_counts_in_processes(
+    counts: Sequence[int],
+    payload_for,
+    worker_fn,
+    *,
+    max_workers: int,
+    timeout_per_count: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    on_run=None,
+    on_failure=None,
+):
+    """Self-healing process-per-count scheduler.
+
+    Unlike a ``ProcessPoolExecutor`` — where one dead worker breaks the
+    pool and takes every pending future with it — each stage count owns
+    a private process and pipe.  A worker that raises, crashes, or
+    blows its per-count deadline is retried with exponential backoff up
+    to ``max_retries`` extra attempts; the other counts never notice.
+    Returns ``(results, failures)`` keyed by stage count.
+    """
+    ctx = multiprocessing.get_context()
+    queue = deque((count, 0, 0.0) for count in counts)  # (count, attempt, not_before)
+    active: dict = {}
+    results: dict = {}
+    failures: dict = {}
+
+    def register_failure(count: int, attempt: int, error: str) -> None:
+        if attempt < max_retries:
+            delay = retry_backoff * (2 ** attempt)
+            queue.append((count, attempt + 1, time.monotonic() + delay))
+        else:
+            failures[count] = SearchFailure(
+                num_stages=count, error=error, attempts=attempt + 1
+            )
+            if on_failure is not None:
+                on_failure(failures[count])
+
+    while queue or active:
+        now = time.monotonic()
+        # Launch whatever fits, skipping retries still in backoff.
+        for _ in range(len(queue)):
+            if len(active) >= max_workers:
+                break
+            count, attempt, not_before = queue[0]
+            if not_before > now:
+                queue.rotate(-1)
+                continue
+            queue.popleft()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_subprocess_entry,
+                args=(worker_fn, payload_for(count), child_conn),
+                daemon=True,  # a hung worker must not block exit
+            )
+            process.start()
+            child_conn.close()
+            active[count] = _ActiveWorker(
+                process=process,
+                conn=parent_conn,
+                deadline=(
+                    now + timeout_per_count
+                    if timeout_per_count is not None
+                    else None
+                ),
+                attempt=attempt,
+            )
+
+        finished = []
+        for count, worker in active.items():
+            message = None
+            if worker.conn.poll(0):
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+            if message is None and not worker.process.is_alive():
+                # The process exited between our poll and now — drain
+                # the pipe once more before declaring a crash.
+                if worker.conn.poll(0.05):
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+            if message is not None:
+                worker.process.join()
+                finished.append(count)
+                status, value = message
+                if status == "ok":
+                    results[count] = value
+                    if on_run is not None:
+                        on_run(value)
+                else:
+                    register_failure(count, worker.attempt, value)
+            elif not worker.process.is_alive():
+                worker.process.join()
+                finished.append(count)
+                register_failure(
+                    count,
+                    worker.attempt,
+                    "worker process died with exit code "
+                    f"{worker.process.exitcode}",
+                )
+            elif (
+                worker.deadline is not None
+                and time.monotonic() >= worker.deadline
+            ):
+                worker.process.terminate()
+                worker.process.join()
+                finished.append(count)
+                register_failure(
+                    count,
+                    worker.attempt,
+                    f"timed out after {timeout_per_count:.1f}s",
+                )
+        for count in finished:
+            worker = active.pop(count)
+            worker.conn.close()
+        if active and not finished:
+            time.sleep(0.005)
+
+    return results, failures
+
+
 def search_all_stage_counts(
     graph: OpGraph,
     cluster: ClusterSpec,
@@ -316,15 +521,34 @@ def search_all_stage_counts(
     options: Optional[AcesoSearchOptions] = None,
     budget_per_count: Optional[dict] = None,
     workers: int = 1,
+    timeout_per_count: Optional[float] = None,
+    max_retries: int = 1,
+    retry_backoff: float = 0.05,
+    checkpoint_path=None,
+    resume: bool = False,
+    _worker_fn: Optional[Callable] = None,
 ) -> MultiStageSearchResult:
     """Run one independent search per pipeline stage count.
 
     ``budget_per_count`` holds :class:`SearchBudget` keyword arguments
-    applied to each stage count's search (default: 60 iterations).
-    With ``workers > 1`` the per-count searches fan out over a
-    ``ProcessPoolExecutor``; results merge in stage-count order, so
-    the outcome is deterministic and identical to the serial path.
+    applied to each stage count's search (default: 60 iterations); its
+    keys are validated up front so a typo fails before any worker
+    forks.  With ``workers > 1`` every stage count searches in its own
+    subprocess under ``timeout_per_count`` seconds (``None`` = no
+    limit); a worker that raises, crashes, or hangs is retried up to
+    ``max_retries`` more times with exponential backoff, after which it
+    becomes a :class:`SearchFailure` record while the surviving counts
+    still return.  Results merge in stage-count order, so the outcome
+    is deterministic and identical to the serial path.
+
+    ``checkpoint_path`` persists completed stage counts to JSON after
+    each one finishes; with ``resume=True`` an existing checkpoint's
+    completed counts are restored instead of re-searched (failed counts
+    are retried).  Serial runs (``workers == 1``) checkpoint too but
+    cannot enforce timeouts.
     """
+    from .checkpoint import SearchCheckpoint
+
     if stage_counts is None:
         counts = default_stage_counts(graph, cluster)
     else:
@@ -333,34 +557,110 @@ def search_all_stage_counts(
         raise ValueError("no stage counts to search")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    budget_kwargs = budget_per_count or {"max_iterations": 60}
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be non-negative")
+    if timeout_per_count is not None and timeout_per_count <= 0:
+        raise ValueError("timeout_per_count must be positive")
+    budget_kwargs = SearchBudget.validate_kwargs(
+        dict(budget_per_count or {"max_iterations": 60})
+    )
+    worker_fn = _worker_fn or _stage_count_worker
+
+    context = {
+        "num_ops": graph.num_ops,
+        "num_gpus": cluster.num_gpus,
+    }
+    checkpoint = None
+    restored: List[StageCountResult] = []
+    if checkpoint_path is not None:
+        import os
+
+        if resume and os.path.exists(checkpoint_path):
+            checkpoint = SearchCheckpoint.load(checkpoint_path)
+            checkpoint.ensure_compatible(counts, budget_kwargs, context)
+            restored = [
+                run
+                for run in checkpoint.restore_runs(perf_model)
+                if run.num_stages in counts
+            ]
+        else:
+            checkpoint = SearchCheckpoint.new(
+                counts, budget_kwargs, context, checkpoint_path
+            )
+            checkpoint.save()
+    done_counts = {run.num_stages for run in restored}
+    todo = [count for count in counts if count not in done_counts]
+
     started = time.perf_counter()
     outcome = MultiStageSearchResult(workers=min(workers, len(counts)))
-    if workers <= 1 or len(counts) == 1:
-        for count in counts:
-            init = balanced_config(graph, cluster, count)
-            search = AcesoSearch(
-                graph, cluster, perf_model, options=options
-            )
-            result = search.run(init, SearchBudget(**budget_kwargs))
-            outcome.runs.append(
-                StageCountResult(num_stages=count, result=result)
-            )
-    else:
+
+    def on_run(run: StageCountResult) -> None:
+        if checkpoint is not None:
+            checkpoint.record_run(run)
+
+    def on_failure(failure: SearchFailure) -> None:
+        if checkpoint is not None:
+            checkpoint.record_failure(failure)
+
+    results: dict = {run.num_stages: run for run in restored}
+    failures: dict = {}
+    if workers <= 1 or len(todo) <= 1:
+        for count in todo:
+            attempt = 0
+            while True:
+                try:
+                    init = balanced_config(graph, cluster, count)
+                    search = AcesoSearch(
+                        graph, cluster, perf_model, options=options
+                    )
+                    result = search.run(init, SearchBudget(**budget_kwargs))
+                except Exception as exc:  # noqa: BLE001 - degrade, record
+                    if attempt < max_retries:
+                        time.sleep(retry_backoff * (2 ** attempt))
+                        attempt += 1
+                        continue
+                    failures[count] = SearchFailure(
+                        num_stages=count,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt + 1,
+                    )
+                    on_failure(failures[count])
+                    break
+                run = StageCountResult(num_stages=count, result=result)
+                results[count] = run
+                on_run(run)
+                break
+    elif todo:
         model_kwargs = {
             "cache_size": perf_model._cache_size,
             "stage_cache_size": perf_model._stage_cache_size,
             "reserve_safety_factor": perf_model.reserve_safety_factor,
         }
-        payloads = [
-            (graph, cluster, perf_model.database, count, options,
-             budget_kwargs, model_kwargs)
-            for count in counts
-        ]
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(counts))
-        ) as pool:
-            # Executor.map preserves input order: deterministic merge.
-            outcome.runs.extend(pool.map(_stage_count_worker, payloads))
+
+        def payload_for(count: int) -> tuple:
+            return (graph, cluster, perf_model.database, count, options,
+                    budget_kwargs, model_kwargs)
+
+        fresh, failures = _run_counts_in_processes(
+            todo,
+            payload_for,
+            worker_fn,
+            max_workers=min(workers, len(todo)),
+            timeout_per_count=timeout_per_count,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            on_run=on_run,
+            on_failure=on_failure,
+        )
+        results.update(fresh)
+
+    # Deterministic merge in stage-count order, regardless of the order
+    # workers finished (or which half came from a resumed checkpoint).
+    outcome.runs.extend(results[count] for count in counts if count in results)
+    outcome.failures.extend(
+        failures[count] for count in counts if count in failures
+    )
     outcome.wall_seconds = time.perf_counter() - started
     return outcome

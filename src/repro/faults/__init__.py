@@ -1,0 +1,45 @@
+"""Fault layer: deterministic injection, degraded execution, re-planning.
+
+``FaultPlan`` describes deployment faults (device failure, stragglers,
+link degradation, transient allocator OOM); the runtime executor
+consumes it to produce degraded ground-truth measurements; and
+``elastic_replan`` quantifies the paper's "cheap search enables fast
+reconfiguration" argument by warm-starting a new search from the
+surviving top-k plans after device loss.
+"""
+
+from .inject import (
+    adapt_config,
+    degrade_cluster,
+    memory_safe_variant,
+    shrink_cluster,
+)
+from .plan import (
+    FAULT_FORMAT_VERSION,
+    LINK_SCOPES,
+    DeviceFailure,
+    FaultPlan,
+    LinkDegradation,
+    StragglerSlowdown,
+    TransientOOM,
+    random_fault_plan,
+)
+from .replan import ReplanComparison, ReplanOutcome, elastic_replan
+
+__all__ = [
+    "FAULT_FORMAT_VERSION",
+    "LINK_SCOPES",
+    "DeviceFailure",
+    "FaultPlan",
+    "LinkDegradation",
+    "ReplanComparison",
+    "ReplanOutcome",
+    "StragglerSlowdown",
+    "TransientOOM",
+    "adapt_config",
+    "degrade_cluster",
+    "elastic_replan",
+    "memory_safe_variant",
+    "random_fault_plan",
+    "shrink_cluster",
+]

@@ -1,0 +1,150 @@
+"""Interpret a :class:`FaultPlan` against cluster and configuration.
+
+Three translations live here:
+
+* ``degrade_cluster`` — apply link-bandwidth degradations, producing the
+  hardware the executor *actually* runs on;
+* ``shrink_cluster`` — the surviving cluster after device failures
+  (snapped to the largest power-of-two allocation the planner's
+  power-of-two invariants can use);
+* ``adapt_config`` — rescale a searched plan onto a smaller surviving
+  cluster, preserving its stage structure, per-op tensor degrees, and
+  recompute decisions.  This is the warm-start seed of elastic
+  re-planning: the adapted survivors of ``top_configs`` are usually one
+  estimate away from feasibility, where a cold restart re-discovers
+  everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..cluster.topology import ClusterSpec, LinkSpec
+from ..ir.graph import OpGraph
+from ..parallel.config import ParallelConfig
+from ..parallel.validation import ConfigError, validate_config
+from .plan import FaultPlan
+
+
+def _degrade_link(link: LinkSpec, factor: float) -> LinkSpec:
+    if factor >= 1.0:
+        return link
+    return LinkSpec(
+        bandwidth=link.bandwidth * factor, latency=link.latency
+    )
+
+
+def degrade_cluster(cluster: ClusterSpec, plan: FaultPlan) -> ClusterSpec:
+    """Cluster with the plan's link degradations applied."""
+    intra = plan.bandwidth_factor("intra")
+    inter = plan.bandwidth_factor("inter")
+    if intra >= 1.0 and inter >= 1.0:
+        return cluster
+    return replace(
+        cluster,
+        intra_node=_degrade_link(cluster.intra_node, intra),
+        inter_node=_degrade_link(cluster.inter_node, inter),
+    )
+
+
+def _largest_power_of_two_at_most(value: int) -> int:
+    power = 1
+    while power * 2 <= value:
+        power *= 2
+    return power
+
+
+def shrink_cluster(
+    cluster: ClusterSpec, failed_devices: Sequence[int]
+) -> ClusterSpec:
+    """The usable cluster after losing ``failed_devices``.
+
+    The planner's device splits are power-of-two, so the surviving
+    allocation snaps down to the largest power of two not exceeding the
+    healthy device count, keeping the original device and link specs.
+    Multi-node shapes keep full nodes (the paper's testbed rule);
+    anything at or below one node collapses to a single node.
+    """
+    failed = {d for d in failed_devices if 0 <= d < cluster.num_gpus}
+    survivors = cluster.num_gpus - len(failed)
+    if survivors < 1:
+        raise ValueError("no devices survive the fault plan")
+    size = _largest_power_of_two_at_most(survivors)
+    if size <= cluster.gpus_per_node:
+        return replace(cluster, num_nodes=1, gpus_per_node=size)
+    if size % cluster.gpus_per_node:
+        # Power-of-two sizes above one node are multiples of a
+        # power-of-two node width; a non-multiple means the original
+        # width wasn't a power of two — fall back to one full node.
+        return replace(cluster, num_nodes=1)
+    return replace(cluster, num_nodes=size // cluster.gpus_per_node)
+
+
+def memory_safe_variant(config: ParallelConfig) -> ParallelConfig:
+    """Full-recompute copy of ``config``.
+
+    Same stage partition, device counts, and per-op degrees, but every
+    op recomputes — the memory floor of the plan's structure.  Warm
+    re-planning pairs each adapted survivor with its safe variant: a
+    survivor that fit a bigger cluster often overshoots the smaller
+    one's memory, while its safe variant is nearly always feasible and
+    keeps the searched structure as a starting point.
+    """
+    stages = []
+    for stage in config.stages:
+        clone = stage.clone()
+        clone.recompute[:] = True
+        stages.append(clone)
+    return ParallelConfig(
+        stages=stages, microbatch_size=config.microbatch_size
+    )
+
+
+def adapt_config(
+    config: ParallelConfig,
+    graph: OpGraph,
+    cluster: ClusterSpec,
+) -> Optional[ParallelConfig]:
+    """Rescale ``config`` onto ``cluster``; ``None`` when impossible.
+
+    Shrinking by a factor ``r`` divides every stage's device count by
+    ``r`` (clamping per-op tensor degrees that no longer fit; data
+    degrees follow).  Growing multiplies instead.  The result keeps the
+    stage partition, microbatch size, partition dimensions, and
+    recompute flags of the original plan and is fully validated before
+    being returned.
+    """
+    old_total = config.total_devices
+    new_total = cluster.num_gpus
+    if old_total == new_total:
+        adapted = config
+    elif old_total > new_total:
+        if old_total % new_total:
+            return None
+        ratio = old_total // new_total
+        if any(stage.num_devices < ratio for stage in config.stages):
+            return None  # a stage would drop below one device
+        adapted = ParallelConfig(
+            stages=[
+                stage.with_devices(stage.num_devices // ratio)
+                for stage in config.stages
+            ],
+            microbatch_size=config.microbatch_size,
+        )
+    else:
+        if new_total % old_total:
+            return None
+        ratio = new_total // old_total
+        adapted = ParallelConfig(
+            stages=[
+                stage.with_devices(stage.num_devices * ratio)
+                for stage in config.stages
+            ],
+            microbatch_size=config.microbatch_size,
+        )
+    try:
+        validate_config(adapted, graph, cluster)
+    except ConfigError:
+        return None
+    return adapted

@@ -103,6 +103,10 @@ class PerfModel:
         self.num_estimates = 0  # unique configurations costed
         self.num_stage_costs = 0  # stage-cache misses
         self.num_stage_hits = 0  # stage-cache hits
+        # num_estimates value at the first non-OOM report, or None —
+        # the "estimates until a feasible plan" metric of the elastic
+        # re-planning experiment.
+        self.first_feasible_estimate: Optional[int] = None
 
         ar = database.collective("allreduce")
         ag = database.collective("allgather")
@@ -141,6 +145,8 @@ class PerfModel:
             self._cache.popitem(last=False)
         self._cache[key] = report
         self.num_estimates += 1
+        if self.first_feasible_estimate is None and not report.is_oom:
+            self.first_feasible_estimate = self.num_estimates
         return report
 
     def estimate_fresh(self, config: ParallelConfig) -> PerfReport:

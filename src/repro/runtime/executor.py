@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from ..parallel.config import ParallelConfig
 from ..perfmodel.memory import activation_kept_mask
 from .allocator import replay_transients
 from .schedule import max_in_flight
-from .simulator import SimulationResult, simulate_pipeline
+from .simulator import simulate_pipeline
 
 #: Real runs carry scheduling/launch overheads the analytic model
 #: ignores; the paper's model under-predicts slightly for the same
@@ -42,7 +42,14 @@ ACTIVATION_SHARING = 0.88
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """Measurements from one simulated deployment."""
+    """Measurements from one simulated deployment.
+
+    The fault-related fields default to a healthy run: ``completed``
+    flips to False when a :class:`~repro.faults.FaultPlan` device
+    failure halts the iteration (``failure_time`` / ``failed_device``
+    then say when and where), and ``degraded`` marks measurements taken
+    under stragglers, link degradation, or allocator stalls.
+    """
 
     iteration_time: float
     stage_peak_memory: List[float]
@@ -50,14 +57,20 @@ class ExecutionResult:
     bubble_fraction: float
     oom: bool
     memory_limit: float
+    completed: bool = True
+    degraded: bool = False
+    failure_time: Optional[float] = None
+    failed_device: Optional[int] = None
+    tasks_completed: int = 0
+    tasks_total: int = 0
 
     @property
     def max_memory(self) -> float:
         return max(self.stage_peak_memory)
 
     def throughput(self, global_batch_size: int) -> float:
-        """Samples per second (0 when the run OOMs)."""
-        if self.oom or self.iteration_time <= 0:
+        """Samples per second (0 when the run OOMs or never finishes)."""
+        if self.oom or not self.completed or self.iteration_time <= 0:
             return 0.0
         return global_batch_size / self.iteration_time
 
@@ -92,11 +105,32 @@ class Executor:
         self.collectives = CollectiveCostModel(cluster)
 
     # ------------------------------------------------------------------
-    def run(self, config: ParallelConfig) -> ExecutionResult:
-        """Execute one training iteration of ``config``."""
+    def run(
+        self, config: ParallelConfig, fault_plan=None
+    ) -> ExecutionResult:
+        """Execute one training iteration of ``config``.
+
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+        deterministic deployment faults: straggler devices slow their
+        stage, link degradations stretch every transfer priced on the
+        affected link class, transient allocator OOMs stall individual
+        tasks, and a device failure halts the iteration mid-flight.
+        """
         from ..profiling import cost
 
         graph, cluster = self.graph, self.cluster
+        plan = fault_plan
+        if plan is not None and plan.is_empty:
+            plan = None
+        collectives = self.collectives
+        degraded = False
+        if plan is not None:
+            from ..faults.inject import degrade_cluster
+
+            faulty_cluster = degrade_cluster(cluster, plan)
+            if faulty_cluster is not cluster:
+                collectives = CollectiveCostModel(faulty_cluster)
+                degraded = True
         elem = graph.elem_bytes
         device = cluster.device
         num_stages = config.num_stages
@@ -128,11 +162,11 @@ class Executor:
             fwd_bytes = arrays.fwd_comm_numel[i, tp_dim[i]] * samples[i] * elem
             bwd_bytes = arrays.bwd_comm_numel[i, tp_dim[i]] * samples[i] * elem
             if fwd_bytes > 0:
-                tp_fwd_comm[i] = self.collectives.allreduce_time(
+                tp_fwd_comm[i] = collectives.allreduce_time(
                     fwd_bytes, group
                 )
             if bwd_bytes > 0:
-                tp_bwd_comm[i] = self.collectives.allreduce_time(
+                tp_bwd_comm[i] = collectives.allreduce_time(
                     bwd_bytes, group
                 )
         reshard = np.zeros(graph.num_ops)
@@ -143,7 +177,7 @@ class Executor:
                 continue
             group = int(tp[i] * dp[i])
             bytes_moved = arrays.out_numel[i] * samples[i] * elem
-            reshard[i] = self.collectives.allgather_time(bytes_moved, group)
+            reshard[i] = collectives.allgather_time(bytes_moved, group)
 
         rc_extra = np.where(rc, fwd_op + tp_fwd_comm, 0.0)
 
@@ -160,7 +194,7 @@ class Executor:
                 dp[last]
             ) * elem
             boundary = config.stage_first_device(i + 1) - 1
-            p2p[i] = self.collectives.p2p_time_between_stages(
+            p2p[i] = collectives.p2p_time_between_stages(
                 bytes_moved, boundary
             )
 
@@ -173,7 +207,7 @@ class Executor:
                 if degree <= 1:
                     continue
                 total = float(grad_bytes[sl][stage_dp == degree].sum())
-                dp_sync[i] += self.collectives.allreduce_time(
+                dp_sync[i] += collectives.allreduce_time(
                     total, int(degree)
                 )
 
@@ -191,6 +225,23 @@ class Executor:
             * overhead
             * rng.lognormal(0.0, self.noise, size=(num_stages, num_mb))
         )
+
+        halt_at = None
+        failed_device = None
+        if plan is not None:
+            straggle = self._straggler_factors(config, plan)
+            if straggle is not None:
+                fwd_matrix *= straggle[:, None]
+                bwd_matrix *= straggle[:, None]
+                degraded = True
+            degraded |= self._apply_transient_ooms(
+                config, plan, fwd_matrix, bwd_matrix
+            )
+            failure = plan.first_failure(config.total_devices)
+            if failure is not None:
+                halt_at = failure.time
+                failed_device = failure.device_id
+
         sim = simulate_pipeline(
             fwd_matrix,
             bwd_matrix,
@@ -198,6 +249,7 @@ class Executor:
             p2p_times=p2p,
             dp_sync_times=dp_sync * overhead,
             style=self.schedule_style,
+            halt_at=halt_at,
         )
 
         memory = self._measure_memory(
@@ -211,7 +263,50 @@ class Executor:
             bubble_fraction=sim.bubble_fraction,
             oom=any(m > limit for m in memory),
             memory_limit=limit,
+            completed=not sim.halted,
+            degraded=degraded,
+            failure_time=sim.makespan if sim.halted else None,
+            failed_device=failed_device if sim.halted else None,
+            tasks_completed=sim.tasks_completed,
+            tasks_total=sim.tasks_total,
         )
+
+    # ------------------------------------------------------------------
+    def _straggler_factors(self, config: ParallelConfig, plan):
+        """Per-stage slowdown: a stage runs at its slowest device."""
+        if not plan.stragglers:
+            return None
+        factors = np.ones(config.num_stages)
+        for i, stage in enumerate(config.stages):
+            first = config.stage_first_device(i)
+            factors[i] = max(
+                plan.straggler_factor(device)
+                for device in range(first, first + stage.num_devices)
+            )
+        return factors if factors.max() > 1.0 else None
+
+    def _apply_transient_ooms(
+        self,
+        config: ParallelConfig,
+        plan,
+        fwd_matrix: np.ndarray,
+        bwd_matrix: np.ndarray,
+    ) -> bool:
+        """Add seeded allocator-retry stalls in place; True if any hit."""
+        if not plan.transient_ooms:
+            return False
+        oom_rng = plan.rng_for(config.signature())
+        hit = False
+        for spec in plan.transient_ooms:
+            if spec.stage >= config.num_stages:
+                continue
+            num_mb = fwd_matrix.shape[1]
+            fwd_stall = oom_rng.random(num_mb) < spec.probability
+            bwd_stall = oom_rng.random(num_mb) < spec.probability
+            fwd_matrix[spec.stage] += fwd_stall * spec.stall_seconds
+            bwd_matrix[spec.stage] += bwd_stall * spec.stall_seconds
+            hit = hit or bool(fwd_stall.any() or bwd_stall.any())
+        return hit
 
     # ------------------------------------------------------------------
     def _measure_memory(

@@ -19,11 +19,19 @@ from .schedule import FORWARD, ONE_F_ONE_B, full_schedule
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of one simulated training iteration."""
+    """Outcome of one simulated training iteration.
+
+    ``halted`` marks a run cut short by a fault (``halt_at``); then
+    ``makespan`` is the halt time and ``tasks_completed`` counts the
+    pipeline tasks that finished before the cut.
+    """
 
     makespan: float
     stage_finish: List[float]
     stage_busy: List[float]
+    halted: bool = False
+    tasks_completed: int = 0
+    tasks_total: int = 0
 
     @property
     def num_stages(self) -> int:
@@ -62,6 +70,7 @@ def simulate_pipeline(
     p2p_times: Optional[Sequence[float]] = None,
     dp_sync_times: Optional[Sequence[float]] = None,
     style: str = ONE_F_ONE_B,
+    halt_at: Optional[float] = None,
 ) -> SimulationResult:
     """Execute a pipeline schedule's dependency graph.
 
@@ -75,7 +84,13 @@ def simulate_pipeline(
         dp_sync_times: per-stage gradient all-reduce appended after the
             stage's last backward.
         style: schedule style (``"1f1b"`` or ``"gpipe"``).
+        halt_at: simulated time at which the cluster faults; no task may
+            *start* at or past this instant.  Tasks blocked behind a
+            halted stage never run either, so a single device failure
+            stalls the whole pipeline the way a real NCCL job does.
     """
+    if halt_at is not None and halt_at < 0:
+        raise ValueError("halt_at must be non-negative")
     fwd = np.atleast_1d(np.asarray(fwd_times, dtype=np.float64))
     num_stages = fwd.shape[0]
     fwd = _as_matrix(fwd_times, num_stages, num_microbatches)
@@ -97,7 +112,9 @@ def simulate_pipeline(
     f_end = np.full((num_stages, num_microbatches), unset)
     b_end = np.full((num_stages, num_microbatches), unset)
 
-    remaining = sum(len(s) for s in schedules)
+    tasks_total = sum(len(s) for s in schedules)
+    remaining = tasks_total
+    halted = False
     while remaining:
         progressed = False
         for stage in range(num_stages):
@@ -123,6 +140,13 @@ def simulate_pipeline(
                         ready = 0.0
                     duration = bwd[stage, m]
                 start = max(clocks[stage], ready)
+                if halt_at is not None and (
+                    start >= halt_at or start + duration > halt_at
+                ):
+                    # The task would still be in flight at the fault:
+                    # its work is lost with the failed device.
+                    halted = True
+                    break
                 end = start + duration
                 clocks[stage] = end
                 busy[stage] += duration
@@ -134,7 +158,23 @@ def simulate_pipeline(
                 remaining -= 1
                 progressed = True
         if not progressed:
+            if halted:
+                # A halted stage starves its neighbours; everything
+                # still pending at this point is lost to the fault.
+                break
             raise RuntimeError("pipeline simulation deadlocked")
+
+    if halted:
+        # The job stops at the fault: the clock freezes at the halt
+        # time; completed work (clocks/busy) all predates it.
+        return SimulationResult(
+            makespan=float(halt_at),
+            stage_finish=[float(c) for c in clocks],
+            stage_busy=[float(b) for b in busy],
+            halted=True,
+            tasks_completed=tasks_total - remaining,
+            tasks_total=tasks_total,
+        )
 
     if dp_sync_times is not None:
         sync = np.asarray(dp_sync_times, dtype=np.float64)
@@ -148,4 +188,7 @@ def simulate_pipeline(
         makespan=float(max(clocks)),
         stage_finish=[float(c) for c in clocks],
         stage_busy=[float(b) for b in busy],
+        halted=False,
+        tasks_completed=tasks_total,
+        tasks_total=tasks_total,
     )

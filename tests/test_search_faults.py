@@ -1,0 +1,561 @@
+"""Fault injection, crash-safe search, and elastic re-planning."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import (
+    CheckpointError,
+    SearchCheckpoint,
+    SearchFailedError,
+    search_all_stage_counts,
+)
+from repro.core.search import _stage_count_worker
+from repro.faults import (
+    DeviceFailure,
+    FaultPlan,
+    LinkDegradation,
+    StragglerSlowdown,
+    TransientOOM,
+    adapt_config,
+    degrade_cluster,
+    elastic_replan,
+    random_fault_plan,
+    shrink_cluster,
+)
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+from repro.runtime.simulator import simulate_pipeline
+
+BUDGET = {"max_iterations": 6}
+
+
+def fresh_model(graph, cluster, database):
+    return PerfModel(graph, cluster, database)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(
+            stragglers=(StragglerSlowdown(device_id=0, factor=2.0),)
+        ).is_empty
+
+    def test_first_failure_respects_device_span(self):
+        plan = FaultPlan(
+            device_failures=(
+                DeviceFailure(device_id=6, time=0.1),
+                DeviceFailure(device_id=1, time=0.5),
+            )
+        )
+        # A 4-device config never sees device 6's (earlier) failure.
+        assert plan.first_failure(4).device_id == 1
+        assert plan.first_failure(8).device_id == 6
+        assert plan.first_failure(1) is None
+
+    def test_compound_factors(self):
+        plan = FaultPlan(
+            stragglers=(
+                StragglerSlowdown(device_id=2, factor=1.5),
+                StragglerSlowdown(device_id=2, factor=2.0),
+            ),
+            link_degradations=(
+                LinkDegradation(scope="inter", factor=0.5),
+                LinkDegradation(scope="inter", factor=0.5),
+            ),
+        )
+        assert plan.straggler_factor(2) == pytest.approx(3.0)
+        assert plan.straggler_factor(0) == 1.0
+        assert plan.bandwidth_factor("inter") == pytest.approx(0.25)
+        assert plan.bandwidth_factor("intra") == 1.0
+
+    def test_json_round_trip(self, tmp_path):
+        plan = random_fault_plan(8, seed=3, failure_rate=0.5)
+        path = tmp_path / "faults.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_rejects_unknown_format_version(self):
+        with pytest.raises(ValueError, match="format version"):
+            FaultPlan.from_dict({"format_version": 99})
+
+    def test_rng_is_reproducible_per_key(self):
+        plan = FaultPlan(seed=11)
+        a = plan.rng_for("key").random(4)
+        b = plan.rng_for("key").random(4)
+        c = plan.rng_for("other").random(4)
+        assert (a == b).all()
+        assert (a != c).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StragglerSlowdown(device_id=0, factor=0.5)
+        with pytest.raises(ValueError):
+            LinkDegradation(scope="bogus", factor=0.5)
+        with pytest.raises(ValueError):
+            TransientOOM(stage=0, probability=1.5, stall_seconds=0.0)
+
+
+class TestInjection:
+    def test_degrade_cluster_scales_bandwidth(self, small_cluster):
+        plan = FaultPlan(
+            link_degradations=(
+                LinkDegradation(scope="intra", factor=0.5),
+            )
+        )
+        degraded = degrade_cluster(small_cluster, plan)
+        assert degraded.intra_node.bandwidth == pytest.approx(
+            small_cluster.intra_node.bandwidth * 0.5
+        )
+        assert degraded.inter_node.bandwidth == pytest.approx(
+            small_cluster.inter_node.bandwidth
+        )
+        # No degradation -> identical object, so the executor can skip
+        # rebuilding its collective model.
+        assert degrade_cluster(small_cluster, FaultPlan()) is small_cluster
+
+    def test_shrink_snaps_to_power_of_two(self, small_cluster):
+        shrunk = shrink_cluster(small_cluster, [1])
+        assert shrunk.num_gpus == 2
+        assert shrink_cluster(small_cluster, [0, 1, 2]).num_gpus == 1
+        with pytest.raises(ValueError):
+            shrink_cluster(small_cluster, [0, 1, 2, 3])
+
+    def test_adapt_config_shrinks_stagewise(
+        self, tiny_graph, small_cluster, tiny_config
+    ):
+        shrunk = shrink_cluster(small_cluster, [3])
+        adapted = adapt_config(tiny_config, tiny_graph, shrunk)
+        assert adapted is not None
+        assert adapted.total_devices == shrunk.num_gpus
+        assert adapted.num_stages == tiny_config.num_stages
+        assert adapted.microbatch_size == tiny_config.microbatch_size
+
+    def test_adapt_config_refuses_too_deep_pipelines(
+        self, tiny_graph, small_cluster
+    ):
+        from repro.parallel import balanced_config
+
+        config = balanced_config(tiny_graph, small_cluster, 4)
+        one_gpu = shrink_cluster(small_cluster, [1, 2, 3])
+        # 4 stages cannot fit one device: each stage already has 1.
+        assert adapt_config(config, tiny_graph, one_gpu) is None
+
+
+class TestSimulatorHalt:
+    def test_halt_truncates_iteration(self):
+        import numpy as np
+
+        fwd = np.full((2, 4), 1.0)
+        bwd = np.full((2, 4), 1.0)
+        full = simulate_pipeline(fwd, bwd, 4)
+        halted = simulate_pipeline(fwd, bwd, 4, halt_at=full.makespan / 2)
+        assert halted.halted
+        assert halted.makespan == pytest.approx(full.makespan / 2)
+        assert 0 < halted.tasks_completed < halted.tasks_total
+        assert not full.halted
+        assert full.tasks_completed == full.tasks_total
+
+    def test_halt_at_zero_completes_nothing(self):
+        import numpy as np
+
+        fwd = np.full((1, 2), 1.0)
+        bwd = np.full((1, 2), 1.0)
+        halted = simulate_pipeline(fwd, bwd, 2, halt_at=0.0)
+        assert halted.halted
+        assert halted.tasks_completed == 0
+
+
+class TestExecutorFaults:
+    def test_empty_plan_matches_healthy_run(self, tiny_executor, tiny_config):
+        healthy = tiny_executor.run(tiny_config)
+        empty = tiny_executor.run(tiny_config, fault_plan=FaultPlan())
+        assert empty.iteration_time == healthy.iteration_time
+        assert empty.completed and not empty.degraded
+
+    def test_fixed_seed_faults_are_deterministic(
+        self, tiny_executor, tiny_config
+    ):
+        plan = FaultPlan(
+            seed=5,
+            stragglers=(StragglerSlowdown(device_id=0, factor=1.7),),
+            transient_ooms=(
+                TransientOOM(stage=0, probability=0.5, stall_seconds=0.01),
+            ),
+        )
+        first = tiny_executor.run(tiny_config, fault_plan=plan)
+        second = tiny_executor.run(tiny_config, fault_plan=plan)
+        assert first == second
+        assert first.degraded
+
+    def test_straggler_slows_iteration(self, tiny_executor, tiny_config):
+        healthy = tiny_executor.run(tiny_config)
+        slow = tiny_executor.run(
+            tiny_config,
+            fault_plan=FaultPlan(
+                stragglers=(StragglerSlowdown(device_id=0, factor=2.0),)
+            ),
+        )
+        assert slow.degraded
+        assert slow.iteration_time > healthy.iteration_time
+
+    def test_link_degradation_slows_iteration(
+        self, tiny_executor, tiny_config
+    ):
+        healthy = tiny_executor.run(tiny_config)
+        slow = tiny_executor.run(
+            tiny_config,
+            fault_plan=FaultPlan(
+                link_degradations=(
+                    LinkDegradation(scope="intra", factor=0.25),
+                    LinkDegradation(scope="inter", factor=0.25),
+                )
+            ),
+        )
+        assert slow.degraded
+        assert slow.iteration_time > healthy.iteration_time
+
+    def test_device_failure_halts_run(self, tiny_executor, tiny_config):
+        healthy = tiny_executor.run(tiny_config)
+        plan = FaultPlan(
+            device_failures=(
+                DeviceFailure(
+                    device_id=0, time=healthy.iteration_time / 2
+                ),
+            )
+        )
+        failed = tiny_executor.run(tiny_config, fault_plan=plan)
+        assert not failed.completed
+        assert failed.failed_device == 0
+        assert failed.failure_time <= healthy.iteration_time / 2
+        assert failed.tasks_completed < failed.tasks_total
+        assert failed.throughput(1024) == 0.0
+        # Same plan, same result: the halt is deterministic.
+        assert tiny_executor.run(tiny_config, fault_plan=plan) == failed
+
+    def test_failure_outside_device_span_is_ignored(
+        self, tiny_executor, tiny_config
+    ):
+        plan = FaultPlan(
+            device_failures=(DeviceFailure(device_id=63, time=0.0),)
+        )
+        run = tiny_executor.run(tiny_config, fault_plan=plan)
+        assert run.completed
+
+
+class TestCrashSafeDriver:
+    def test_raising_worker_leaves_partial_result(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        def raises_on_two(payload):
+            if payload[3] == 2:
+                raise RuntimeError("injected fault")
+            return _stage_count_worker(payload)
+
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            max_retries=1,
+            retry_backoff=0.01,
+            _worker_fn=raises_on_two,
+        )
+        assert [run.num_stages for run in result.runs] == [1, 4]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.num_stages == 2
+        assert failure.attempts == 2  # initial + one retry
+        assert "RuntimeError: injected fault" in failure.error
+        assert result.best.best_objective > 0
+
+    def test_hanging_worker_is_killed_and_recorded(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        def hangs_on_one(payload):
+            if payload[3] == 1:
+                time.sleep(60)
+            return _stage_count_worker(payload)
+
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            timeout_per_count=1.0,
+            max_retries=0,
+            _worker_fn=hangs_on_one,
+        )
+        assert [run.num_stages for run in result.runs] == [2, 4]
+        assert len(result.failures) == 1
+        assert result.failures[0].num_stages == 1
+        assert "timed out" in result.failures[0].error
+
+    def test_killed_worker_is_recorded_with_exit_code(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        def dies_on_four(payload):
+            if payload[3] == 4:
+                os._exit(41)
+            return _stage_count_worker(payload)
+
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            max_retries=0,
+            _worker_fn=dies_on_four,
+        )
+        assert [run.num_stages for run in result.runs] == [1, 2]
+        assert "exit code 41" in result.failures[0].error
+
+    def test_retried_count_converges_to_same_best(
+        self, tiny_graph, small_cluster, tiny_database, tmp_path
+    ):
+        marker = tmp_path / "already-failed-once"
+
+        def flaky_once(payload):
+            if payload[3] == 2 and not marker.exists():
+                marker.write_text("crashed")
+                raise RuntimeError("transient")
+            return _stage_count_worker(payload)
+
+        flaky = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            max_retries=1,
+            retry_backoff=0.01,
+            _worker_fn=flaky_once,
+        )
+        clean = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+        )
+        assert not flaky.failures
+        assert [run.num_stages for run in flaky.runs] == [
+            run.num_stages for run in clean.runs
+        ]
+        assert flaky.best.best_objective == clean.best.best_objective
+
+    def test_all_failed_raises_named_error(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        def always_raises(payload):
+            raise RuntimeError("nothing works")
+
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            max_retries=0,
+            _worker_fn=always_raises,
+        )
+        assert not result.runs
+        assert [f.num_stages for f in result.failures] == [1, 2, 4]
+        with pytest.raises(SearchFailedError, match=r"\[1, 2, 4\]"):
+            result.best
+        with pytest.raises(SearchFailedError):
+            result.parallel_seconds
+
+    def test_serial_path_records_failures_too(
+        self, tiny_graph, small_cluster, tiny_database, monkeypatch
+    ):
+        import repro.core.search as search_module
+
+        real = search_module.balanced_config
+
+        def broken_for_two(graph, cluster, count):
+            if count == 2:
+                raise RuntimeError("bad init")
+            return real(graph, cluster, count)
+
+        monkeypatch.setattr(
+            search_module, "balanced_config", broken_for_two
+        )
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        assert [run.num_stages for run in result.runs] == [1, 4]
+        assert result.failures[0].num_stages == 2
+        assert result.failures[0].attempts == 2
+
+    def test_bad_budget_key_fails_before_forking(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        with pytest.raises(ValueError, match="max_iteration"):
+            search_all_stage_counts(
+                tiny_graph,
+                small_cluster,
+                tiny_perf_model,
+                budget_per_count={"max_iteration": 5},
+                workers=4,
+            )
+
+    def test_estimate_totals_match_serial_vs_parallel(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        serial = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+        )
+        parallel = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+        )
+        assert serial.num_estimates == parallel.num_estimates
+        assert serial.best.best_objective == parallel.best.best_objective
+
+
+class TestCheckpointResume:
+    def test_interrupted_search_resumes_bit_exactly(
+        self, tiny_graph, small_cluster, tiny_database, tmp_path
+    ):
+        path = tmp_path / "search.ckpt.json"
+
+        def dies_on_four(payload):
+            if payload[3] == 4:
+                os._exit(1)
+            return _stage_count_worker(payload)
+
+        # Uninterrupted reference run.
+        clean = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+        )
+        # "Crash": stage count 4 dies; 1 and 2 land in the checkpoint.
+        partial = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            max_retries=0,
+            checkpoint_path=path,
+            _worker_fn=dies_on_four,
+        )
+        assert [run.num_stages for run in partial.runs] == [1, 2]
+        on_disk = json.loads(path.read_text())
+        assert sorted(on_disk["completed"]) == ["1", "2"]
+        assert on_disk["failures"][0]["num_stages"] == 4
+
+        # Resume with a healthy worker: only count 4 searches again.
+        model = fresh_model(tiny_graph, small_cluster, tiny_database)
+        resumed = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            model,
+            budget_per_count=BUDGET,
+            workers=2,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert not resumed.failures
+        assert [run.num_stages for run in resumed.runs] == [1, 2, 4]
+        assert resumed.best.best_objective == clean.best.best_objective
+        assert resumed.best.best_config.signature() == (
+            clean.best.best_config.signature()
+        )
+        # The resumed run only spent estimates on the missing count.
+        count_four = next(
+            run for run in clean.runs if run.num_stages == 4
+        )
+        restored = sum(
+            run.result.num_estimates
+            for run in clean.runs
+            if run.num_stages != 4
+        )
+        assert resumed.num_estimates == restored + count_four.result.num_estimates
+
+    def test_resume_refuses_mismatched_budget(
+        self, tiny_graph, small_cluster, tiny_database, tmp_path
+    ):
+        path = tmp_path / "search.ckpt.json"
+        search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            checkpoint_path=path,
+        )
+        with pytest.raises(CheckpointError, match="budget"):
+            search_all_stage_counts(
+                tiny_graph,
+                small_cluster,
+                fresh_model(tiny_graph, small_cluster, tiny_database),
+                budget_per_count={"max_iterations": 99},
+                checkpoint_path=path,
+                resume=True,
+            )
+
+    def test_checkpoint_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(CheckpointError, match="format version"):
+            SearchCheckpoint.load(path)
+
+
+class TestElasticReplan:
+    def test_warm_start_beats_cold_restart(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        initial = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+        )
+        shrunk = shrink_cluster(small_cluster, [3])
+        database = SimulatedProfiler(shrunk, seed=0).profile(tiny_graph)
+        comparison = elastic_replan(
+            tiny_graph,
+            shrunk,
+            initial.top_configs(5),
+            database=database,
+            budget_per_count=BUDGET,
+        )
+        warm, cold = comparison.warm, comparison.cold
+        assert warm.feasible and cold.feasible
+        assert warm.num_estimates < cold.num_estimates
+        assert warm.estimates_to_feasible <= cold.estimates_to_feasible
+        assert comparison.estimate_savings > 0
+        # Warm start must not end worse than the cold restart's plan.
+        assert warm.best_objective <= cold.best_objective * 1.05
+
+    def test_replan_falls_back_without_adaptable_survivors(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        shrunk = shrink_cluster(small_cluster, [3])
+        database = SimulatedProfiler(shrunk, seed=0).profile(tiny_graph)
+        comparison = elastic_replan(
+            tiny_graph,
+            shrunk,
+            [],  # nobody survived
+            database=database,
+            budget_per_count=BUDGET,
+        )
+        assert comparison.warm.feasible
