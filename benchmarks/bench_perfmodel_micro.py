@@ -1,11 +1,16 @@
 """Microbenchmark: estimator throughput and the multiprocess driver.
 
-Quantifies the two perf claims of the incremental-estimation work:
+Quantifies the perf claims of the incremental-estimation and telemetry
+work:
 
 * **estimates/sec** — costing search-style candidates (one dirty stage
   per candidate) with the per-stage cost cache warm vs the cold path
   that re-costs every stage (the pre-refactor behaviour), on a 48- and
   a 1000-layer GPT chain.
+* **telemetry off vs on** — the same warm path with the bus inactive
+  (no sinks: the production search default) vs actively emitting
+  per-estimate events into a ring buffer.  The inactive path is the
+  zero-overhead contract of ``repro.telemetry``.
 * **search wall-clock** — ``search_all_stage_counts`` serial vs a
   4-process ``ProcessPoolExecutor`` fan-out, which must return the
   identical best configuration.
@@ -24,6 +29,7 @@ from repro.ir.models import build_model
 from repro.parallel import balanced_config
 from repro.perfmodel import PerfModel
 from repro.profiling import SimulatedProfiler
+from repro.telemetry import RingBufferSink, TelemetryBus, using_bus
 
 from common import RESULTS_DIR, emit, print_header, print_table
 
@@ -109,6 +115,70 @@ def test_estimates_per_second():
     assert deep["speedup"] >= 3.0, deep
     for out in results:
         assert out["warm_estimates_per_s"] > out["cold_estimates_per_s"]
+
+
+def test_telemetry_overhead():
+    """Inactive-bus estimates must track the plain warm rate (<=5%).
+
+    Off and on batches interleave so machine drift hits both modes
+    equally; the recorded overhead is what attaching a sink costs, and
+    the assertion guards the contract that *not* attaching one costs
+    nothing the warm-cache rate can feel.
+    """
+    print_header("PerfModel estimates/sec: telemetry off vs on")
+    graph, cluster, database, base = _setup("gpt-48l")
+    batch = 20
+    num_batches = NUM_CANDIDATES // batch
+    variants = _candidates(base, 3 * NUM_CANDIDATES)
+
+    # base = the untouched process-default bus; off = an explicitly
+    # installed sinkless bus (the same inactive fast path); on = a bus
+    # actively recording every estimate into a ring buffer.
+    models = [
+        PerfModel(graph, cluster, database) for _ in range(3)
+    ]
+    for model in models:
+        model.estimate(base)
+    off_bus = TelemetryBus()
+    on_bus = TelemetryBus()
+    ring = on_bus.add_sink(RingBufferSink())
+    seconds = [0.0, 0.0, 0.0]
+    for i in range(num_batches):
+        chunk = variants[3 * i * batch:3 * (i + 1) * batch]
+        seconds[0] += _rate(models[0], chunk[:batch])[1]
+        with using_bus(off_bus):
+            seconds[1] += _rate(models[1], chunk[batch:2 * batch])[1]
+        with using_bus(on_bus):
+            seconds[2] += _rate(models[2], chunk[2 * batch:])[1]
+    base_rate, off_rate, on_rate = (
+        NUM_CANDIDATES / s for s in seconds
+    )
+    print_table(
+        ["mode", "est/s", "events"],
+        [
+            ["baseline", f"{base_rate:.0f}", "0"],
+            ["telemetry off", f"{off_rate:.0f}", "0"],
+            ["telemetry on", f"{on_rate:.0f}", str(len(ring))],
+        ],
+    )
+    emit(
+        f"inactive-bus overhead: {seconds[1] / seconds[0] - 1.0:+.1%}, "
+        f"active-sink overhead: {seconds[2] / seconds[0] - 1.0:+.1%}"
+    )
+    _merge_json({
+        "telemetry": {
+            "model": "gpt-48l",
+            "candidates": NUM_CANDIDATES,
+            "baseline_estimates_per_s": base_rate,
+            "off_estimates_per_s": off_rate,
+            "on_estimates_per_s": on_rate,
+            "inactive_overhead": seconds[1] / seconds[0] - 1.0,
+            "active_overhead": seconds[2] / seconds[0] - 1.0,
+        }
+    })
+    assert len(ring) > 0  # the on-mode really emitted
+    # disabled telemetry must stay within noise of the plain warm rate
+    assert off_rate >= 0.95 * base_rate, (off_rate, base_rate)
 
 
 def _usable_cores():

@@ -3,7 +3,12 @@
 ``repro-search`` runs the Aceso search on one model/cluster setting;
 ``repro-compare`` runs all three systems and prints a comparison table;
 ``repro-replan`` simulates a device failure and measures warm vs. cold
-time-to-new-plan.  All accept ``--json`` for machine-readable output.
+time-to-new-plan; ``repro-trace`` inspects the telemetry run logs the
+other tools write with ``--run-log``.  All accept ``--json`` for
+machine-readable output, and every run wires a fresh
+:class:`~repro.telemetry.TelemetryBus` from the shared ``--quiet`` /
+``--log-level`` / ``--run-log`` flags, so warnings and progress reach
+the console through the same event stream that lands in the run log.
 """
 
 from __future__ import annotations
@@ -11,7 +16,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from .analysis.compare import compare_systems
 from .analysis.metrics import tflops_per_gpu
@@ -20,6 +26,19 @@ from .core.search import SearchFailedError, search_all_stage_counts
 from .ir.models.registry import available_models, build_model
 from .perfmodel.model import build_perf_model
 from .runtime.executor import Executor
+from .telemetry import (
+    LEVELS_BY_NAME,
+    ConsoleSink,
+    JsonlSink,
+    TelemetryBus,
+    chrome_trace_from_events,
+    chrome_trace_from_tasks,
+    render_summary,
+    summarize_events,
+    using_bus,
+    validate_run_log,
+    write_chrome_trace,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +60,84 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
+    _add_telemetry_flags(parser)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress telemetry console output (warnings included)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=tuple(LEVELS_BY_NAME),
+        default="warning",
+        help="minimum event level echoed to stderr (default warning)",
+    )
+    parser.add_argument(
+        "--run-log",
+        default=None,
+        metavar="EVENTS.jsonl",
+        help="append the full telemetry event stream to this JSONL "
+        "file (inspect with repro-trace)",
+    )
+
+
+@contextmanager
+def _telemetry(args) -> Iterator[TelemetryBus]:
+    """Fresh per-invocation bus wired from the common CLI flags.
+
+    Installed as the process-global bus for the duration, so every
+    subsystem the command touches emits onto it; closed (flushing the
+    run log) on the way out.
+    """
+    bus = TelemetryBus()
+    if not args.quiet:
+        bus.add_sink(
+            ConsoleSink(min_level=LEVELS_BY_NAME[args.log_level])
+        )
+    if args.run_log:
+        bus.add_sink(JsonlSink(args.run_log))
+    try:
+        with using_bus(bus):
+            yield bus
+    finally:
+        bus.close()
+
+
+def _emit_output(args, payload: dict, lines: Sequence[str]) -> None:
+    """The one output path shared by every entry point.
+
+    ``--json`` prints the machine-readable payload; otherwise the
+    pre-rendered text lines.
+    """
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for line in lines:
+            print(line)
+
+
+def _format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    widths: Sequence[int],
+) -> List[str]:
+    """Fixed-width table: first column left-aligned, rest right."""
+
+    def render(cells: Sequence[str]) -> str:
+        parts = [f"{cells[0]:<{widths[0]}}"]
+        parts.extend(
+            f"{cell:>{width}}"
+            for cell, width in zip(cells[1:], widths[1:])
+        )
+        return " ".join(parts)
+
+    header = render(headers)
+    lines = [header, "-" * len(header)]
+    lines.extend(render([str(c) for c in row]) for row in rows)
+    return lines
 
 
 def search_main(argv: Optional[List[str]] = None) -> int:
@@ -106,29 +203,30 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     graph = build_model(args.model)
     cluster = paper_cluster(args.gpus)
     perf_model = build_perf_model(graph, cluster, seed=args.seed)
-    try:
-        multi = search_all_stage_counts(
-            graph,
-            cluster,
-            perf_model,
-            stage_counts=args.stage_counts,
-            budget_per_count={"max_iterations": args.iterations},
-            workers=args.workers,
-            timeout_per_count=args.timeout_per_count,
-            max_retries=args.max_retries,
-            checkpoint_path=args.checkpoint,
-            resume=args.resume,
-        )
-    except CheckpointError as exc:
-        print(f"repro-search: {exc}", file=sys.stderr)
-        return 1
-    try:
-        best = multi.best
-    except SearchFailedError as exc:
-        print(f"repro-search: {exc}", file=sys.stderr)
-        return 1
-    executor = Executor(graph, cluster, seed=args.seed)
-    run = executor.run(best.best_config)
+    with _telemetry(args):
+        try:
+            multi = search_all_stage_counts(
+                graph,
+                cluster,
+                perf_model,
+                stage_counts=args.stage_counts,
+                budget_per_count={"max_iterations": args.iterations},
+                workers=args.workers,
+                timeout_per_count=args.timeout_per_count,
+                max_retries=args.max_retries,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+        except CheckpointError as exc:
+            print(f"repro-search: {exc}", file=sys.stderr)
+            return 1
+        try:
+            best = multi.best
+        except SearchFailedError as exc:
+            print(f"repro-search: {exc}", file=sys.stderr)
+            return 1
+        executor = Executor(graph, cluster, seed=args.seed)
+        run = executor.run(best.best_config)
     throughput = run.throughput(graph.global_batch_size)
     payload = {
         "model": args.model,
@@ -156,29 +254,17 @@ def search_main(argv: Optional[List[str]] = None) -> int:
 
         save_config(best.best_config, args.output)
         payload["plan_file"] = args.output
-    if args.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(f"model: {payload['model']}  cluster: {cluster.describe()}")
-        print(
-            f"predicted {payload['predicted_iteration_time']:.3f}s / "
-            f"measured {payload['actual_iteration_time']:.3f}s per iteration"
-        )
-        print(
-            f"throughput {throughput:.2f} samples/s "
-            f"({payload['tflops_per_gpu']:.1f} TFLOPS/GPU)"
-        )
-        print(
-            f"search cost {multi.parallel_seconds:.1f}s "
-            f"({multi.num_estimates} configurations estimated)"
-        )
-        for failure in multi.failures:
-            print(
-                f"warning: {failure.num_stages}-stage search failed "
-                f"after {failure.attempts} attempt(s): {failure.error}",
-                file=sys.stderr,
-            )
-        print(payload["config"])
+    lines = [
+        f"model: {payload['model']}  cluster: {cluster.describe()}",
+        f"predicted {payload['predicted_iteration_time']:.3f}s / "
+        f"measured {payload['actual_iteration_time']:.3f}s per iteration",
+        f"throughput {throughput:.2f} samples/s "
+        f"({payload['tflops_per_gpu']:.1f} TFLOPS/GPU)",
+        f"search cost {multi.parallel_seconds:.1f}s "
+        f"({multi.num_estimates} configurations estimated)",
+        payload["config"],
+    ]
+    _emit_output(args, payload, lines)
     return 0
 
 
@@ -191,37 +277,41 @@ def compare_main(argv: Optional[List[str]] = None) -> int:
     _add_common(parser)
     args = parser.parse_args(argv)
 
-    result = compare_systems(
-        args.model,
-        args.gpus,
-        aceso_iterations=args.iterations,
-        seed=args.seed,
-    )
-    if args.json:
-        payload = {
-            name: {
-                "throughput": o.throughput,
-                "tflops_per_gpu": o.tflops,
-                "search_seconds": o.search_seconds,
-                "oom": o.oom,
-                "failed": o.failed,
-            }
-            for name, o in result.outcomes.items()
+    with _telemetry(args):
+        result = compare_systems(
+            args.model,
+            args.gpus,
+            aceso_iterations=args.iterations,
+            seed=args.seed,
+        )
+    payload = {
+        name: {
+            "throughput": o.throughput,
+            "tflops_per_gpu": o.tflops,
+            "search_seconds": o.search_seconds,
+            "oom": o.oom,
+            "failed": o.failed,
         }
-        print(json.dumps(payload, indent=2))
-        return 0
-    print(f"{args.model} on {args.gpus} GPUs")
-    header = f"{'system':<10} {'samples/s':>10} {'TFLOPS':>8} {'search':>10}"
-    print(header)
-    print("-" * len(header))
+        for name, o in result.outcomes.items()
+    }
+    rows = []
     for name, outcome in result.outcomes.items():
         if outcome.failed:
-            print(f"{name:<10} {'FAILED':>10} {'-':>8} {'-':>10}")
-            continue
-        print(
-            f"{name:<10} {outcome.throughput:>10.2f} "
-            f"{outcome.tflops:>8.1f} {outcome.search_seconds:>9.1f}s"
-        )
+            rows.append([name, "FAILED", "-", "-"])
+        else:
+            rows.append([
+                name,
+                f"{outcome.throughput:.2f}",
+                f"{outcome.tflops:.1f}",
+                f"{outcome.search_seconds:.1f}s",
+            ])
+    lines = [f"{args.model} on {args.gpus} GPUs"]
+    lines.extend(_format_table(
+        ["system", "samples/s", "TFLOPS", "search"],
+        rows,
+        [10, 10, 8, 10],
+    ))
+    _emit_output(args, payload, lines)
     return 0
 
 
@@ -242,6 +332,13 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
         metavar="FAULTS.json",
         help="inject deployment faults from a FaultPlan JSON file "
         "(see repro.faults.FaultPlan.save)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="TRACE.json",
+        help="export the measured 1F1B task timeline as a Chrome "
+        "trace (open in chrome://tracing or Perfetto)",
     )
     args = parser.parse_args(argv)
 
@@ -265,11 +362,14 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
-    perf_model = build_perf_model(graph, cluster, seed=args.seed)
-    report = perf_model.estimate(config)
-    run = Executor(graph, cluster, seed=args.seed).run(
-        config, fault_plan=fault_plan
-    )
+    with _telemetry(args):
+        perf_model = build_perf_model(graph, cluster, seed=args.seed)
+        report = perf_model.estimate(config)
+        run = Executor(graph, cluster, seed=args.seed).run(
+            config,
+            fault_plan=fault_plan,
+            record_trace=True if args.chrome_trace else None,
+        )
     payload = {
         "model": args.model,
         "gpus": args.gpus,
@@ -300,41 +400,45 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
                 "tasks_total": run.tasks_total,
             }
         )
-    if args.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(config.describe())
-        print(
-            f"predicted {report.iteration_time:.3f}s / measured "
-            f"{run.iteration_time:.3f}s per iteration"
+    if args.chrome_trace:
+        write_chrome_trace(
+            chrome_trace_from_tasks(run.tasks), args.chrome_trace
         )
-        print(
-            f"memory per stage (predicted/actual GB): "
-            + ", ".join(
-                f"{p:.1f}/{a:.1f}"
-                for p, a in zip(
-                    payload["predicted_peak_memory_gb"],
-                    payload["actual_peak_memory_gb"],
-                )
+        payload["chrome_trace"] = args.chrome_trace
+    status = "OOM" if run.oom else "fits"
+    lines = [
+        config.describe(),
+        f"predicted {report.iteration_time:.3f}s / measured "
+        f"{run.iteration_time:.3f}s per iteration",
+        "memory per stage (predicted/actual GB): "
+        + ", ".join(
+            f"{p:.1f}/{a:.1f}"
+            for p, a in zip(
+                payload["predicted_peak_memory_gb"],
+                payload["actual_peak_memory_gb"],
             )
+        ),
+        f"deployment: {status}, "
+        f"{payload['throughput_samples_per_s']:.2f} samples/s",
+    ]
+    if fault_plan is not None:
+        if not run.completed:
+            lines.append(
+                f"FAULT: device {run.failed_device} failed at "
+                f"t={run.failure_time:.3f}s — "
+                f"{run.tasks_completed}/{run.tasks_total} tasks done"
+            )
+        elif run.degraded:
+            lines.append(
+                "FAULT: iteration completed under degraded "
+                "conditions (stragglers/links/allocator stalls)"
+            )
+    if args.chrome_trace:
+        lines.append(
+            f"task timeline written to {args.chrome_trace} "
+            f"({len(run.tasks)} tasks)"
         )
-        status = "OOM" if run.oom else "fits"
-        print(
-            f"deployment: {status}, "
-            f"{payload['throughput_samples_per_s']:.2f} samples/s"
-        )
-        if fault_plan is not None:
-            if not run.completed:
-                print(
-                    f"FAULT: device {run.failed_device} failed at "
-                    f"t={run.failure_time:.3f}s — "
-                    f"{run.tasks_completed}/{run.tasks_total} tasks done"
-                )
-            elif run.degraded:
-                print(
-                    "FAULT: iteration completed under degraded "
-                    "conditions (stragglers/links/allocator stalls)"
-                )
+    _emit_output(args, payload, lines)
     return 0 if not run.oom and run.completed else 1
 
 
@@ -382,31 +486,32 @@ def replan_main(argv: Optional[List[str]] = None) -> int:
     cluster = paper_cluster(args.gpus)
     perf_model = build_perf_model(graph, cluster, seed=args.seed)
     budget = {"max_iterations": args.iterations}
-    initial = search_all_stage_counts(
-        graph, cluster, perf_model, budget_per_count=budget
-    )
-    best = initial.best
+    with _telemetry(args):
+        initial = search_all_stage_counts(
+            graph, cluster, perf_model, budget_per_count=budget
+        )
+        best = initial.best
 
-    plan = FaultPlan(
-        seed=args.seed,
-        device_failures=(
-            DeviceFailure(
-                device_id=args.fail_device, time=args.fail_time
+        plan = FaultPlan(
+            seed=args.seed,
+            device_failures=(
+                DeviceFailure(
+                    device_id=args.fail_device, time=args.fail_time
+                ),
             ),
-        ),
-    )
-    run = Executor(graph, cluster, seed=args.seed).run(
-        best.best_config, fault_plan=plan
-    )
-    survivors = initial.top_configs(args.top_k)
-    shrunk = shrink_cluster(cluster, plan.failed_devices())
-    comparison = elastic_replan(
-        graph,
-        shrunk,
-        survivors,
-        seed=args.seed,
-        budget_per_count=budget,
-    )
+        )
+        run = Executor(graph, cluster, seed=args.seed).run(
+            best.best_config, fault_plan=plan
+        )
+        survivors = initial.top_configs(args.top_k)
+        shrunk = shrink_cluster(cluster, plan.failed_devices())
+        comparison = elastic_replan(
+            graph,
+            shrunk,
+            survivors,
+            seed=args.seed,
+            budget_per_count=budget,
+        )
 
     payload = {
         "model": args.model,
@@ -428,9 +533,6 @@ def replan_main(argv: Optional[List[str]] = None) -> int:
         },
         "estimate_savings": comparison.estimate_savings,
     }
-    if args.json:
-        print(json.dumps(payload, indent=2))
-        return 0
     if run.completed:
         # The measured iteration finished before the failure hit; the
         # device is still gone for every iteration after it.
@@ -442,31 +544,88 @@ def replan_main(argv: Optional[List[str]] = None) -> int:
             f"device {args.fail_device} lost at t={run.failure_time:.3f}s "
             f"({run.tasks_completed}/{run.tasks_total} tasks done)"
         )
-    print(
-        f"{args.model}: {interruption}; "
-        f"cluster {cluster.num_gpus} -> {shrunk.num_gpus} GPUs"
-    )
-    header = (
-        f"{'strategy':<8} {'objective':>12} {'estimates':>10} "
-        f"{'to-feasible':>12} {'wall':>8}"
-    )
-    print(header)
-    print("-" * len(header))
+    rows = []
     for outcome in (comparison.warm, comparison.cold):
         to_feasible = (
             str(outcome.estimates_to_feasible)
             if outcome.estimates_to_feasible is not None
             else "-"
         )
-        print(
-            f"{outcome.strategy:<8} {outcome.best_objective:>12.6f} "
-            f"{outcome.num_estimates:>10} {to_feasible:>12} "
-            f"{outcome.wall_seconds:>7.2f}s"
-        )
-    print(
+        rows.append([
+            outcome.strategy,
+            f"{outcome.best_objective:.6f}",
+            str(outcome.num_estimates),
+            to_feasible,
+            f"{outcome.wall_seconds:.2f}s",
+        ])
+    lines = [
+        f"{args.model}: {interruption}; "
+        f"cluster {cluster.num_gpus} -> {shrunk.num_gpus} GPUs",
+    ]
+    lines.extend(_format_table(
+        ["strategy", "objective", "estimates", "to-feasible", "wall"],
+        rows,
+        [8, 12, 10, 12, 8],
+    ))
+    lines.append(
         f"warm start avoided {comparison.estimate_savings:.0%} of the "
         "cold-restart estimates"
     )
+    _emit_output(args, payload, lines)
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-trace``: inspect telemetry run logs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize, validate, or convert a JSONL telemetry "
+        "run log written by the other tools' --run-log flag",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_summary = sub.add_parser(
+        "summary", help="aggregate statistics from a run log"
+    )
+    p_summary.add_argument("run_log", help="path to an EVENTS.jsonl file")
+    p_summary.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    p_validate = sub.add_parser(
+        "validate", help="schema-check every line of a run log"
+    )
+    p_validate.add_argument("run_log", help="path to an EVENTS.jsonl file")
+    p_chrome = sub.add_parser(
+        "chrome",
+        help="convert runtime.task events to a Chrome trace "
+        "(chrome://tracing / Perfetto)",
+    )
+    p_chrome.add_argument("run_log", help="path to an EVENTS.jsonl file")
+    p_chrome.add_argument(
+        "--output", "-o", required=True, metavar="TRACE.json"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = validate_run_log(args.run_log)
+    except (OSError, ValueError) as exc:
+        print(f"repro-trace: {args.run_log}: {exc}", file=sys.stderr)
+        return 1
+    if args.command == "summary":
+        summary = summarize_events(events)
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            for line in render_summary(summary):
+                print(line)
+    elif args.command == "validate":
+        print(f"{args.run_log}: {len(events)} events, schema OK")
+    else:
+        trace = chrome_trace_from_events(events)
+        write_chrome_trace(trace, args.output)
+        print(
+            f"wrote {args.output} "
+            f"({len(trace['traceEvents'])} trace events)"
+        )
     return 0
 
 

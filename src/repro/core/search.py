@@ -36,6 +36,7 @@ from ..parallel.config import ParallelConfig
 from ..parallel.initializer import balanced_config
 from ..perfmodel.model import PerfModel
 from ..perfmodel.report import PerfReport
+from ..telemetry import WARNING, CallbackSink, Event, get_bus
 from .bottleneck import rank_bottlenecks
 from .budget import SearchBudget
 from .dedup import UnexploredPool, VisitedSet
@@ -114,8 +115,30 @@ class AcesoSearch:
         init_config: ParallelConfig,
         budget: SearchBudget,
     ) -> SearchResult:
-        """Search from ``init_config`` until ``budget`` is exhausted."""
+        """Search from ``init_config`` until ``budget`` is exhausted.
+
+        Every iteration outcome is emitted as a ``search.iteration``
+        telemetry event; the returned :class:`SearchTrace` is rebuilt
+        from that event stream (``SearchTrace.from_events``), so run
+        logs, checkpoints, and ablation benches all read the same
+        numbers.
+        """
         opts = self.options
+        bus = get_bus()
+        events: List[Event] = []
+
+        def emit(name: str, **attrs) -> None:
+            event = Event(
+                name=name,
+                ts=bus.clock(),
+                pid=bus.pid,
+                source="search",
+                attrs=attrs,
+            )
+            events.append(event)
+            if bus.active:
+                bus.emit_event(event)
+
         estimates_start = self.perf_model.num_estimates
         budget.start(estimates_start)
         rng = (
@@ -126,7 +149,6 @@ class AcesoSearch:
 
         visited = VisitedSet()
         unexplored = UnexploredPool()
-        trace = SearchTrace()
         searcher = MultiHopSearcher(
             self.graph,
             self.cluster,
@@ -145,7 +167,11 @@ class AcesoSearch:
         best = init_config
         best_objective = self.perf_model.objective(init_config)
         top: List[Tuple[float, ParallelConfig]] = [(best_objective, best)]
-        trace.convergence.append((0.0, best_objective))
+        emit(
+            "search.begin",
+            best_objective=best_objective,
+            num_stages=init_config.num_stages,
+        )
         iteration = 0
         converged = False
 
@@ -191,7 +217,8 @@ class AcesoSearch:
                 if objective < best_objective:
                     best, best_objective = new_config, objective
                 top = _update_top(top, objective, new_config, opts.top_k)
-                trace.record_iteration(
+                emit(
+                    "search.iteration",
                     index=iteration,
                     elapsed=budget.elapsed(),
                     bottlenecks_tried=tried,
@@ -202,7 +229,8 @@ class AcesoSearch:
                 )
             else:
                 restart = unexplored.pop_best()
-                trace.record_iteration(
+                emit(
+                    "search.iteration",
                     index=iteration,
                     elapsed=budget.elapsed(),
                     bottlenecks_tried=tried,
@@ -216,6 +244,16 @@ class AcesoSearch:
                     break
                 config = restart
 
+        emit(
+            "search.end",
+            iterations=iteration,
+            converged=converged,
+            best_objective=best_objective,
+            num_estimates=self.perf_model.num_estimates - estimates_start,
+        )
+        if bus.active:
+            self.perf_model.emit_counters(bus)
+        trace = SearchTrace.from_events(events)
         return SearchResult(
             best_config=best,
             best_objective=best_objective,
@@ -364,16 +402,28 @@ def _stage_count_worker(payload: tuple) -> StageCountResult:
 def _subprocess_entry(worker_fn, payload, conn) -> None:
     """Run one worker and ship its outcome through a pipe.
 
-    Raised exceptions travel back as ``("error", message)`` so the
-    parent distinguishes a clean failure from a crashed process (which
-    sends nothing and is detected by its exit code).
+    The child installs a fresh telemetry bus with a capture sink (the
+    forked parent bus — and any file handles its sinks hold — is never
+    written), so every event the worker emits travels back alongside
+    the result and the parent can merge it into its own run log with
+    worker attribution.  Raised exceptions travel back as ``("error",
+    message, events)`` so the parent distinguishes a clean failure from
+    a crashed process (which sends nothing and is detected by its exit
+    code).
     """
+    from ..telemetry import RingBufferSink, TelemetryBus, set_bus
+
+    bus = TelemetryBus()
+    capture = bus.add_sink(RingBufferSink())
+    set_bus(bus)
     try:
         result = worker_fn(payload)
-        conn.send(("ok", result))
+        conn.send(("ok", result, capture.events))
     except BaseException as exc:  # noqa: BLE001 - report, don't mask
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                ("error", f"{type(exc).__name__}: {exc}", capture.events)
+            )
         except (BrokenPipeError, OSError):
             pass
     finally:
@@ -397,8 +447,7 @@ def _run_counts_in_processes(
     timeout_per_count: Optional[float],
     max_retries: int,
     retry_backoff: float,
-    on_run=None,
-    on_failure=None,
+    bus=None,
 ):
     """Self-healing process-per-count scheduler.
 
@@ -408,23 +457,55 @@ def _run_counts_in_processes(
     blows its per-count deadline is retried with exponential backoff up
     to ``max_retries`` extra attempts; the other counts never notice.
     Returns ``(results, failures)`` keyed by stage count.
+
+    Worker lifecycle (spawn / retry / timeout / crash / completion)
+    is published on the telemetry ``bus``; completed and finally-failed
+    counts carry their payload objects in private ``_result`` /
+    ``_failure`` attrs for in-process subscribers (checkpointing), and
+    each worker's own captured event stream is re-emitted with
+    ``num_stages``/``attempt`` attribution.
     """
     ctx = multiprocessing.get_context()
+    bus = bus if bus is not None else get_bus()
     queue = deque((count, 0, 0.0) for count in counts)  # (count, attempt, not_before)
     active: dict = {}
     results: dict = {}
     failures: dict = {}
 
+    def forward(worker_events, count: int, attempt: int) -> None:
+        if not bus.active:
+            return
+        for event in worker_events:
+            bus.emit_event(
+                event.with_attrs(num_stages=count, attempt=attempt)
+            )
+
     def register_failure(count: int, attempt: int, error: str) -> None:
         if attempt < max_retries:
             delay = retry_backoff * (2 ** attempt)
             queue.append((count, attempt + 1, time.monotonic() + delay))
+            bus.emit(
+                "driver.worker.retry",
+                source="driver",
+                level=WARNING,
+                num_stages=count,
+                attempt=attempt,
+                delay=delay,
+                error=error,
+            )
         else:
             failures[count] = SearchFailure(
                 num_stages=count, error=error, attempts=attempt + 1
             )
-            if on_failure is not None:
-                on_failure(failures[count])
+            bus.emit(
+                "driver.count.failed",
+                source="driver",
+                level=WARNING,
+                num_stages=count,
+                attempts=attempt + 1,
+                error=error,
+                _failure=failures[count],
+            )
 
     while queue or active:
         now = time.monotonic()
@@ -445,6 +526,13 @@ def _run_counts_in_processes(
             )
             process.start()
             child_conn.close()
+            bus.emit(
+                "driver.worker.spawn",
+                source="driver",
+                num_stages=count,
+                attempt=attempt,
+                worker_pid=process.pid,
+            )
             active[count] = _ActiveWorker(
                 process=process,
                 conn=parent_conn,
@@ -475,16 +563,38 @@ def _run_counts_in_processes(
             if message is not None:
                 worker.process.join()
                 finished.append(count)
-                status, value = message
+                status, value, worker_events = message
+                forward(worker_events, count, worker.attempt)
                 if status == "ok":
                     results[count] = value
-                    if on_run is not None:
-                        on_run(value)
+                    bus.emit(
+                        "driver.count.completed",
+                        source="driver",
+                        num_stages=count,
+                        attempt=worker.attempt,
+                        _result=value,
+                    )
                 else:
+                    bus.emit(
+                        "driver.worker.error",
+                        source="driver",
+                        level=WARNING,
+                        num_stages=count,
+                        attempt=worker.attempt,
+                        error=value,
+                    )
                     register_failure(count, worker.attempt, value)
             elif not worker.process.is_alive():
                 worker.process.join()
                 finished.append(count)
+                bus.emit(
+                    "driver.worker.crash",
+                    source="driver",
+                    level=WARNING,
+                    num_stages=count,
+                    attempt=worker.attempt,
+                    exitcode=worker.process.exitcode,
+                )
                 register_failure(
                     count,
                     worker.attempt,
@@ -498,6 +608,14 @@ def _run_counts_in_processes(
                 worker.process.terminate()
                 worker.process.join()
                 finished.append(count)
+                bus.emit(
+                    "driver.worker.timeout",
+                    source="driver",
+                    level=WARNING,
+                    num_stages=count,
+                    attempt=worker.attempt,
+                    timeout=timeout_per_count,
+                )
                 register_failure(
                     count,
                     worker.attempt,
@@ -596,65 +714,122 @@ def search_all_stage_counts(
     started = time.perf_counter()
     outcome = MultiStageSearchResult(workers=min(workers, len(counts)))
 
-    def on_run(run: StageCountResult) -> None:
-        if checkpoint is not None:
-            checkpoint.record_run(run)
+    # Checkpoint recording subscribes to the driver's lifecycle events
+    # instead of threading ad-hoc callbacks through the scheduler: the
+    # serial loop and the multiprocess scheduler publish the same
+    # ``driver.count.completed`` / ``driver.count.failed`` events, and
+    # this sink (whose presence activates the bus) persists them.
+    bus = get_bus()
+    checkpoint_sink = None
+    if checkpoint is not None:
+        snapshot = checkpoint
 
-    def on_failure(failure: SearchFailure) -> None:
-        if checkpoint is not None:
-            checkpoint.record_failure(failure)
+        def record(event: Event) -> None:
+            if event.name == "driver.count.completed":
+                snapshot.record_run(event.attrs["_result"])
+            else:
+                snapshot.record_failure(event.attrs["_failure"])
+
+        checkpoint_sink = bus.add_sink(CallbackSink(
+            record,
+            names=("driver.count.completed", "driver.count.failed"),
+        ))
+
+    bus.emit(
+        "driver.begin",
+        source="driver",
+        stage_counts=list(counts),
+        workers=min(workers, len(counts)),
+        restored=sorted(done_counts),
+    )
+    for run in restored:
+        bus.emit(
+            "driver.count.restored",
+            source="driver",
+            num_stages=run.num_stages,
+        )
 
     results: dict = {run.num_stages: run for run in restored}
     failures: dict = {}
-    if workers <= 1 or len(todo) <= 1:
-        for count in todo:
-            attempt = 0
-            while True:
-                try:
-                    init = balanced_config(graph, cluster, count)
-                    search = AcesoSearch(
-                        graph, cluster, perf_model, options=options
-                    )
-                    result = search.run(init, SearchBudget(**budget_kwargs))
-                except Exception as exc:  # noqa: BLE001 - degrade, record
-                    if attempt < max_retries:
-                        time.sleep(retry_backoff * (2 ** attempt))
-                        attempt += 1
-                        continue
-                    failures[count] = SearchFailure(
+    try:
+        if workers <= 1 or len(todo) <= 1:
+            for count in todo:
+                attempt = 0
+                while True:
+                    try:
+                        init = balanced_config(graph, cluster, count)
+                        search = AcesoSearch(
+                            graph, cluster, perf_model, options=options
+                        )
+                        result = search.run(
+                            init, SearchBudget(**budget_kwargs)
+                        )
+                    except Exception as exc:  # noqa: BLE001 - degrade, record
+                        error = f"{type(exc).__name__}: {exc}"
+                        if attempt < max_retries:
+                            delay = retry_backoff * (2 ** attempt)
+                            bus.emit(
+                                "driver.worker.retry",
+                                source="driver",
+                                level=WARNING,
+                                num_stages=count,
+                                attempt=attempt,
+                                delay=delay,
+                                error=error,
+                            )
+                            time.sleep(delay)
+                            attempt += 1
+                            continue
+                        failures[count] = SearchFailure(
+                            num_stages=count,
+                            error=error,
+                            attempts=attempt + 1,
+                        )
+                        bus.emit(
+                            "driver.count.failed",
+                            source="driver",
+                            level=WARNING,
+                            num_stages=count,
+                            attempts=attempt + 1,
+                            error=error,
+                            _failure=failures[count],
+                        )
+                        break
+                    run = StageCountResult(num_stages=count, result=result)
+                    results[count] = run
+                    bus.emit(
+                        "driver.count.completed",
+                        source="driver",
                         num_stages=count,
-                        error=f"{type(exc).__name__}: {exc}",
-                        attempts=attempt + 1,
+                        attempt=attempt,
+                        _result=run,
                     )
-                    on_failure(failures[count])
                     break
-                run = StageCountResult(num_stages=count, result=result)
-                results[count] = run
-                on_run(run)
-                break
-    elif todo:
-        model_kwargs = {
-            "cache_size": perf_model._cache_size,
-            "stage_cache_size": perf_model._stage_cache_size,
-            "reserve_safety_factor": perf_model.reserve_safety_factor,
-        }
+        elif todo:
+            model_kwargs = {
+                "cache_size": perf_model._cache_size,
+                "stage_cache_size": perf_model._stage_cache_size,
+                "reserve_safety_factor": perf_model.reserve_safety_factor,
+            }
 
-        def payload_for(count: int) -> tuple:
-            return (graph, cluster, perf_model.database, count, options,
-                    budget_kwargs, model_kwargs)
+            def payload_for(count: int) -> tuple:
+                return (graph, cluster, perf_model.database, count, options,
+                        budget_kwargs, model_kwargs)
 
-        fresh, failures = _run_counts_in_processes(
-            todo,
-            payload_for,
-            worker_fn,
-            max_workers=min(workers, len(todo)),
-            timeout_per_count=timeout_per_count,
-            max_retries=max_retries,
-            retry_backoff=retry_backoff,
-            on_run=on_run,
-            on_failure=on_failure,
-        )
-        results.update(fresh)
+            fresh, failures = _run_counts_in_processes(
+                todo,
+                payload_for,
+                worker_fn,
+                max_workers=min(workers, len(todo)),
+                timeout_per_count=timeout_per_count,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                bus=bus,
+            )
+            results.update(fresh)
+    finally:
+        if checkpoint_sink is not None:
+            bus.remove_sink(checkpoint_sink)
 
     # Deterministic merge in stage-count order, regardless of the order
     # workers finished (or which half came from a resumed checkpoint).
@@ -663,4 +838,11 @@ def search_all_stage_counts(
         failures[count] for count in counts if count in failures
     )
     outcome.wall_seconds = time.perf_counter() - started
+    bus.emit(
+        "driver.end",
+        source="driver",
+        completed=sorted(results),
+        failed=sorted(failures),
+        wall_seconds=outcome.wall_seconds,
+    )
     return outcome

@@ -128,3 +128,35 @@ class SearchTrace:
         ]
         trace.convergence = [tuple(p) for p in data["convergence"]]
         return trace
+
+    # ------------------------------------------------------------------
+    # reconstruction from the telemetry event stream
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events) -> "SearchTrace":
+        """Rebuild a trace from ``search.begin``/``search.iteration``
+        telemetry events (see :mod:`repro.telemetry`).
+
+        ``AcesoSearch`` emits its per-iteration outcomes as events and
+        derives its :class:`SearchTrace` through this constructor, so
+        the trace in checkpoints and ablation benches is exactly the
+        event stream replayed — same floats, bit-for-bit.
+        """
+        trace = cls()
+        for event in events:
+            if event.name == "search.begin":
+                trace.convergence.append(
+                    (0.0, event.attrs["best_objective"])
+                )
+            elif event.name == "search.iteration":
+                attrs = event.attrs
+                trace.record_iteration(
+                    index=attrs["index"],
+                    elapsed=attrs["elapsed"],
+                    bottlenecks_tried=attrs["bottlenecks_tried"],
+                    hops_used=attrs["hops_used"],
+                    improved=attrs["improved"],
+                    objective=attrs["objective"],
+                    best_objective=attrs["best_objective"],
+                )
+        return trace

@@ -24,6 +24,7 @@ from ..cluster.topology import ClusterSpec, LinkSpec
 from ..ir.graph import OpGraph
 from ..parallel.config import ParallelConfig
 from ..parallel.validation import ConfigError, validate_config
+from ..telemetry import WARNING, get_bus
 from .plan import FaultPlan
 
 
@@ -41,6 +42,17 @@ def degrade_cluster(cluster: ClusterSpec, plan: FaultPlan) -> ClusterSpec:
     inter = plan.bandwidth_factor("inter")
     if intra >= 1.0 and inter >= 1.0:
         return cluster
+    bus = get_bus()
+    if bus.active:
+        for scope, factor in (("intra", intra), ("inter", inter)):
+            if factor < 1.0:
+                bus.emit(
+                    "faults.link_degradation",
+                    source="faults",
+                    level=WARNING,
+                    scope=scope,
+                    factor=float(factor),
+                )
     return replace(
         cluster,
         intra_node=_degrade_link(cluster.intra_node, intra),

@@ -37,6 +37,7 @@ from ..ir.graph import OpGraph
 from ..parallel.config import ParallelConfig
 from ..parallel.stage import StageConfig
 from ..profiling.database import ProfileDatabase, ProfiledGraph
+from ..telemetry import DEBUG, CounterGroup, get_bus
 from .memory import (
     activation_kept_mask,
     in_flight_counts,
@@ -100,9 +101,17 @@ class PerfModel:
             OrderedDict()
         )
         self._stage_cache_size = stage_cache_size
-        self.num_estimates = 0  # unique configurations costed
-        self.num_stage_costs = 0  # stage-cache misses
-        self.num_stage_hits = 0  # stage-cache hits
+        # Telemetry counters replace the former bare-int attributes;
+        # the individual Counter objects are hoisted to slots-backed
+        # locals because ``inc`` sits on the estimator hot path.
+        self.counters = CounterGroup(
+            "perfmodel",
+            ("estimates", "config_hits", "stage_costs", "stage_hits"),
+        )
+        self._c_estimates = self.counters["estimates"]
+        self._c_config_hits = self.counters["config_hits"]
+        self._c_stage_costs = self.counters["stage_costs"]
+        self._c_stage_hits = self.counters["stage_hits"]
         # num_estimates value at the first non-OOM report, or None —
         # the "estimates until a feasible plan" metric of the elastic
         # re-planning experiment.
@@ -133,20 +142,56 @@ class PerfModel:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    @property
+    def num_estimates(self) -> int:
+        """Unique configurations costed (config-cache misses)."""
+        return self._c_estimates.value
+
+    @property
+    def num_stage_costs(self) -> int:
+        """Stage-cache misses."""
+        return self._c_stage_costs.value
+
+    @property
+    def num_stage_hits(self) -> int:
+        """Stage-cache hits."""
+        return self._c_stage_hits.value
+
+    def emit_counters(self, bus=None) -> None:
+        """Publish a ``perfmodel.counters`` snapshot on the bus."""
+        self.counters.emit_to(bus if bus is not None else get_bus())
+
     def estimate(self, config: ParallelConfig) -> PerfReport:
         """Predict the performance of ``config`` (memoized)."""
         key = config.signature()
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            self._c_config_hits.value += 1
             return cached
         report = self._estimate_uncached(config)
         if len(self._cache) >= self._cache_size:
             self._cache.popitem(last=False)
         self._cache[key] = report
-        self.num_estimates += 1
+        self._c_estimates.value += 1
+        bus = get_bus()
         if self.first_feasible_estimate is None and not report.is_oom:
-            self.first_feasible_estimate = self.num_estimates
+            self.first_feasible_estimate = self._c_estimates.value
+            if bus.active:
+                bus.emit(
+                    "perfmodel.first_feasible",
+                    source="perfmodel",
+                    level=DEBUG,
+                    estimates=self.first_feasible_estimate,
+                )
+        if bus.active:
+            bus.emit(
+                "perfmodel.estimate",
+                source="perfmodel",
+                level=DEBUG,
+                oom=report.is_oom,
+                iteration_time=report.iteration_time,
+            )
         return report
 
     def estimate_fresh(self, config: ParallelConfig) -> PerfReport:
@@ -210,13 +255,13 @@ class PerfModel:
         cached = self._stage_cache.get(key)
         if cached is not None:
             self._stage_cache.move_to_end(key)
-            self.num_stage_hits += 1
+            self._c_stage_hits.value += 1
             return cached
         cost = self._cost_stage_uncached(stage, mbs)
         if len(self._stage_cache) >= self._stage_cache_size:
             self._stage_cache.popitem(last=False)
         self._stage_cache[key] = cost
-        self.num_stage_costs += 1
+        self._c_stage_costs.value += 1
         return cost
 
     def _cost_stage_uncached(self, stage: StageConfig, mbs: int) -> StageCost:

@@ -18,7 +18,7 @@ from .schedule import (
     max_in_flight,
     stage_schedule,
 )
-from .simulator import SimulationResult, simulate_pipeline
+from .simulator import SimulationResult, TaskRecord, simulate_pipeline
 
 __all__ = [
     "BACKWARD",
@@ -36,6 +36,7 @@ __all__ = [
     "FRAMEWORK_OVERHEAD",
     "SimulationResult",
     "Task",
+    "TaskRecord",
     "full_schedule",
     "max_in_flight",
     "replay_transients",

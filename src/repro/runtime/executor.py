@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,9 +23,10 @@ from ..cluster.topology import ClusterSpec
 from ..ir.graph import OpGraph
 from ..parallel.config import ParallelConfig
 from ..perfmodel.memory import activation_kept_mask
+from ..telemetry import DEBUG, WARNING, get_bus
 from .allocator import replay_transients
 from .schedule import max_in_flight
-from .simulator import simulate_pipeline
+from .simulator import TaskRecord, simulate_pipeline
 
 #: Real runs carry scheduling/launch overheads the analytic model
 #: ignores; the paper's model under-predicts slightly for the same
@@ -63,6 +64,9 @@ class ExecutionResult:
     failed_device: Optional[int] = None
     tasks_completed: int = 0
     tasks_total: int = 0
+    #: Per-task timeline (populated when the run recorded a trace);
+    #: feed to :func:`repro.telemetry.chrome_trace_from_tasks`.
+    tasks: Tuple[TaskRecord, ...] = ()
 
     @property
     def max_memory(self) -> float:
@@ -106,7 +110,11 @@ class Executor:
 
     # ------------------------------------------------------------------
     def run(
-        self, config: ParallelConfig, fault_plan=None
+        self,
+        config: ParallelConfig,
+        fault_plan=None,
+        *,
+        record_trace: Optional[bool] = None,
     ) -> ExecutionResult:
         """Execute one training iteration of ``config``.
 
@@ -115,9 +123,17 @@ class Executor:
         stage, link degradations stretch every transfer priced on the
         affected link class, transient allocator OOMs stall individual
         tasks, and a device failure halts the iteration mid-flight.
+
+        ``record_trace`` keeps the per-task 1F1B timeline on the
+        result (and emits it as ``runtime.task`` telemetry events);
+        the default records exactly when the telemetry bus has sinks
+        attached, so plain runs pay nothing.
         """
         from ..profiling import cost
 
+        bus = get_bus()
+        if record_trace is None:
+            record_trace = bus.active
         graph, cluster = self.graph, self.cluster
         plan = fault_plan
         if plan is not None and plan.is_empty:
@@ -234,13 +250,45 @@ class Executor:
                 fwd_matrix *= straggle[:, None]
                 bwd_matrix *= straggle[:, None]
                 degraded = True
-            degraded |= self._apply_transient_ooms(
+                if bus.active:
+                    for stage, factor in enumerate(straggle):
+                        if factor > 1.0:
+                            bus.emit(
+                                "faults.straggler",
+                                source="faults",
+                                level=WARNING,
+                                stage=stage,
+                                factor=float(factor),
+                            )
+            oom_hit = self._apply_transient_ooms(
                 config, plan, fwd_matrix, bwd_matrix
             )
+            degraded |= oom_hit
+            if oom_hit and bus.active:
+                bus.emit(
+                    "faults.transient_oom",
+                    source="faults",
+                    level=WARNING,
+                    stages=sorted(
+                        {
+                            spec.stage
+                            for spec in plan.transient_ooms
+                            if spec.stage < config.num_stages
+                        }
+                    ),
+                )
             failure = plan.first_failure(config.total_devices)
             if failure is not None:
                 halt_at = failure.time
                 failed_device = failure.device_id
+                if bus.active:
+                    bus.emit(
+                        "faults.device_failure",
+                        source="faults",
+                        level=WARNING,
+                        device=failure.device_id,
+                        time=failure.time,
+                    )
 
         sim = simulate_pipeline(
             fwd_matrix,
@@ -250,7 +298,32 @@ class Executor:
             dp_sync_times=dp_sync * overhead,
             style=self.schedule_style,
             halt_at=halt_at,
+            record_tasks=record_trace,
         )
+        if bus.active:
+            for task in sim.tasks:
+                bus.emit(
+                    "runtime.task",
+                    source="runtime",
+                    level=DEBUG,
+                    stage=task.stage,
+                    microbatch=task.microbatch,
+                    direction=task.direction,
+                    start=task.start,
+                    end=task.end,
+                )
+            bus.emit(
+                "runtime.run",
+                source="runtime",
+                level=WARNING if sim.halted else DEBUG,
+                makespan=sim.makespan,
+                num_stages=num_stages,
+                num_microbatches=num_mb,
+                halted=sim.halted,
+                degraded=degraded,
+                tasks_completed=sim.tasks_completed,
+                tasks_total=sim.tasks_total,
+            )
 
         memory = self._measure_memory(
             config, samples, etp, rc, stage_id, num_mb, rng
@@ -269,6 +342,7 @@ class Executor:
             failed_device=failed_device if sim.halted else None,
             tasks_completed=sim.tasks_completed,
             tasks_total=sim.tasks_total,
+            tasks=sim.tasks,
         )
 
     # ------------------------------------------------------------------

@@ -10,11 +10,28 @@ the makespan plus per-stage busy times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .schedule import FORWARD, ONE_F_ONE_B, full_schedule
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed pipeline task: where, what, and when.
+
+    The raw material of the Chrome-trace export
+    (:func:`repro.telemetry.chrome_trace_from_tasks`): ``stage`` is the
+    device track, ``direction`` is ``"fwd"`` or ``"bwd"``, and
+    ``start``/``end`` are simulator seconds.
+    """
+
+    stage: int
+    microbatch: int
+    direction: str
+    start: float
+    end: float
 
 
 @dataclass(frozen=True)
@@ -23,7 +40,9 @@ class SimulationResult:
 
     ``halted`` marks a run cut short by a fault (``halt_at``); then
     ``makespan`` is the halt time and ``tasks_completed`` counts the
-    pipeline tasks that finished before the cut.
+    pipeline tasks that finished before the cut.  ``tasks`` holds the
+    per-task timeline when the simulation ran with
+    ``record_tasks=True`` (empty otherwise).
     """
 
     makespan: float
@@ -32,6 +51,7 @@ class SimulationResult:
     halted: bool = False
     tasks_completed: int = 0
     tasks_total: int = 0
+    tasks: Tuple[TaskRecord, ...] = ()
 
     @property
     def num_stages(self) -> int:
@@ -71,6 +91,7 @@ def simulate_pipeline(
     dp_sync_times: Optional[Sequence[float]] = None,
     style: str = ONE_F_ONE_B,
     halt_at: Optional[float] = None,
+    record_tasks: bool = False,
 ) -> SimulationResult:
     """Execute a pipeline schedule's dependency graph.
 
@@ -88,6 +109,8 @@ def simulate_pipeline(
             *start* at or past this instant.  Tasks blocked behind a
             halted stage never run either, so a single device failure
             stalls the whole pipeline the way a real NCCL job does.
+        record_tasks: keep a :class:`TaskRecord` per executed task so
+            the run can be exported as a Chrome trace timeline.
     """
     if halt_at is not None and halt_at < 0:
         raise ValueError("halt_at must be non-negative")
@@ -115,6 +138,7 @@ def simulate_pipeline(
     tasks_total = sum(len(s) for s in schedules)
     remaining = tasks_total
     halted = False
+    records: List[TaskRecord] = []
     while remaining:
         progressed = False
         for stage in range(num_stages):
@@ -154,6 +178,16 @@ def simulate_pipeline(
                     f_end[stage, m] = end
                 else:
                     b_end[stage, m] = end
+                if record_tasks:
+                    records.append(TaskRecord(
+                        stage=stage,
+                        microbatch=m,
+                        direction=(
+                            "fwd" if task.direction == FORWARD else "bwd"
+                        ),
+                        start=float(start),
+                        end=float(end),
+                    ))
                 pointers[stage] += 1
                 remaining -= 1
                 progressed = True
@@ -174,6 +208,7 @@ def simulate_pipeline(
             halted=True,
             tasks_completed=tasks_total - remaining,
             tasks_total=tasks_total,
+            tasks=tuple(records),
         )
 
     if dp_sync_times is not None:
@@ -191,4 +226,5 @@ def simulate_pipeline(
         halted=False,
         tasks_completed=tasks_total,
         tasks_total=tasks_total,
+        tasks=tuple(records),
     )

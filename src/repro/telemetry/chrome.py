@@ -1,0 +1,168 @@
+"""Chrome trace-event export of simulated pipeline timelines.
+
+Converts the runtime's per-device task spans (one ``runtime.task``
+event per forward/backward task of the 1F1B schedule) into the Trace
+Event Format that ``chrome://tracing`` and Perfetto load: each pipeline
+is a process, each stage a thread, each task a complete (``"X"``)
+event with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from .bus import Event
+
+#: Seconds (simulator clock) -> microseconds (trace-event clock).
+_US = 1e6
+
+
+def _task_event(
+    *,
+    stage: int,
+    microbatch: int,
+    direction: str,
+    start: float,
+    end: float,
+    pid: int,
+) -> dict:
+    letter = "F" if direction == "fwd" else "B"
+    return {
+        "name": f"{letter}{microbatch}",
+        "cat": "forward" if direction == "fwd" else "backward",
+        "ph": "X",
+        "ts": start * _US,
+        "dur": max(0.0, end - start) * _US,
+        "pid": pid,
+        "tid": stage,
+        "args": {"microbatch": microbatch, "direction": direction},
+    }
+
+
+def _metadata(pid: int, tids: Sequence[int], process_name: str) -> List[dict]:
+    meta = [{
+        "name": "process_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid in sorted(tids):
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"stage {tid}"},
+        })
+    return meta
+
+
+def chrome_trace_from_tasks(
+    tasks: Iterable, *, pid: int = 1, process_name: str = "pipeline"
+) -> dict:
+    """Trace document from simulator task records.
+
+    ``tasks`` is an iterable of ``TaskRecord`` (or any object with
+    ``stage``/``microbatch``/``direction``/``start``/``end``), e.g.
+    :attr:`repro.runtime.simulator.SimulationResult.tasks`.
+    """
+    spans = [
+        _task_event(
+            stage=int(t.stage),
+            microbatch=int(t.microbatch),
+            direction=t.direction,
+            start=float(t.start),
+            end=float(t.end),
+            pid=pid,
+        )
+        for t in tasks
+    ]
+    tids = {span["tid"] for span in spans}
+    spans.sort(key=lambda s: (s["tid"], s["ts"]))
+    return {
+        "traceEvents": _metadata(pid, tids, process_name) + spans,
+        "displayTimeUnit": "ms",
+    }
+
+
+def chrome_trace_from_events(events: Iterable[Event]) -> dict:
+    """Trace document from ``runtime.task`` telemetry events.
+
+    Events from different processes (e.g. forwarded stage-count
+    workers) become separate trace processes keyed by their pid.
+    """
+    by_pid: Dict[int, List[dict]] = defaultdict(list)
+    for event in events:
+        if event.name != "runtime.task":
+            continue
+        attrs = event.attrs
+        by_pid[event.pid].append(_task_event(
+            stage=int(attrs["stage"]),
+            microbatch=int(attrs["microbatch"]),
+            direction=attrs["direction"],
+            start=float(attrs["start"]),
+            end=float(attrs["end"]),
+            pid=event.pid,
+        ))
+    trace_events: List[dict] = []
+    for pid in sorted(by_pid):
+        spans = by_pid[pid]
+        spans.sort(key=lambda s: (s["tid"], s["ts"]))
+        tids = {span["tid"] for span in spans}
+        trace_events.extend(_metadata(pid, tids, f"pipeline (pid {pid})"))
+        trace_events.extend(spans)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: dict, path: Union[str, Path]) -> None:
+    """Write a trace document (already validated) to ``path``."""
+    validate_chrome_trace(trace)
+    Path(path).write_text(json.dumps(trace, indent=1))
+
+
+def validate_chrome_trace(trace) -> None:
+    """Assert ``trace`` is well-formed trace-event JSON.
+
+    Checks strict JSON-serializability, the required ``ph``/``ts``/
+    ``pid``/``tid`` keys on every event, non-negative durations, and
+    monotone start timestamps within each ``(pid, tid)`` track.
+    Raises ``ValueError`` on the first violation.
+    """
+    try:
+        json.loads(json.dumps(trace, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"trace is not strict JSON: {exc}")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    last_ts: Dict[tuple, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}]: not an object")
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{i}]: missing {key!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(
+                f"traceEvents[{i}]: ts must be a non-negative number"
+            )
+        if event["ph"] == "X":
+            if "dur" not in event or event["dur"] < 0:
+                raise ValueError(
+                    f"traceEvents[{i}]: X event needs non-negative dur"
+                )
+            track = (event["pid"], event["tid"])
+            if event["ts"] < last_ts.get(track, 0.0):
+                raise ValueError(
+                    f"traceEvents[{i}]: timestamps regress on track "
+                    f"{track}"
+                )
+            last_ts[track] = event["ts"]

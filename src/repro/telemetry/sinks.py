@@ -1,0 +1,167 @@
+"""Telemetry sinks: ring buffer, JSONL run log, console, callbacks.
+
+A sink is anything with ``handle(event)``; ``close()`` is optional and
+called by :meth:`TelemetryBus.close`.  The JSONL format is the on-disk
+run log consumed by ``repro-trace`` and the CI smoke job: one event per
+line, schema-checked by :func:`validate_run_log`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from .bus import LEVEL_NAMES, Event
+
+#: Keys every run-log line must carry (the JSONL schema).
+RUN_LOG_KEYS = ("name", "kind", "ts", "pid", "source", "level", "attrs")
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events: deque = deque(maxlen=capacity)
+
+    def handle(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink:
+    """Append every event to a JSONL run log.
+
+    Lines are flushed on ``close`` (or per event with ``flush_every=1``)
+    so a crashed run still leaves a usable prefix on disk.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], *, flush_every: int = 64
+    ) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._flush_every = max(1, flush_every)
+        self._pending = 0
+
+    def handle(self, event: Event) -> None:
+        self._handle.write(json.dumps(event.to_json()) + "\n")
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._handle.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class ConsoleSink:
+    """Render events at or above ``min_level`` as log lines."""
+
+    def __init__(self, stream=None, *, min_level: int = 30) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_level = min_level
+
+    def handle(self, event: Event) -> None:
+        if event.level < self.min_level:
+            return
+        level = LEVEL_NAMES.get(event.level, str(event.level))
+        attrs = " ".join(
+            f"{key}={value}"
+            for key, value in event.attrs.items()
+            if not key.startswith("_")
+        )
+        prefix = f"[{event.ts:9.3f}s {level:<7}] {event.name}"
+        print(f"{prefix} {attrs}".rstrip(), file=self.stream)
+
+
+class CallbackSink:
+    """Invoke ``fn(event)`` for events whose name is in ``names``.
+
+    ``names=None`` subscribes to everything.  This is how in-process
+    consumers (e.g. checkpoint recording in the stage-count driver)
+    ride the bus instead of bespoke callback plumbing.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Event], None],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._fn = fn
+        self._names = frozenset(names) if names is not None else None
+
+    def handle(self, event: Event) -> None:
+        if self._names is None or event.name in self._names:
+            self._fn(event)
+
+
+# ---------------------------------------------------------------------
+# run-log reading / validation
+# ---------------------------------------------------------------------
+def read_run_log(path: Union[str, Path]) -> List[Event]:
+    """Parse a JSONL run log back into :class:`Event` objects."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_json(json.loads(line)))
+    return events
+
+
+def validate_run_log(path: Union[str, Path]) -> List[Event]:
+    """Strictly validate a JSONL run log; returns the parsed events.
+
+    Every line must be a standalone JSON object carrying the full
+    schema (:data:`RUN_LOG_KEYS`) with JSON-serializable attrs and a
+    non-negative timestamp.  Raises ``ValueError`` with the offending
+    line number on the first violation.
+    """
+    events: List[Event] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                raise ValueError(f"line {lineno}: blank line in run log")
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {lineno}: invalid JSON: {exc}")
+            if not isinstance(data, dict):
+                raise ValueError(f"line {lineno}: event must be an object")
+            missing = [key for key in RUN_LOG_KEYS if key not in data]
+            if missing:
+                raise ValueError(
+                    f"line {lineno}: missing keys {missing}"
+                )
+            if not isinstance(data["name"], str) or not data["name"]:
+                raise ValueError(f"line {lineno}: name must be a string")
+            if not isinstance(data["ts"], (int, float)) or data["ts"] < 0:
+                raise ValueError(
+                    f"line {lineno}: ts must be a non-negative number"
+                )
+            if not isinstance(data["pid"], int):
+                raise ValueError(f"line {lineno}: pid must be an int")
+            if not isinstance(data["attrs"], dict):
+                raise ValueError(f"line {lineno}: attrs must be an object")
+            events.append(Event.from_json(data))
+    return events
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """Serialize events to run-log text (one JSON object per line)."""
+    return "".join(json.dumps(e.to_json()) + "\n" for e in events)

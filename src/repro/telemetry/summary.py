@@ -1,0 +1,161 @@
+"""Run-log summarization for the ``repro-trace`` CLI.
+
+Distills a JSONL run log into the numbers someone diagnosing a search
+actually asks: how many iterations improved, which stage-count workers
+retried or timed out, what faults fired, and what the estimator
+counters ended at — per process, so forwarded worker streams stay
+attributable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from .bus import COUNTER, SPAN_END, Event
+
+
+def summarize_events(events: Sequence[Event]) -> dict:
+    """Aggregate a run-log event stream into a JSON-able summary."""
+    names = TallyCounter(e.name for e in events)
+    sources = TallyCounter(e.source for e in events if e.source)
+    pids = sorted({e.pid for e in events})
+
+    iterations = [e for e in events if e.name == "search.iteration"]
+    improved = [e for e in iterations if e.attrs.get("improved")]
+    best = None
+    for event in iterations:
+        value = event.attrs.get("best_objective")
+        if value is not None and (best is None or value < best):
+            best = value
+
+    lifecycle = TallyCounter(
+        e.name for e in events if e.name.startswith("driver.worker.")
+    )
+    worker_issues = [
+        {
+            "event": e.name.rsplit(".", 1)[-1],
+            "num_stages": e.attrs.get("num_stages"),
+            "attempt": e.attrs.get("attempt"),
+            "error": e.attrs.get("error"),
+            "pid": e.pid,
+        }
+        for e in events
+        if e.name in (
+            "driver.worker.retry",
+            "driver.worker.timeout",
+            "driver.worker.crash",
+            "driver.worker.error",
+        )
+    ]
+    failures = [
+        {
+            "num_stages": e.attrs.get("num_stages"),
+            "attempts": e.attrs.get("attempts"),
+            "error": e.attrs.get("error"),
+        }
+        for e in events
+        if e.name == "driver.count.failed"
+    ]
+
+    faults = TallyCounter(
+        e.name for e in events if e.name.startswith("faults.")
+    )
+
+    counters: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        if event.kind == COUNTER:
+            # Last snapshot per (pid, counter-group) wins.
+            counters[f"{event.name}[pid {event.pid}]"] = {
+                k: v for k, v in event.attrs.items()
+                if isinstance(v, (int, float))
+            }
+
+    spans = defaultdict(list)
+    for event in events:
+        if event.kind == SPAN_END and "duration" in event.attrs:
+            spans[event.name].append(float(event.attrs["duration"]))
+    span_stats = {
+        name: {
+            "count": len(durations),
+            "total_seconds": sum(durations),
+            "max_seconds": max(durations),
+        }
+        for name, durations in spans.items()
+    }
+
+    return {
+        "num_events": len(events),
+        "processes": pids,
+        "events_by_name": dict(sorted(names.items())),
+        "events_by_source": dict(sorted(sources.items())),
+        "search": {
+            "iterations": len(iterations),
+            "improved": len(improved),
+            "best_objective": best,
+        },
+        "driver": {
+            "lifecycle": dict(sorted(lifecycle.items())),
+            "issues": worker_issues,
+            "failed_counts": failures,
+        },
+        "faults": dict(sorted(faults.items())),
+        "counters": counters,
+        "spans": span_stats,
+    }
+
+
+def render_summary(summary: dict) -> List[str]:
+    """Human-readable lines for a :func:`summarize_events` summary."""
+    lines = [
+        f"{summary['num_events']} events from "
+        f"{len(summary['processes'])} process(es)",
+    ]
+    search = summary["search"]
+    if search["iterations"]:
+        best = search["best_objective"]
+        best_text = f"{best:.6f}" if best is not None else "-"
+        lines.append(
+            f"search: {search['iterations']} iterations, "
+            f"{search['improved']} improved, best objective {best_text}"
+        )
+    driver = summary["driver"]
+    if driver["lifecycle"]:
+        pairs = ", ".join(
+            f"{name.rsplit('.', 1)[-1]}={count}"
+            for name, count in driver["lifecycle"].items()
+        )
+        lines.append(f"driver: {pairs}")
+    for issue in driver["issues"]:
+        lines.append(
+            f"  worker[{issue['num_stages']}-stage] {issue['event']} "
+            f"(attempt {issue['attempt']}, pid {issue['pid']})"
+            + (f": {issue['error']}" if issue.get("error") else "")
+        )
+    for failure in driver["failed_counts"]:
+        lines.append(
+            f"  FAILED {failure['num_stages']}-stage after "
+            f"{failure['attempts']} attempt(s): {failure['error']}"
+        )
+    if summary["faults"]:
+        pairs = ", ".join(
+            f"{name.split('.', 1)[1]}={count}"
+            for name, count in summary["faults"].items()
+        )
+        lines.append(f"faults: {pairs}")
+    for name, values in summary["counters"].items():
+        pairs = ", ".join(f"{k}={v}" for k, v in values.items())
+        lines.append(f"counters {name}: {pairs}")
+    if summary["spans"]:
+        lines.append("spans:")
+        for name, stats in sorted(summary["spans"].items()):
+            lines.append(
+                f"  {name}: {stats['count']}x, "
+                f"total {stats['total_seconds']:.3f}s, "
+                f"max {stats['max_seconds']:.3f}s"
+            )
+    lines.append("events by name:")
+    for name, count in summary["events_by_name"].items():
+        lines.append(f"  {name:<28} {count}")
+    return lines
