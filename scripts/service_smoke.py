@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI smoke test for the planner service (`repro-serve`).
+
+Boots the daemon as a real subprocess, fires concurrent plan requests
+at it — including one guaranteed worker crash (nonexistent model) and
+one sub-second deadline — and asserts that every request gets a
+well-formed terminal response (served / partial / rejected / failed),
+that nothing hangs, and that the daemon drains cleanly on SIGTERM
+leaving a schema-valid run log behind for the build artifact.
+
+Run from the repository root: ``PYTHONPATH=src python scripts/service_smoke.py``
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+TERMINAL = {"served", "partial", "rejected", "failed"}
+SMOKE_DIR = "smoke-service"
+
+REQUESTS = [
+    # Normal load (the first two share a fingerprint: cache check).
+    {"model": "gpt-2l", "gpus": 4, "stage_counts": [1, 2],
+     "iterations": 3},
+    {"model": "gpt-2l", "gpus": 4, "stage_counts": [1, 2],
+     "iterations": 3},
+    # Injected worker crash: the model does not exist, the search
+    # raises, and the daemon must answer `failed` (or `rejected` once
+    # the breaker for this config opens) — never hang or 500-garbage.
+    {"model": "no-such-model", "gpus": 4},
+    # Sub-second deadline on a search that cannot finish in time: the
+    # anytime path must answer with best-so-far or a clean failure.
+    {"model": "gpt-4l", "gpus": 4, "stage_counts": [1, 2, 4],
+     "iterations": 200, "deadline_seconds": 0.5},
+    # Queue pressure with a priority request mixed in.
+    {"model": "gpt-2l", "gpus": 4, "stage_counts": [1],
+     "iterations": 2, "priority": 5},
+    {"model": "gpt-2l", "gpus": 4, "stage_counts": [2],
+     "iterations": 2},
+]
+
+
+def post_plan(port, payload, timeout=180):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/plan",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main():
+    os.makedirs(SMOKE_DIR, exist_ok=True)
+    run_log = os.path.join(SMOKE_DIR, "daemon-events.jsonl")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "from repro.cli import serve_main; "
+            "raise SystemExit(serve_main())",
+            "--port", "0",
+            "--workers", "2",
+            "--queue-limit", "3",
+            "--state-dir", os.path.join(SMOKE_DIR, "state"),
+            "--run-log", run_log,
+            "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = process.stdout.readline()
+    assert "listening on" in banner, f"daemon did not start: {banner!r}"
+    port = int(banner.rsplit(":", 1)[1])
+    print(f"daemon up on port {port}")
+
+    results = [None] * len(REQUESTS)
+
+    def client(index):
+        results[index] = post_plan(port, REQUESTS[index])
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(len(REQUESTS))
+    ]
+    # Give the crash and deadline requests a head start so they reach a
+    # worker; the trailing pair then applies queue pressure.
+    for thread in threads[:4]:
+        thread.start()
+    import time as _time
+
+    _time.sleep(0.25)
+    for thread in threads[4:]:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=240)
+
+    problems = []
+    for index, result in enumerate(results):
+        if result is None:
+            problems.append(f"request {index} hung or errored")
+            continue
+        code, body = result
+        status = body.get("status")
+        print(f"request {index}: http {code} -> {status}")
+        if status not in TERMINAL:
+            problems.append(
+                f"request {index}: non-terminal status {status!r}"
+            )
+        if status in ("served", "partial") and not body.get("plan"):
+            problems.append(f"request {index}: {status} without a plan")
+        if status == "rejected" and body.get("retry_after") is None:
+            problems.append(
+                f"request {index}: rejected without retry_after"
+            )
+    if results[2] is not None:
+        crash_status = results[2][1].get("status")
+        if crash_status not in ("failed", "rejected"):
+            problems.append(
+                f"injected crash answered {crash_status!r}, expected "
+                "failed/rejected"
+            )
+
+    code, health = (
+        None,
+        json.loads(
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ).read()
+        ),
+    )
+    print(f"healthz: {health['status']}")
+    if health["status"] not in ("healthy", "degraded"):
+        problems.append(f"bad healthz status: {health['status']!r}")
+
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        problems.append("daemon did not drain within 60s of SIGTERM")
+
+    from repro.telemetry import validate_run_log
+
+    events = validate_run_log(run_log)
+    service_events = [
+        e for e in events if e.name.startswith("service.")
+    ]
+    print(
+        f"run log: {len(events)} events "
+        f"({len(service_events)} service.*), schema OK"
+    )
+    if not service_events:
+        problems.append("run log has no service.* events")
+
+    if problems:
+        print("\nFAILURES:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

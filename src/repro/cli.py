@@ -194,11 +194,34 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         help="restore completed stage counts from --checkpoint instead "
         "of re-searching them",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anytime wall-clock cutoff: stop searching at this point "
+        "and report the best plan found so far (marked partial)",
+    )
+    parser.add_argument(
+        "--worker-memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cap each stage-count worker's address space; a runaway "
+        "search fails as an OOM instead of taking the host down",
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
+    if args.worker_memory_mb is not None and args.worker_memory_mb <= 0:
+        parser.error("--worker-memory-mb must be positive")
 
+    from .core.budget import Deadline
     from .core.checkpoint import CheckpointError
+
+    deadline = (
+        Deadline(args.deadline) if args.deadline is not None else None
+    )
 
     graph = build_model(args.model)
     cluster = paper_cluster(args.gpus)
@@ -216,6 +239,8 @@ def search_main(argv: Optional[List[str]] = None) -> int:
                 max_retries=args.max_retries,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                deadline=deadline,
+                worker_memory_mb=args.worker_memory_mb,
             )
         except CheckpointError as exc:
             print(f"repro-search: {exc}", file=sys.stderr)
@@ -239,11 +264,13 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         "search_seconds_wall": multi.wall_seconds,
         "search_workers": multi.workers,
         "estimates": multi.num_estimates,
+        "partial": multi.partial,
         "failures": [
             {
                 "num_stages": f.num_stages,
                 "error": f.error,
                 "attempts": f.attempts,
+                "kind": f.kind,
             }
             for f in multi.failures
         ],
@@ -264,6 +291,12 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         f"({multi.num_estimates} configurations estimated)",
         payload["config"],
     ]
+    if multi.partial:
+        lines.insert(
+            1,
+            "PARTIAL: the deadline expired before the search finished; "
+            "this is the best plan found so far",
+        )
     _emit_output(args, payload, lines)
     return 0
 
@@ -626,6 +659,134 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
             f"wrote {args.output} "
             f"({len(trace['traceEvents'])} trace events)"
         )
+    return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-serve``: the resilient planner daemon.
+
+    Serves the JSON plan protocol over HTTP until SIGTERM/SIGINT, then
+    drains gracefully: sheds the queue with ``retry_after``, cancels
+    in-flight deadlines so searches checkpoint at the next iteration
+    boundary, and exits — a restarted daemon re-admits the journaled
+    requests and resumes their completed stage counts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Anytime planner service: admission-controlled, "
+        "self-healing daemon over the Aceso search",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8347,
+        help="TCP port (0 picks a free one; default 8347)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="planner worker threads (default 2)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="max queued requests before 429 rejection (default 8)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="persist plans, checkpoints, and the request journal here "
+        "(enables crash/drain recovery)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive failures before a config's breaker opens "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="open-breaker cool-down before a half-open probe "
+        "(default 30)",
+    )
+    parser.add_argument(
+        "--search-workers",
+        type=int,
+        default=1,
+        help="stage-count subprocesses per request (default 1)",
+    )
+    parser.add_argument(
+        "--timeout-per-count",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any stage-count worker exceeding this",
+    )
+    parser.add_argument(
+        "--worker-memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="address-space cap per stage-count worker",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max wait for in-flight searches to checkpoint on "
+        "SIGTERM (default 30)",
+    )
+    _add_telemetry_flags(parser)
+    args = parser.parse_args(argv)
+    if args.worker_memory_mb is not None and args.worker_memory_mb <= 0:
+        parser.error("--worker-memory-mb must be positive")
+
+    import signal
+    import threading
+
+    from .service import PlannerDaemon, serve
+
+    with _telemetry(args):
+        daemon = PlannerDaemon(
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_seconds=args.breaker_reset,
+            state_dir=args.state_dir,
+            search_workers=args.search_workers,
+            timeout_per_count=args.timeout_per_count,
+            worker_memory_mb=args.worker_memory_mb,
+        ).start()
+        server = serve(daemon, host=args.host, port=args.port)
+
+        def _handle_signal(signum, _frame):
+            # serve_forever runs in this (main) thread; shutdown() must
+            # come from another one or it deadlocks on its own loop.
+            threading.Thread(
+                target=server.shutdown, daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle_signal)
+        signal.signal(signal.SIGINT, _handle_signal)
+        host, port = server.server_address[:2]
+        print(
+            f"repro-serve: listening on http://{host}:{port}",
+            flush=True,
+        )
+        try:
+            server.serve_forever(poll_interval=0.2)
+        finally:
+            daemon.drain(timeout=args.drain_timeout)
+            server.server_close()
     return 0
 
 

@@ -16,7 +16,7 @@ from .arguments import (
     tune_recompute,
 )
 from .bottleneck import Bottleneck, identify_bottleneck, rank_bottlenecks
-from .budget import SearchBudget
+from .budget import Deadline, SearchBudget
 from .dedup import UnexploredPool, VisitedSet
 from .finetune import finetune
 from .multihop import MultiHopResult, MultiHopSearcher
@@ -43,6 +43,7 @@ from .search import (
     SearchResult,
     StageCountResult,
     default_stage_counts,
+    retry_delay,
     search_all_stage_counts,
 )
 from .trace import IterationRecord, SearchTrace
@@ -54,6 +55,7 @@ __all__ = [
     "Bottleneck",
     "CandidateGroup",
     "CheckpointError",
+    "Deadline",
     "Granularity",
     "IterationRecord",
     "MultiHopResult",
@@ -90,6 +92,7 @@ __all__ = [
     "move_ops",
     "op_move_counts",
     "rank_bottlenecks",
+    "retry_delay",
     "search_all_stage_counts",
     "stage_activation_bytes",
     "tune_recompute",

@@ -1,16 +1,74 @@
-"""Search budget accounting.
+"""Search budget accounting and cooperative deadlines.
 
 The paper gives every search a fixed wall-clock budget (200 s in §5.1).
 Tests and CI-sized benchmarks need determinism, so the budget also
 supports iteration and estimate limits; whichever trips first ends the
 search.
+
+:class:`Deadline` is the service-facing cousin of the budget: an
+absolute wall-clock cutoff shared by a whole request (possibly spanning
+several per-stage-count searches), checked cooperatively and
+cancellable from another thread.  A budget says "how much work may this
+search do"; a deadline says "by when must an answer exist" — the search
+that hits one returns its best-so-far plan flagged partial instead of
+raising.
 """
 
 from __future__ import annotations
 
 import inspect
 import time
-from typing import Optional
+from typing import Callable, Optional
+
+
+class Deadline:
+    """Cooperative wall-clock cutoff, optionally cancellable.
+
+    ``seconds=None`` never expires on its own but can still be
+    :meth:`cancel`-ed (the planner daemon's drain and watchdog use this
+    to stop in-flight searches at the next iteration boundary).  The
+    ``clock`` is injectable so tests can trip a deadline at an exact,
+    deterministic point in the search.
+    """
+
+    __slots__ = ("seconds", "_clock", "_expires_at", "_cancelled")
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError("deadline seconds must be non-negative")
+        self.seconds = seconds
+        self._clock = clock
+        self._expires_at = None if seconds is None else clock() + seconds
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Expire the deadline immediately (thread-safe: one bool write)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def expired(self) -> bool:
+        if self._cancelled:
+            return True
+        return (
+            self._expires_at is not None
+            and self._clock() >= self._expires_at
+        )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, ``None`` if unbounded, ``0.0`` once expired."""
+        if self._cancelled:
+            return 0.0
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock())
 
 
 class SearchBudget:

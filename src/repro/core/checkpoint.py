@@ -105,23 +105,72 @@ class SearchCheckpoint:
             raise CheckpointError(
                 f"cannot read search checkpoint {path}: {exc}"
             ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"search checkpoint {path} is not a JSON object"
+            )
         version = data.get("format_version")
         if version != CHECKPOINT_FORMAT_VERSION:
             raise CheckpointError(
                 f"unsupported checkpoint format version: {version!r} "
                 f"(expected {CHECKPOINT_FORMAT_VERSION})"
             )
-        return cls(
-            stage_counts=[int(c) for c in data["stage_counts"]],
-            budget_kwargs=data["budget_kwargs"],
-            context=data.get("context", {}),
-            completed={
-                int(count): payload
-                for count, payload in data.get("completed", {}).items()
-            },
-            failures=list(data.get("failures", [])),
-            path=Path(path),
-        )
+        try:
+            return cls(
+                stage_counts=[int(c) for c in data["stage_counts"]],
+                budget_kwargs=data["budget_kwargs"],
+                context=data.get("context", {}),
+                completed={
+                    int(count): payload
+                    for count, payload in data.get("completed", {}).items()
+                },
+                failures=list(data.get("failures", [])),
+                path=Path(path),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"search checkpoint {path} is malformed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    @classmethod
+    def load_or_quarantine(
+        cls, path: Union[str, Path]
+    ) -> Optional["SearchCheckpoint"]:
+        """Load a checkpoint, quarantining an unreadable file.
+
+        Atomic rename protects a checkpoint against crashes mid-write,
+        but not against disk-full, a kill mid-write of an *older*
+        non-atomic copy, or plain bit rot.  A resume must not die on
+        such a file: the corrupt checkpoint is moved aside to
+        ``<path>.corrupt`` (preserved for post-mortems), a
+        ``checkpoint.corrupt`` telemetry event is emitted, and ``None``
+        is returned so the caller starts a fresh search.  A missing
+        file also returns ``None`` (nothing to quarantine).
+        """
+        from ..telemetry import WARNING, get_bus
+
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            return cls.load(path)
+        except CheckpointError as exc:
+            quarantine = path.with_name(path.name + ".corrupt")
+            quarantined = True
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantined = False
+            get_bus().emit(
+                "checkpoint.corrupt",
+                source="checkpoint",
+                level=WARNING,
+                path=str(path),
+                quarantined_to=str(quarantine) if quarantined else None,
+                error=str(exc),
+            )
+            return None
 
     def save(self) -> None:
         """Atomic write (temp file + rename) so a crash mid-write never

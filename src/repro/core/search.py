@@ -23,6 +23,7 @@ interrupted search resumes without repeating work.
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -38,11 +39,15 @@ from ..perfmodel.model import PerfModel
 from ..perfmodel.report import PerfReport
 from ..telemetry import WARNING, CallbackSink, Event, get_bus
 from .bottleneck import rank_bottlenecks
-from .budget import SearchBudget
+from .budget import Deadline, SearchBudget
 from .dedup import UnexploredPool, VisitedSet
 from .finetune import finetune
 from .multihop import MultiHopSearcher
 from .trace import SearchTrace
+
+#: Extra seconds a worker subprocess gets past the request deadline to
+#: ship its best-so-far partial result home before the watchdog reaps it.
+DEADLINE_KILL_GRACE = 1.0
 
 
 @dataclass
@@ -54,6 +59,11 @@ class SearchResult:
     sharing one :class:`PerfModel` and parallel workers with fresh
     models report the same quantity.  ``visited_signatures`` snapshots
     the dedup set for checkpointing.
+
+    ``partial`` marks a search cut short by a :class:`Deadline`: the
+    plan is the best found by that point — bit-exact with what an
+    undeadlined search held after the same completed iterations — not
+    the plan a full budget would have produced.
     """
 
     best_config: ParallelConfig
@@ -65,6 +75,7 @@ class SearchResult:
     elapsed_seconds: float
     converged: bool
     visited_signatures: Tuple[str, ...] = ()
+    partial: bool = False
 
     @property
     def is_feasible(self) -> bool:
@@ -114,6 +125,8 @@ class AcesoSearch:
         self,
         init_config: ParallelConfig,
         budget: SearchBudget,
+        *,
+        deadline: Optional[Deadline] = None,
     ) -> SearchResult:
         """Search from ``init_config`` until ``budget`` is exhausted.
 
@@ -122,6 +135,15 @@ class AcesoSearch:
         from that event stream (``SearchTrace.from_events``), so run
         logs, checkpoints, and ablation benches all read the same
         numbers.
+
+        ``deadline`` makes the search *anytime*: the cutoff is checked
+        cooperatively at iteration boundaries (and inside the multi-hop
+        search, which then halts early), and when it trips the search
+        returns its best-so-far plan flagged ``partial=True`` instead
+        of raising.  An iteration in flight when the deadline expires
+        is discarded rather than applied — its multi-hop may have been
+        truncated — so the iterations that *were* applied are a
+        bit-exact prefix of what an undeadlined search would have done.
         """
         opts = self.options
         bus = get_bus()
@@ -147,6 +169,13 @@ class AcesoSearch:
             else np.random.default_rng(opts.seed)
         )
 
+        def should_stop() -> bool:
+            if deadline is not None and deadline.expired():
+                return True
+            return budget.exhausted(
+                estimates=self.perf_model.num_estimates
+            )
+
         visited = VisitedSet()
         unexplored = UnexploredPool()
         searcher = MultiHopSearcher(
@@ -155,9 +184,7 @@ class AcesoSearch:
             self.perf_model,
             max_hops=opts.max_hops,
             rng=rng,
-            should_stop=lambda: budget.exhausted(
-                estimates=self.perf_model.num_estimates
-            ),
+            should_stop=should_stop,
             beam_width=opts.beam_width,
             max_nodes=opts.max_nodes_per_iteration,
             attach_recompute=opts.attach_recompute,
@@ -174,10 +201,14 @@ class AcesoSearch:
         )
         iteration = 0
         converged = False
+        partial = False
 
         while not budget.exhausted(
             iterations=iteration, estimates=self.perf_model.num_estimates
         ):
+            if deadline is not None and deadline.expired():
+                partial = True
+                break
             iteration += 1
             report = self.perf_model.estimate(config)
             bottlenecks = rank_bottlenecks(report)[: opts.max_bottlenecks]
@@ -193,6 +224,14 @@ class AcesoSearch:
                 )
                 if result is not None:
                     break
+            if deadline is not None and deadline.expired():
+                # The deadline tripped mid-iteration: the multi-hop may
+                # have halted early, so this outcome is not what a full
+                # search would have applied.  Drop it to keep the
+                # applied iterations a bit-exact anytime prefix.
+                iteration -= 1
+                partial = True
+                break
             if result is not None:
                 new_config = result.config
                 if opts.enable_finetune:
@@ -212,6 +251,11 @@ class AcesoSearch:
                         max_split_points=opts.finetune_split_points,
                         stages=scope,
                     )
+                if deadline is not None and deadline.expired():
+                    # Same prefix rule for a deadline hit in finetune.
+                    iteration -= 1
+                    partial = True
+                    break
                 objective = self.perf_model.objective(new_config)
                 config = new_config
                 if objective < best_objective:
@@ -244,10 +288,18 @@ class AcesoSearch:
                     break
                 config = restart
 
+        if partial:
+            emit(
+                "search.deadline",
+                iterations_completed=iteration,
+                elapsed=budget.elapsed(),
+                best_objective=best_objective,
+            )
         emit(
             "search.end",
             iterations=iteration,
             converged=converged,
+            partial=partial,
             best_objective=best_objective,
             num_estimates=self.perf_model.num_estimates - estimates_start,
         )
@@ -264,6 +316,7 @@ class AcesoSearch:
             elapsed_seconds=budget.elapsed(),
             converged=converged,
             visited_signatures=tuple(sorted(visited.signatures())),
+            partial=partial,
         )
 
 
@@ -294,11 +347,40 @@ class SearchFailedError(RuntimeError):
 
 @dataclass(frozen=True)
 class SearchFailure:
-    """Structured record of one stage count that never succeeded."""
+    """Structured record of one stage count that never succeeded.
+
+    ``kind`` classifies the terminal cause so callers (the planner
+    service's circuit breaker, operators reading run logs) can react
+    without parsing error strings:
+
+    - ``"error"``    — the worker raised
+    - ``"oom"``      — the worker hit its ``--worker-memory-mb`` cap
+    - ``"crash"``    — the worker process died
+    - ``"timeout"``  — killed after ``timeout_per_count`` seconds
+    - ``"deadline"`` — shed or reaped because the request deadline
+      expired (never retried: there is no time left to retry in)
+    """
 
     num_stages: int
     error: str
     attempts: int
+    kind: str = "error"
+
+
+def retry_delay(
+    base: float, num_stages: int, attempt: int, seed: int = 0
+) -> float:
+    """Exponential backoff with deterministic, per-attempt jitter.
+
+    Workers that fail simultaneously usually share a cause (a bad node,
+    a full disk); retrying them in lockstep re-forks the whole herd at
+    once.  Each (stage count, attempt) therefore draws a multiplier in
+    ``[1, 2)`` from its own seeded RNG — deterministic across runs for
+    reproducibility, decorrelated across stage counts so the re-forks
+    spread out.
+    """
+    jitter = random.Random(f"{seed}:{num_stages}:{attempt}").random()
+    return base * (2 ** attempt) * (1.0 + jitter)
 
 
 @dataclass
@@ -358,6 +440,19 @@ class MultiStageSearchResult:
         """
         return sum(run.result.num_estimates for run in self.runs)
 
+    @property
+    def partial(self) -> bool:
+        """Whether a deadline cut this search short.
+
+        True when any surviving run holds a best-so-far (rather than
+        budget-complete) plan, or when stage counts were shed before
+        they could start.  A partial result is still a *valid* plan —
+        the anytime contract — it just isn't the full search's answer.
+        """
+        return any(run.result.partial for run in self.runs) or any(
+            f.kind == "deadline" for f in self.failures
+        )
+
     def top_configs(self, k: int = 5) -> List[Tuple[float, ParallelConfig]]:
         merged: List[Tuple[float, ParallelConfig]] = []
         seen = set()
@@ -391,15 +486,43 @@ def _stage_count_worker(payload: tuple) -> StageCountResult:
     fresh model searches exactly like a shared serial one.
     """
     (graph, cluster, database, count, options, budget_kwargs,
-     model_kwargs) = payload
+     model_kwargs, deadline_seconds) = payload
     perf_model = PerfModel(graph, cluster, database, **model_kwargs)
     init = balanced_config(graph, cluster, count)
     search = AcesoSearch(graph, cluster, perf_model, options=options)
-    result = search.run(init, SearchBudget(**budget_kwargs))
+    deadline = (
+        None if deadline_seconds is None else Deadline(deadline_seconds)
+    )
+    result = search.run(
+        init, SearchBudget(**budget_kwargs), deadline=deadline
+    )
     return StageCountResult(num_stages=count, result=result)
 
 
-def _subprocess_entry(worker_fn, payload, conn) -> None:
+def _apply_worker_memory_limit(memory_limit_mb: Optional[float]) -> None:
+    """Cap the worker's address space (the opt-in RSS guard).
+
+    A runaway stage count then fails with a structured ``MemoryError``
+    (surfaced as ``SearchFailure(kind="oom")``) instead of inviting the
+    host OOM killer.  No-op where ``resource`` is unavailable or the
+    host forbids lowering limits.
+    """
+    if memory_limit_mb is None:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX host
+        return
+    limit = int(memory_limit_mb * 1024 * 1024)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ValueError, OSError):  # pragma: no cover - restrictive host
+        pass
+
+
+def _subprocess_entry(
+    worker_fn, payload, conn, memory_limit_mb=None
+) -> None:
     """Run one worker and ship its outcome through a pipe.
 
     The child installs a fresh telemetry bus with a capture sink (the
@@ -413,6 +536,7 @@ def _subprocess_entry(worker_fn, payload, conn) -> None:
     """
     from ..telemetry import RingBufferSink, TelemetryBus, set_bus
 
+    _apply_worker_memory_limit(memory_limit_mb)
     bus = TelemetryBus()
     capture = bus.add_sink(RingBufferSink())
     set_bus(bus)
@@ -438,6 +562,13 @@ class _ActiveWorker:
     attempt: int
 
 
+def _failure_kind_from_error(error: str) -> str:
+    """Classify a worker's error string into a ``SearchFailure.kind``."""
+    if error.startswith("MemoryError"):
+        return "oom"
+    return "error"
+
+
 def _run_counts_in_processes(
     counts: Sequence[int],
     payload_for,
@@ -447,6 +578,9 @@ def _run_counts_in_processes(
     timeout_per_count: Optional[float],
     max_retries: int,
     retry_backoff: float,
+    jitter_seed: int = 0,
+    deadline: Optional[Deadline] = None,
+    worker_memory_mb: Optional[float] = None,
     bus=None,
 ):
     """Self-healing process-per-count scheduler.
@@ -454,9 +588,17 @@ def _run_counts_in_processes(
     Unlike a ``ProcessPoolExecutor`` — where one dead worker breaks the
     pool and takes every pending future with it — each stage count owns
     a private process and pipe.  A worker that raises, crashes, or
-    blows its per-count deadline is retried with exponential backoff up
-    to ``max_retries`` extra attempts; the other counts never notice.
-    Returns ``(results, failures)`` keyed by stage count.
+    blows its per-count deadline is retried with jittered exponential
+    backoff (:func:`retry_delay`) up to ``max_retries`` extra attempts;
+    the other counts never notice.  Returns ``(results, failures)``
+    keyed by stage count.
+
+    A request ``deadline`` turns the scheduler anytime: workers search
+    cooperatively against the remaining time, queued counts are shed as
+    ``kind="deadline"`` failures once it expires, and a watchdog reaps
+    any worker still alive ``DEADLINE_KILL_GRACE`` seconds past it.
+    ``worker_memory_mb`` applies an ``RLIMIT_AS`` cap inside each
+    subprocess so a runaway count surfaces as ``kind="oom"``.
 
     Worker lifecycle (spawn / retry / timeout / crash / completion)
     is published on the telemetry ``bus``; completed and finally-failed
@@ -480,9 +622,12 @@ def _run_counts_in_processes(
                 event.with_attrs(num_stages=count, attempt=attempt)
             )
 
-    def register_failure(count: int, attempt: int, error: str) -> None:
-        if attempt < max_retries:
-            delay = retry_backoff * (2 ** attempt)
+    def register_failure(
+        count: int, attempt: int, error: str, kind: str = "error"
+    ) -> None:
+        out_of_time = deadline is not None and deadline.expired()
+        if attempt < max_retries and not out_of_time:
+            delay = retry_delay(retry_backoff, count, attempt, jitter_seed)
             queue.append((count, attempt + 1, time.monotonic() + delay))
             bus.emit(
                 "driver.worker.retry",
@@ -495,7 +640,10 @@ def _run_counts_in_processes(
             )
         else:
             failures[count] = SearchFailure(
-                num_stages=count, error=error, attempts=attempt + 1
+                num_stages=count,
+                error=error,
+                attempts=attempt + 1,
+                kind=kind,
             )
             bus.emit(
                 "driver.count.failed",
@@ -504,11 +652,42 @@ def _run_counts_in_processes(
                 num_stages=count,
                 attempts=attempt + 1,
                 error=error,
+                kind=kind,
+                _failure=failures[count],
+            )
+
+    def shed_queued_past_deadline() -> None:
+        while queue:
+            count, attempt, _ = queue.popleft()
+            failures[count] = SearchFailure(
+                num_stages=count,
+                error="deadline expired before this stage count was "
+                "searched",
+                attempts=attempt,
+                kind="deadline",
+            )
+            bus.emit(
+                "driver.count.failed",
+                source="driver",
+                level=WARNING,
+                num_stages=count,
+                attempts=attempt,
+                error=failures[count].error,
+                kind="deadline",
                 _failure=failures[count],
             )
 
     while queue or active:
         now = time.monotonic()
+        if deadline is not None and deadline.expired():
+            # Anytime contract: stop launching, shed the backlog, and
+            # give live workers one grace window to return their
+            # best-so-far partial results before the watchdog reaps.
+            shed_queued_past_deadline()
+            reap_at = now + DEADLINE_KILL_GRACE
+            for worker in active.values():
+                if worker.deadline is None or worker.deadline > reap_at:
+                    worker.deadline = reap_at
         # Launch whatever fits, skipping retries still in backoff.
         for _ in range(len(queue)):
             if len(active) >= max_workers:
@@ -521,7 +700,10 @@ def _run_counts_in_processes(
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             process = ctx.Process(
                 target=_subprocess_entry,
-                args=(worker_fn, payload_for(count), child_conn),
+                args=(
+                    worker_fn, payload_for(count), child_conn,
+                    worker_memory_mb,
+                ),
                 daemon=True,  # a hung worker must not block exit
             )
             process.start()
@@ -533,14 +715,23 @@ def _run_counts_in_processes(
                 attempt=attempt,
                 worker_pid=process.pid,
             )
+            kill_at = (
+                now + timeout_per_count
+                if timeout_per_count is not None
+                else None
+            )
+            if deadline is not None:
+                left = deadline.remaining()
+                if left is not None:
+                    reap_at = now + left + DEADLINE_KILL_GRACE
+                    kill_at = (
+                        reap_at if kill_at is None
+                        else min(kill_at, reap_at)
+                    )
             active[count] = _ActiveWorker(
                 process=process,
                 conn=parent_conn,
-                deadline=(
-                    now + timeout_per_count
-                    if timeout_per_count is not None
-                    else None
-                ),
+                deadline=kill_at,
                 attempt=attempt,
             )
 
@@ -583,7 +774,12 @@ def _run_counts_in_processes(
                         attempt=worker.attempt,
                         error=value,
                     )
-                    register_failure(count, worker.attempt, value)
+                    register_failure(
+                        count,
+                        worker.attempt,
+                        value,
+                        kind=_failure_kind_from_error(value),
+                    )
             elif not worker.process.is_alive():
                 worker.process.join()
                 finished.append(count)
@@ -600,6 +796,7 @@ def _run_counts_in_processes(
                     worker.attempt,
                     "worker process died with exit code "
                     f"{worker.process.exitcode}",
+                    kind="crash",
                 )
             elif (
                 worker.deadline is not None
@@ -608,6 +805,9 @@ def _run_counts_in_processes(
                 worker.process.terminate()
                 worker.process.join()
                 finished.append(count)
+                past_deadline = (
+                    deadline is not None and deadline.expired()
+                )
                 bus.emit(
                     "driver.worker.timeout",
                     source="driver",
@@ -615,12 +815,22 @@ def _run_counts_in_processes(
                     num_stages=count,
                     attempt=worker.attempt,
                     timeout=timeout_per_count,
+                    past_deadline=past_deadline,
                 )
-                register_failure(
-                    count,
-                    worker.attempt,
-                    f"timed out after {timeout_per_count:.1f}s",
-                )
+                if past_deadline:
+                    register_failure(
+                        count,
+                        worker.attempt,
+                        "worker reaped past the request deadline",
+                        kind="deadline",
+                    )
+                else:
+                    register_failure(
+                        count,
+                        worker.attempt,
+                        f"timed out after {timeout_per_count:.1f}s",
+                        kind="timeout",
+                    )
         for count in finished:
             worker = active.pop(count)
             worker.conn.close()
@@ -642,6 +852,8 @@ def search_all_stage_counts(
     timeout_per_count: Optional[float] = None,
     max_retries: int = 1,
     retry_backoff: float = 0.05,
+    deadline: Optional[Deadline] = None,
+    worker_memory_mb: Optional[float] = None,
     checkpoint_path=None,
     resume: bool = False,
     _worker_fn: Optional[Callable] = None,
@@ -654,16 +866,29 @@ def search_all_stage_counts(
     forks.  With ``workers > 1`` every stage count searches in its own
     subprocess under ``timeout_per_count`` seconds (``None`` = no
     limit); a worker that raises, crashes, or hangs is retried up to
-    ``max_retries`` more times with exponential backoff, after which it
+    ``max_retries`` more times with jittered exponential backoff
+    (:func:`retry_delay`, seeded from ``options.seed``), after which it
     becomes a :class:`SearchFailure` record while the surviving counts
     still return.  Results merge in stage-count order, so the outcome
     is deterministic and identical to the serial path.
 
+    ``deadline`` makes the whole driver anytime: each per-count search
+    stops cooperatively at the cutoff and returns its best-so-far plan
+    flagged partial, counts that never started are shed as
+    ``kind="deadline"`` failures, and the aggregate result reports
+    ``.partial`` — the caller always gets the best valid plan found by
+    the deadline instead of an exception.  ``worker_memory_mb`` caps
+    each subprocess's address space (``RLIMIT_AS``) so a runaway count
+    fails as ``kind="oom"`` instead of triggering the host OOM killer.
+
     ``checkpoint_path`` persists completed stage counts to JSON after
-    each one finishes; with ``resume=True`` an existing checkpoint's
-    completed counts are restored instead of re-searched (failed counts
-    are retried).  Serial runs (``workers == 1``) checkpoint too but
-    cannot enforce timeouts.
+    each one finishes (deadline-cut partial runs are *not* recorded —
+    they must be re-searched); with ``resume=True`` an existing
+    checkpoint's completed counts are restored instead of re-searched
+    (failed counts are retried), and a corrupt checkpoint file is
+    quarantined to ``<path>.corrupt`` and the search starts fresh.
+    Serial runs (``workers == 1``) checkpoint too but cannot enforce
+    timeouts or memory caps.
     """
     from .checkpoint import SearchCheckpoint
 
@@ -681,10 +906,13 @@ def search_all_stage_counts(
         raise ValueError("retry_backoff must be non-negative")
     if timeout_per_count is not None and timeout_per_count <= 0:
         raise ValueError("timeout_per_count must be positive")
+    if worker_memory_mb is not None and worker_memory_mb <= 0:
+        raise ValueError("worker_memory_mb must be positive")
     budget_kwargs = SearchBudget.validate_kwargs(
         dict(budget_per_count or {"max_iterations": 60})
     )
     worker_fn = _worker_fn or _stage_count_worker
+    jitter_seed = options.seed if options is not None else 0
 
     context = {
         "num_ops": graph.num_ops,
@@ -696,18 +924,21 @@ def search_all_stage_counts(
         import os
 
         if resume and os.path.exists(checkpoint_path):
-            checkpoint = SearchCheckpoint.load(checkpoint_path)
+            checkpoint = SearchCheckpoint.load_or_quarantine(
+                checkpoint_path
+            )
+        if checkpoint is None:
+            checkpoint = SearchCheckpoint.new(
+                counts, budget_kwargs, context, checkpoint_path
+            )
+            checkpoint.save()
+        else:
             checkpoint.ensure_compatible(counts, budget_kwargs, context)
             restored = [
                 run
                 for run in checkpoint.restore_runs(perf_model)
                 if run.num_stages in counts
             ]
-        else:
-            checkpoint = SearchCheckpoint.new(
-                counts, budget_kwargs, context, checkpoint_path
-            )
-            checkpoint.save()
     done_counts = {run.num_stages for run in restored}
     todo = [count for count in counts if count not in done_counts]
 
@@ -726,7 +957,12 @@ def search_all_stage_counts(
 
         def record(event: Event) -> None:
             if event.name == "driver.count.completed":
-                snapshot.record_run(event.attrs["_result"])
+                run = event.attrs["_result"]
+                if run.result.partial:
+                    # A deadline-cut plan is best-so-far, not the
+                    # budget's answer; resuming must re-search it.
+                    return
+                snapshot.record_run(run)
             else:
                 snapshot.record_failure(event.attrs["_failure"])
 
@@ -754,6 +990,25 @@ def search_all_stage_counts(
     try:
         if workers <= 1 or len(todo) <= 1:
             for count in todo:
+                if deadline is not None and deadline.expired():
+                    failures[count] = SearchFailure(
+                        num_stages=count,
+                        error="deadline expired before this stage count "
+                        "was searched",
+                        attempts=0,
+                        kind="deadline",
+                    )
+                    bus.emit(
+                        "driver.count.failed",
+                        source="driver",
+                        level=WARNING,
+                        num_stages=count,
+                        attempts=0,
+                        error=failures[count].error,
+                        kind="deadline",
+                        _failure=failures[count],
+                    )
+                    continue
                 attempt = 0
                 while True:
                     try:
@@ -762,12 +1017,19 @@ def search_all_stage_counts(
                             graph, cluster, perf_model, options=options
                         )
                         result = search.run(
-                            init, SearchBudget(**budget_kwargs)
+                            init,
+                            SearchBudget(**budget_kwargs),
+                            deadline=deadline,
                         )
                     except Exception as exc:  # noqa: BLE001 - degrade, record
                         error = f"{type(exc).__name__}: {exc}"
-                        if attempt < max_retries:
-                            delay = retry_backoff * (2 ** attempt)
+                        out_of_time = (
+                            deadline is not None and deadline.expired()
+                        )
+                        if attempt < max_retries and not out_of_time:
+                            delay = retry_delay(
+                                retry_backoff, count, attempt, jitter_seed
+                            )
                             bus.emit(
                                 "driver.worker.retry",
                                 source="driver",
@@ -784,6 +1046,7 @@ def search_all_stage_counts(
                             num_stages=count,
                             error=error,
                             attempts=attempt + 1,
+                            kind=_failure_kind_from_error(error),
                         )
                         bus.emit(
                             "driver.count.failed",
@@ -792,6 +1055,7 @@ def search_all_stage_counts(
                             num_stages=count,
                             attempts=attempt + 1,
                             error=error,
+                            kind=failures[count].kind,
                             _failure=failures[count],
                         )
                         break
@@ -813,8 +1077,11 @@ def search_all_stage_counts(
             }
 
             def payload_for(count: int) -> tuple:
+                remaining = (
+                    deadline.remaining() if deadline is not None else None
+                )
                 return (graph, cluster, perf_model.database, count, options,
-                        budget_kwargs, model_kwargs)
+                        budget_kwargs, model_kwargs, remaining)
 
             fresh, failures = _run_counts_in_processes(
                 todo,
@@ -824,6 +1091,9 @@ def search_all_stage_counts(
                 timeout_per_count=timeout_per_count,
                 max_retries=max_retries,
                 retry_backoff=retry_backoff,
+                jitter_seed=jitter_seed,
+                deadline=deadline,
+                worker_memory_mb=worker_memory_mb,
                 bus=bus,
             )
             results.update(fresh)
@@ -843,6 +1113,7 @@ def search_all_stage_counts(
         source="driver",
         completed=sorted(results),
         failed=sorted(failures),
+        partial=outcome.partial,
         wall_seconds=outcome.wall_seconds,
     )
     return outcome

@@ -1,0 +1,63 @@
+"""Resilient planner service: anytime search behind an
+admission-controlled, self-healing daemon.
+
+Every piece is usable as a library on its own — the daemon is just the
+composition:
+
+- :class:`~repro.service.protocol.PlanRequest` /
+  :class:`~repro.service.protocol.PlanResponse` — the JSON wire
+  protocol and the canonical request fingerprint;
+- :class:`~repro.service.admission.AdmissionController` — bounded
+  priority queue with 429-style rejection and live ``retry_after``;
+- :class:`~repro.service.breaker.CircuitBreaker` — per-config
+  consecutive-failure breaker with half-open probes;
+- :class:`~repro.service.cache.PlanCache` — fingerprint-keyed LRU with
+  write-through persistence and explicit invalidation;
+- :func:`~repro.service.planner.plan_request` — one request through
+  the crash-safe, deadline-aware stage-count search;
+- :class:`~repro.service.daemon.PlannerDaemon` — the composition, with
+  watchdog, request journal, and SIGTERM drain;
+- :func:`~repro.service.httpd.serve` — the stdlib HTTP front-end
+  (``repro-serve``).
+"""
+
+from .admission import AdmissionController, QueueFullError
+from .breaker import BreakerOpenError, CircuitBreaker
+from .cache import PlanCache
+from .daemon import PlannerDaemon, Ticket
+from .httpd import PlannerHTTPServer, serve
+from .planner import PlanOutcome, plan_request
+from .protocol import (
+    PROTOCOL_VERSION,
+    STATUS_FAILED,
+    STATUS_PARTIAL,
+    STATUS_REJECTED,
+    STATUS_SERVED,
+    TERMINAL_STATUSES,
+    PlanRequest,
+    PlanResponse,
+    ProtocolError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "PROTOCOL_VERSION",
+    "PlanCache",
+    "PlanOutcome",
+    "PlanRequest",
+    "PlanResponse",
+    "PlannerDaemon",
+    "PlannerHTTPServer",
+    "ProtocolError",
+    "QueueFullError",
+    "STATUS_FAILED",
+    "STATUS_PARTIAL",
+    "STATUS_REJECTED",
+    "STATUS_SERVED",
+    "TERMINAL_STATUSES",
+    "Ticket",
+    "plan_request",
+    "serve",
+]

@@ -1,0 +1,182 @@
+"""Circuit breaker: stop re-forking into known-bad configurations.
+
+A search that crashes its workers usually crashes them again — a model
+too big for the profile database, a poisoned checkpoint, a config that
+OOMs every attempt.  The breaker tracks *consecutive* failures per key
+(the request fingerprint: model × cluster × budget) and, past the
+threshold, **opens**: further requests for that key fail fast with the
+last recorded error instead of burning another subprocess tree.  After
+``reset_seconds`` it goes **half-open** and admits exactly one probe;
+the probe's outcome closes the breaker (recovered) or re-opens it.
+
+The daemon's ``/healthz`` reports ``degraded`` while any breaker is
+open, and flips back to ``healthy`` when the probe closes it — exactly
+the transition the chaos acceptance test asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..telemetry import WARNING, get_bus
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpenError(RuntimeError):
+    """The breaker is open for this key; fail fast."""
+
+    def __init__(self, key: str, last_error: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker open for {key} "
+            f"(last error: {last_error}); retry after {retry_after:.2f}s"
+        )
+        self.key = key
+        self.last_error = last_error
+        self.retry_after = retry_after
+
+
+@dataclass
+class _BreakerState:
+    consecutive_failures: int = 0
+    state: str = CLOSED
+    opened_at: float = 0.0
+    probing: bool = False
+    last_error: str = ""
+    trips: int = 0
+    attrs: dict = field(default_factory=dict)
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker with half-open probes."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_seconds <= 0:
+            raise ValueError("reset_seconds must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: Dict[str, _BreakerState] = {}
+
+    def _state(self, key: str) -> _BreakerState:
+        return self._states.setdefault(key, _BreakerState())
+
+    def check(self, key: str) -> None:
+        """Raise :class:`BreakerOpenError` unless ``key`` may proceed.
+
+        An open breaker past its reset window converts to half-open and
+        lets exactly one caller through as the probe; everyone else
+        keeps failing fast until the probe reports back.
+        """
+        with self._lock:
+            state = self._state(key)
+            if state.state == CLOSED:
+                return
+            now = self._clock()
+            if state.state == OPEN:
+                elapsed = now - state.opened_at
+                if elapsed < self.reset_seconds:
+                    raise BreakerOpenError(
+                        key, state.last_error,
+                        self.reset_seconds - elapsed,
+                    )
+                state.state = HALF_OPEN
+                state.probing = True
+                get_bus().emit(
+                    "service.breaker.probe",
+                    source="service",
+                    key=key,
+                    **state.attrs,
+                )
+                return
+            # HALF_OPEN: only the in-flight probe may proceed.
+            if state.probing:
+                raise BreakerOpenError(
+                    key, state.last_error, self.reset_seconds
+                )
+            state.probing = True
+            return
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            state = self._state(key)
+            was_open = state.state != CLOSED
+            state.consecutive_failures = 0
+            state.state = CLOSED
+            state.probing = False
+            if was_open:
+                get_bus().emit(
+                    "service.breaker.close",
+                    source="service",
+                    key=key,
+                    **state.attrs,
+                )
+
+    def record_failure(self, key: str, error: str, **attrs) -> None:
+        with self._lock:
+            state = self._state(key)
+            state.consecutive_failures += 1
+            state.last_error = error
+            state.probing = False
+            state.attrs = dict(attrs)
+            should_open = (
+                state.state == HALF_OPEN  # failed probe: straight back
+                or state.consecutive_failures >= self.failure_threshold
+            )
+            if should_open and state.state != OPEN:
+                state.state = OPEN
+                state.opened_at = self._clock()
+                state.trips += 1
+                get_bus().emit(
+                    "service.breaker.open",
+                    source="service",
+                    level=WARNING,
+                    key=key,
+                    consecutive_failures=state.consecutive_failures,
+                    error=error,
+                    **attrs,
+                )
+
+    # -- introspection -------------------------------------------------
+    def state(self, key: str) -> str:
+        with self._lock:
+            return self._states.get(key, _BreakerState()).state
+
+    def last_error(self, key: str) -> Optional[str]:
+        with self._lock:
+            state = self._states.get(key)
+            return state.last_error if state else None
+
+    @property
+    def any_open(self) -> bool:
+        with self._lock:
+            return any(
+                s.state != CLOSED for s in self._states.values()
+            )
+
+    def snapshot(self) -> dict:
+        """Per-key state for ``/healthz``."""
+        with self._lock:
+            return {
+                key: {
+                    "state": s.state,
+                    "consecutive_failures": s.consecutive_failures,
+                    "trips": s.trips,
+                    "last_error": s.last_error or None,
+                }
+                for key, s in self._states.items()
+            }

@@ -1,0 +1,143 @@
+"""Plan cache: repeat queries are O(1), invalidation is explicit.
+
+Completed plans are keyed by the request fingerprint (canonical
+model × cluster × budget digest, see ``protocol.PlanRequest``).  Only
+*complete* plans are cached — a deadline-cut partial plan answers its
+own request but must not masquerade as the full search's answer for
+the next caller.
+
+With a ``directory`` the cache is write-through: every entry also
+lands as ``<fingerprint>.plan.json`` and is reloaded on construction,
+so a restarted daemon serves yesterday's plans warm.  ``invalidate``
+drops matching entries (memory *and* disk) — the daemon calls it when
+a fault plan or cluster change arrives, because a plan searched for
+the old world is worse than no plan at all.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..telemetry import get_bus
+
+
+class PlanCache:
+    """Thread-safe LRU keyed by request fingerprint."""
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        *,
+        directory: Optional[Path] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._preload()
+
+    def _preload(self) -> None:
+        """Warm the cache from persisted plans, oldest first (LRU order)."""
+        paths = sorted(
+            self.directory.glob("*.plan.json"),
+            key=lambda p: p.stat().st_mtime,
+        )
+        for path in paths[-self.max_entries:]:
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # a torn write is a miss, not a crash
+            if isinstance(entry, dict) and "plan" in entry:
+                self._entries[path.name[: -len(".plan.json")]] = entry
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                get_bus().emit(
+                    "service.cache.miss",
+                    source="service",
+                    fingerprint=fingerprint,
+                )
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            get_bus().emit(
+                "service.cache.hit",
+                source="service",
+                fingerprint=fingerprint,
+            )
+            return dict(entry)
+
+    def put(self, fingerprint: str, entry: dict) -> None:
+        with self._lock:
+            self._entries[fingerprint] = dict(entry)
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self._unlink(evicted)
+            if self.directory is not None:
+                path = self.directory / f"{fingerprint}.plan.json"
+                tmp = path.with_name(path.name + ".tmp")
+                tmp.write_text(json.dumps(entry, indent=2))
+                tmp.replace(path)
+
+    def invalidate(
+        self, predicate: Optional[Callable[[str, dict], bool]] = None
+    ) -> int:
+        """Drop entries matching ``predicate`` (all, if ``None``).
+
+        Returns the number of entries dropped and emits one
+        ``service.cache.invalidate`` event with the count and reach.
+        """
+        with self._lock:
+            if predicate is None:
+                doomed = list(self._entries)
+            else:
+                doomed = [
+                    fp
+                    for fp, entry in self._entries.items()
+                    if predicate(fp, entry)
+                ]
+            for fingerprint in doomed:
+                del self._entries[fingerprint]
+                self._unlink(fingerprint)
+            get_bus().emit(
+                "service.cache.invalidate",
+                source="service",
+                dropped=len(doomed),
+                remaining=len(self._entries),
+            )
+            return len(doomed)
+
+    def _unlink(self, fingerprint: str) -> None:
+        if self.directory is None:
+            return
+        try:
+            (self.directory / f"{fingerprint}.plan.json").unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

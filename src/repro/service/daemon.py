@@ -1,0 +1,636 @@
+"""The resilient planner daemon: admission → breaker → cache → search.
+
+``PlannerDaemon`` owns a worker pool (``ThreadPoolExecutor``) that
+consumes an admission-controlled priority queue of plan requests.  Each
+request flows through:
+
+1. **plan cache** — repeat fingerprints answer in O(1), no search;
+2. **circuit breaker** — known-bad configurations fail fast with the
+   last recorded error instead of re-forking subprocess trees;
+3. **anytime search** — the planner runs under the request's
+   cooperative :class:`~repro.core.budget.Deadline`; running out of
+   time yields the best-so-far plan flagged ``partial``, never an
+   exception;
+4. **watchdog** — a background thread cancels the deadline of any
+   request stuck past its cutoff, which makes the stage-count driver
+   reap its subprocess workers.
+
+Lifecycle: :meth:`drain` (wired to SIGTERM by ``repro-serve``) stops
+admission, rejects the queued backlog with ``retry_after``, cancels
+in-flight deadlines so searches stop at the next iteration boundary,
+and relies on the per-request ``SearchCheckpoint`` files already on
+disk — a restarted daemon re-admits the journaled requests and resumes
+their completed stage counts bit-exactly.
+
+Every decision emits a ``service.*`` event on the telemetry bus, so a
+degraded daemon is diagnosable from its run log alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..core.budget import Deadline
+from ..telemetry import WARNING, get_bus
+from .admission import AdmissionController, QueueFullError
+from .breaker import BreakerOpenError, CircuitBreaker
+from .cache import PlanCache
+from .planner import plan_request
+from .protocol import (
+    STATUS_FAILED,
+    STATUS_PARTIAL,
+    STATUS_REJECTED,
+    STATUS_SERVED,
+    PlanRequest,
+    PlanResponse,
+)
+
+#: Seconds past an expired deadline before the watchdog cancels it
+#: (cooperative searches normally stop themselves well before this).
+WATCHDOG_GRACE = 2.0
+
+
+@dataclass
+class Ticket:
+    """One admitted request in flight through the daemon."""
+
+    request: PlanRequest
+    request_id: int
+    fingerprint: str
+    deadline: Optional[Deadline] = None
+    submitted: float = 0.0
+    response: Optional[PlanResponse] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[PlanResponse]:
+        """Block until the terminal response (``None`` on wait timeout)."""
+        if self.done.wait(timeout):
+            return self.response
+        return None
+
+
+class PlannerDaemon:
+    """Admission-controlled, self-healing planner service."""
+
+    def __init__(
+        self,
+        *,
+        planner: Optional[Callable] = None,
+        workers: int = 2,
+        queue_limit: int = 8,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 30.0,
+        cache_entries: int = 128,
+        state_dir: Optional[Path] = None,
+        watchdog_interval: float = 0.25,
+        watchdog_grace: float = WATCHDOG_GRACE,
+        search_workers: int = 1,
+        timeout_per_count: Optional[float] = None,
+        worker_memory_mb: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._planner = planner or self._default_planner
+        self._search_workers = search_workers
+        self._timeout_per_count = timeout_per_count
+        self._worker_memory_mb = worker_memory_mb
+        self.admission = AdmissionController(queue_limit, workers=workers)
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_seconds=breaker_reset_seconds,
+        )
+        self.cache = PlanCache(cache_entries, directory=self.state_dir)
+        self._watchdog_interval = watchdog_interval
+        self._watchdog_grace = watchdog_grace
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._in_flight: Dict[int, Ticket] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._watchdog: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+        self._draining = False
+        self.counters = {
+            "served": 0, "partial": 0, "rejected": 0, "failed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PlannerDaemon":
+        if self._started:
+            raise RuntimeError("daemon already started")
+        self._started = True
+        self._stop.clear()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="planner-worker",
+        )
+        for _ in range(self.workers):
+            self._executor.submit(self._worker_loop)
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="planner-watchdog",
+            daemon=True,
+        )
+        self._watchdog.start()
+        get_bus().emit(
+            "service.start",
+            source="service",
+            workers=self.workers,
+            queue_limit=self.admission.max_pending,
+            state_dir=str(self.state_dir) if self.state_dir else None,
+        )
+        self._readmit_journaled()
+        return self
+
+    @property
+    def ready(self) -> bool:
+        """Accepting new requests (``/readyz``)."""
+        return self._started and not self._draining
+
+    def health(self) -> dict:
+        """Liveness + degradation report (``/healthz``).
+
+        ``degraded`` while any breaker is open, the queue is saturated,
+        or a drain is in progress — ``healthy`` again once the breaker
+        closes and the queue has room.
+        """
+        breakers = self.breaker.snapshot()
+        degraded = (
+            self._draining
+            or self.admission.saturated
+            or any(b["state"] != "closed" for b in breakers.values())
+        )
+        with self._lock:
+            in_flight = len(self._in_flight)
+        return {
+            "status": "degraded" if degraded else "healthy",
+            "ready": self.ready,
+            "draining": self._draining,
+            "in_flight": in_flight,
+            "queue": self.admission.stats(),
+            "breakers": breakers,
+            "cache": self.cache.stats(),
+            "requests": dict(self.counters),
+        }
+
+    def drain(self, timeout: Optional[float] = 30.0) -> dict:
+        """Graceful shutdown: shed the queue, checkpoint in-flight work.
+
+        Queued requests are answered ``rejected`` (their journal files
+        stay on disk, so a restarted daemon re-admits them); in-flight
+        searches get their deadlines cancelled and stop at the next
+        iteration boundary, leaving completed stage counts in their
+        ``SearchCheckpoint``.  Returns a summary of what was shed.
+        """
+        if not self._started:
+            return {"queued_shed": 0, "in_flight_interrupted": 0}
+        self._draining = True
+        bus = get_bus()
+        shed = self.admission.drain()
+        bus.emit(
+            "service.drain.begin",
+            source="service",
+            level=WARNING,
+            queued=len(shed),
+        )
+        for ticket in shed:
+            self._finish(
+                ticket,
+                PlanResponse(
+                    status=STATUS_REJECTED,
+                    request_id=ticket.request_id,
+                    fingerprint=ticket.fingerprint,
+                    error="daemon draining",
+                    retry_after=timeout,
+                ),
+                keep_journal=True,
+            )
+        with self._lock:
+            interrupted = list(self._in_flight.values())
+        for ticket in interrupted:
+            if ticket.deadline is not None:
+                ticket.deadline.cancel()
+        waited_from = time.monotonic()
+        while timeout is None or time.monotonic() - waited_from < timeout:
+            with self._lock:
+                if not self._in_flight:
+                    break
+            time.sleep(0.02)
+        self.admission.close()
+        self._stop.set()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+        self._started = False
+        summary = {
+            "queued_shed": len(shed),
+            "in_flight_interrupted": len(interrupted),
+        }
+        bus.emit("service.drain.end", source="service", **summary)
+        return summary
+
+    def stop(self) -> None:
+        """Immediate drain with no patience (tests, atexit)."""
+        self.drain(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: PlanRequest, timeout: Optional[float] = None
+    ) -> PlanResponse:
+        """Admit ``request`` and block for its terminal response."""
+        ticket_or_response = self.submit_nowait(request)
+        if isinstance(ticket_or_response, PlanResponse):
+            return ticket_or_response
+        response = ticket_or_response.wait(timeout)
+        if response is None:
+            # The caller gave up waiting; the search continues and will
+            # land in the cache, but this client sees a failure.
+            return PlanResponse(
+                status=STATUS_FAILED,
+                request_id=ticket_or_response.request_id,
+                fingerprint=ticket_or_response.fingerprint,
+                error=f"timed out waiting for a response after {timeout}s",
+            )
+        return response
+
+    def submit_nowait(self, request: PlanRequest):
+        """Admit ``request``; returns a :class:`Ticket` to wait on, or
+        an immediate :class:`PlanResponse` (cache hit / rejection)."""
+        bus = get_bus()
+        request_id = next(self._ids)
+        fingerprint = request.fingerprint()
+        bus.emit(
+            "service.request.received",
+            source="service",
+            request_id=request_id,
+            fingerprint=fingerprint,
+            model=request.model,
+            gpus=request.gpus,
+            priority=request.priority,
+            deadline_seconds=request.deadline_seconds,
+        )
+        if not self.ready:
+            return self._count(PlanResponse(
+                status=STATUS_REJECTED,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                error="daemon is not accepting requests",
+                retry_after=1.0,
+            ))
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            journal = self._journal_path(fingerprint)
+            if journal is not None and journal.exists():
+                # A journaled request answered by the warm cache (e.g.
+                # re-admitted after a restart) is done — drop its entry.
+                try:
+                    journal.unlink()
+                except OSError:
+                    pass
+            response = self._count(PlanResponse(
+                status=STATUS_SERVED,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                plan=cached.get("plan"),
+                objective=cached.get("objective"),
+                cached=True,
+            ))
+            bus.emit(
+                "service.request.completed",
+                source="service",
+                request_id=request_id,
+                fingerprint=fingerprint,
+                status=response.status,
+                cached=True,
+            )
+            return response
+        try:
+            self.breaker.check(self._breaker_key(request))
+        except BreakerOpenError as exc:
+            return self._count(PlanResponse(
+                status=STATUS_REJECTED,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                error=str(exc),
+                retry_after=exc.retry_after,
+            ))
+        ticket = Ticket(
+            request=request,
+            request_id=request_id,
+            fingerprint=fingerprint,
+            submitted=time.monotonic(),
+        )
+        # Journal before enqueueing: a worker may pop and finish the
+        # ticket (unlinking the journal) the instant it is queued.
+        self._journal(ticket)
+        try:
+            self.admission.submit(ticket, priority=request.priority)
+        except QueueFullError as exc:
+            path = self._journal_path(fingerprint)
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return self._count(PlanResponse(
+                status=STATUS_REJECTED,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                error=str(exc),
+                retry_after=exc.retry_after,
+            ))
+        return ticket
+
+    def invalidate_plans(self, *, gpus: Optional[int] = None) -> int:
+        """Drop cached plans — all, or those for a ``gpus``-sized
+        cluster — because a fault plan or cluster change arrived."""
+        if gpus is None:
+            return self.cache.invalidate()
+        return self.cache.invalidate(
+            lambda _fp, entry: entry.get("gpus") == gpus
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _default_planner(self, request, *, deadline=None,
+                         checkpoint_path=None):
+        return plan_request(
+            request,
+            deadline=deadline,
+            checkpoint_path=checkpoint_path,
+            search_workers=self._search_workers,
+            timeout_per_count=self._timeout_per_count,
+            worker_memory_mb=self._worker_memory_mb,
+        )
+
+    @staticmethod
+    def _breaker_key(request: PlanRequest) -> str:
+        counts = (
+            ",".join(map(str, request.stage_counts))
+            if request.stage_counts is not None
+            else "auto"
+        )
+        return f"{request.model}/gpus={request.gpus}/counts={counts}"
+
+    def _count(self, response: PlanResponse) -> PlanResponse:
+        key = response.status
+        self.counters[key] = self.counters.get(key, 0) + 1
+        if response.status == STATUS_REJECTED:
+            get_bus().emit(
+                "service.request.rejected",
+                source="service",
+                level=WARNING,
+                request_id=response.request_id,
+                fingerprint=response.fingerprint,
+                error=response.error,
+                retry_after=response.retry_after,
+            )
+        return response
+
+    def _journal_path(self, fingerprint: str) -> Optional[Path]:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / f"{fingerprint}.request.json"
+
+    def _checkpoint_path(self, fingerprint: str) -> Optional[Path]:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / f"{fingerprint}.ckpt.json"
+
+    def _journal(self, ticket: Ticket) -> None:
+        path = self._journal_path(ticket.fingerprint)
+        if path is None:
+            return
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(ticket.request.to_json(), indent=2))
+        tmp.replace(path)
+
+    def _readmit_journaled(self) -> None:
+        """Re-admit requests a previous daemon journaled but never
+        finished (the other half of the SIGTERM drain contract)."""
+        if self.state_dir is None:
+            return
+        for path in sorted(self.state_dir.glob("*.request.json")):
+            try:
+                request = PlanRequest.from_json(
+                    json.loads(path.read_text())
+                )
+            except (OSError, ValueError):
+                continue  # torn journal entry: the client will retry
+            get_bus().emit(
+                "service.request.readmitted",
+                source="service",
+                fingerprint=request.fingerprint(),
+                model=request.model,
+            )
+            outcome = self.submit_nowait(request)
+            if (
+                isinstance(outcome, PlanResponse)
+                and outcome.status == STATUS_REJECTED
+            ):
+                # Queue full: restore this journal entry (the rejection
+                # path unlinked it) and leave the rest for the next
+                # restart.
+                try:
+                    path.write_text(
+                        json.dumps(request.to_json(), indent=2)
+                    )
+                except OSError:
+                    pass
+                break
+
+    def _finish(
+        self, ticket: Ticket, response: PlanResponse,
+        *, keep_journal: bool = False,
+    ) -> None:
+        if not keep_journal:
+            path = self._journal_path(ticket.fingerprint)
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        ticket.response = response
+        self._count(response)
+        ticket.done.set()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            ticket = self.admission.next(timeout=0.1)
+            if ticket is None:
+                continue
+            try:
+                self._serve(ticket)
+            except BaseException as exc:  # noqa: BLE001 - never lose a ticket
+                self._finish(ticket, PlanResponse(
+                    status=STATUS_FAILED,
+                    request_id=ticket.request_id,
+                    fingerprint=ticket.fingerprint,
+                    error=f"internal error: {type(exc).__name__}: {exc}",
+                ))
+
+    def _serve(self, ticket: Ticket) -> None:
+        bus = get_bus()
+        request = ticket.request
+        started = time.monotonic()
+        # Another worker may have planned the same fingerprint while
+        # this ticket queued; a cache hit now skips the whole search.
+        cached = self.cache.get(ticket.fingerprint)
+        if cached is not None:
+            self._finish(ticket, PlanResponse(
+                status=STATUS_SERVED,
+                request_id=ticket.request_id,
+                fingerprint=ticket.fingerprint,
+                plan=cached.get("plan"),
+                objective=cached.get("objective"),
+                cached=True,
+            ))
+            return
+        key = self._breaker_key(request)
+        ticket.deadline = Deadline(request.deadline_seconds)
+        with self._lock:
+            self._in_flight[ticket.request_id] = ticket
+        bus.emit(
+            "service.request.started",
+            source="service",
+            request_id=ticket.request_id,
+            fingerprint=ticket.fingerprint,
+            model=request.model,
+        )
+        try:
+            outcome = self._planner(
+                request,
+                deadline=ticket.deadline,
+                checkpoint_path=self._checkpoint_path(ticket.fingerprint),
+            )
+        except Exception as exc:  # noqa: BLE001 - map to terminal response
+            elapsed = time.monotonic() - started
+            error = f"{type(exc).__name__}: {exc}"
+            if not self._draining:
+                # A drain-cancelled search is not the config's fault;
+                # don't poison the breaker with it.
+                self.breaker.record_failure(
+                    key, error, model=request.model, gpus=request.gpus
+                )
+            bus.emit(
+                "service.request.failed",
+                source="service",
+                level=WARNING,
+                request_id=ticket.request_id,
+                fingerprint=ticket.fingerprint,
+                error=error,
+                elapsed=elapsed,
+            )
+            self._finish(
+                ticket,
+                PlanResponse(
+                    status=STATUS_FAILED,
+                    request_id=ticket.request_id,
+                    fingerprint=ticket.fingerprint,
+                    error=error,
+                    elapsed_seconds=elapsed,
+                ),
+                keep_journal=self._draining,
+            )
+            return
+        finally:
+            with self._lock:
+                self._in_flight.pop(ticket.request_id, None)
+            self.admission.note_service_seconds(
+                time.monotonic() - started
+            )
+        elapsed = time.monotonic() - started
+        partial = bool(outcome.partial)
+        self.breaker.record_success(key)
+        entry = {
+            "plan": outcome.plan,
+            "objective": outcome.objective,
+            "model": request.model,
+            "gpus": request.gpus,
+        }
+        if not partial:
+            # Partial plans answer their own request but must not be
+            # served to later callers as the full search's answer.
+            self.cache.put(ticket.fingerprint, entry)
+            checkpoint = self._checkpoint_path(ticket.fingerprint)
+            if checkpoint is not None:
+                try:
+                    checkpoint.unlink()
+                except OSError:
+                    pass
+        bus.emit(
+            "service.request.completed",
+            source="service",
+            request_id=ticket.request_id,
+            fingerprint=ticket.fingerprint,
+            status=STATUS_PARTIAL if partial else STATUS_SERVED,
+            cached=False,
+            partial=partial,
+            objective=outcome.objective,
+            elapsed=elapsed,
+        )
+        self._finish(
+            ticket,
+            PlanResponse(
+                status=STATUS_PARTIAL if partial else STATUS_SERVED,
+                request_id=ticket.request_id,
+                fingerprint=ticket.fingerprint,
+                plan=outcome.plan,
+                objective=outcome.objective,
+                elapsed_seconds=elapsed,
+                failures=outcome.failures,
+            ),
+            keep_journal=partial and self._draining,
+        )
+
+    def _watchdog_loop(self) -> None:
+        """Reap requests stuck past their deadline.
+
+        The search honours its deadline cooperatively; if a request is
+        still in flight ``watchdog_grace`` seconds past the cutoff,
+        something is wedged (a hung subprocess, a stuck estimate) —
+        cancelling the deadline forces the stage-count driver to
+        terminate its workers and return what it has.
+        """
+        while not self._stop.wait(self._watchdog_interval):
+            with self._lock:
+                tickets = list(self._in_flight.values())
+            for ticket in tickets:
+                deadline = ticket.deadline
+                if deadline is None or deadline.cancelled:
+                    continue
+                remaining = deadline.remaining()
+                if remaining is None or remaining > 0:
+                    continue
+                if deadline.seconds is None:
+                    continue
+                overdue = (
+                    time.monotonic()
+                    - (ticket.submitted + deadline.seconds)
+                )
+                if overdue >= self._watchdog_grace:
+                    get_bus().emit(
+                        "service.watchdog.reap",
+                        source="service",
+                        level=WARNING,
+                        request_id=ticket.request_id,
+                        fingerprint=ticket.fingerprint,
+                        overdue=overdue,
+                    )
+                    deadline.cancel()

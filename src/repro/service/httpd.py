@@ -1,0 +1,155 @@
+"""HTTP front-end for the planner daemon (stdlib only).
+
+A thin :mod:`http.server` layer over :class:`PlannerDaemon` — all
+policy (admission, breaker, cache, deadlines) lives in the daemon; this
+module only maps the JSON protocol onto status codes:
+
+==========================  =====================================
+``POST /plan``              200 served/partial, 400 bad request,
+                            429 rejected (+ ``Retry-After``),
+                            500 failed
+``GET /healthz``            always 200; body carries
+                            healthy/degraded detail
+``GET /readyz``             200 ready / 503 draining or stopped
+``POST /invalidate``        200, body ``{"dropped": N}``
+==========================  =====================================
+
+``ThreadingHTTPServer`` gives one thread per connection, so a slow
+search never blocks ``/healthz`` — the daemon's own worker pool and
+admission queue bound the actual planning concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..telemetry import get_bus
+from .daemon import PlannerDaemon
+from .protocol import (
+    STATUS_REJECTED,
+    STATUS_SERVED,
+    STATUS_PARTIAL,
+    ProtocolError,
+    PlanRequest,
+)
+
+_STATUS_CODES = {
+    STATUS_SERVED: 200,
+    STATUS_PARTIAL: 200,
+    STATUS_REJECTED: 429,
+}
+
+
+class PlannerHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to a :class:`PlannerDaemon`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, daemon: PlannerDaemon) -> None:
+        super().__init__(address, _Handler)
+        self.planner_daemon = daemon
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:
+        # Route access logs onto the telemetry bus instead of stderr so
+        # the daemon run log is the single source of truth.
+        get_bus().emit(
+            "service.http.access",
+            source="service",
+            client=self.address_string(),
+            line=fmt % args,
+        )
+
+    def _send_json(
+        self, code: int, payload: dict,
+        *, retry_after: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:.2f}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+    @property
+    def _daemon(self) -> PlannerDaemon:
+        return self.server.planner_daemon  # type: ignore[attr-defined]
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, self._daemon.health())
+        elif self.path == "/readyz":
+            ready = self._daemon.ready
+            self._send_json(200 if ready else 503, {"ready": ready})
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/plan":
+            self._handle_plan()
+        elif self.path == "/invalidate":
+            self._handle_invalidate()
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def _handle_plan(self) -> None:
+        try:
+            request = PlanRequest.from_json(self._read_body())
+        except (ProtocolError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        response = self._daemon.submit(request)
+        self._send_json(
+            _STATUS_CODES.get(response.status, 500),
+            response.to_json(),
+            retry_after=response.retry_after,
+        )
+
+    def _handle_invalidate(self) -> None:
+        try:
+            body = self._read_body()
+        except (ProtocolError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        gpus = body.get("gpus")
+        if gpus is not None and not isinstance(gpus, int):
+            self._send_json(400, {"error": "gpus must be an integer"})
+            return
+        dropped = self._daemon.invalidate_plans(gpus=gpus)
+        self._send_json(200, {"dropped": dropped})
+
+
+def serve(
+    daemon: PlannerDaemon,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8347,
+) -> PlannerHTTPServer:
+    """Bind (without blocking) and return the server; the caller runs
+    ``serve_forever`` and owns shutdown ordering."""
+    server = PlannerHTTPServer((host, port), daemon)
+    get_bus().emit(
+        "service.http.listen",
+        source="service",
+        host=host,
+        port=server.server_address[1],
+    )
+    return server

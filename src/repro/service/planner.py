@@ -1,0 +1,86 @@
+"""The daemon's default planner: one request → one search → one plan.
+
+This is the only module in the service package that knows what a plan
+*is*; everything else (admission, breaker, cache, daemon, HTTP) treats
+planning as an opaque callable, which is also how tests swap in
+deterministic fakes.  The contract:
+
+``planner(request, deadline=None, checkpoint_path=None) -> PlanOutcome``
+
+raising on failure.  The default implementation runs the crash-safe
+stage-count driver with the request's budget, threading the request
+deadline through so a timed-out search still returns its best-so-far
+plan (``PlanOutcome.partial``), and resumes from ``checkpoint_path``
+when one exists — which is exactly how a drained daemon's re-admitted
+requests pick up where the SIGTERM left them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.topology import paper_cluster
+from ..core.budget import Deadline
+from ..core.search import search_all_stage_counts
+from ..ir.models.registry import build_model
+from ..parallel.serialization import config_to_dict
+from ..perfmodel.model import build_perf_model
+from .protocol import PlanRequest
+
+
+@dataclass
+class PlanOutcome:
+    """What a planner hands back to the daemon."""
+
+    plan: dict
+    objective: float
+    partial: bool = False
+    num_estimates: int = 0
+    failures: list = field(default_factory=list)
+
+
+def plan_request(
+    request: PlanRequest,
+    *,
+    deadline: Optional[Deadline] = None,
+    checkpoint_path=None,
+    search_workers: int = 1,
+    timeout_per_count: Optional[float] = None,
+    worker_memory_mb: Optional[float] = None,
+) -> PlanOutcome:
+    """Search a plan for ``request``; raises ``SearchFailedError`` when
+    nothing at all survived (the daemon maps that to a failed response
+    and a breaker failure)."""
+    graph = build_model(request.model)
+    cluster = paper_cluster(request.gpus)
+    perf_model = build_perf_model(graph, cluster, seed=request.seed)
+    multi = search_all_stage_counts(
+        graph,
+        cluster,
+        perf_model,
+        stage_counts=request.stage_counts,
+        budget_per_count={"max_iterations": request.iterations},
+        workers=search_workers,
+        timeout_per_count=timeout_per_count,
+        worker_memory_mb=worker_memory_mb,
+        deadline=deadline,
+        checkpoint_path=checkpoint_path,
+        resume=checkpoint_path is not None,
+    )
+    best = multi.best  # raises SearchFailedError when empty
+    return PlanOutcome(
+        plan=config_to_dict(best.best_config),
+        objective=best.best_objective,
+        partial=multi.partial,
+        num_estimates=multi.num_estimates,
+        failures=[
+            {
+                "num_stages": f.num_stages,
+                "error": f.error,
+                "attempts": f.attempts,
+                "kind": f.kind,
+            }
+            for f in multi.failures
+        ],
+    )

@@ -1,0 +1,224 @@
+"""The planner service's wire protocol: requests, responses, fingerprints.
+
+One request asks for a plan (model × cluster × search budget) and gets
+exactly one terminal response:
+
+- ``served``   — a complete plan from a full-budget search (or cache)
+- ``partial``  — the best-so-far plan of a deadline-cut anytime search
+- ``rejected`` — admission control shed the request (``retry_after``
+  tells the client when to come back) or the circuit breaker is open
+- ``failed``   — the search itself failed; ``error`` says why
+
+Everything round-trips through plain JSON dicts so the HTTP layer, the
+in-process daemon API, and the on-disk request journal (used by the
+SIGTERM drain/re-admit cycle) all speak the same records.
+
+The *fingerprint* is the plan cache key: a digest over exactly the
+fields that determine the resulting plan (model, cluster size, stage
+counts, budget, seed).  Deadline and priority are deliberately
+excluded — they shape *when* and *whether* a search runs, never what
+plan it finds — so an impatient request can be answered from a patient
+request's cached plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Terminal response statuses (every request ends in exactly one).
+STATUS_SERVED = "served"
+STATUS_PARTIAL = "partial"
+STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
+TERMINAL_STATUSES = frozenset(
+    (STATUS_SERVED, STATUS_PARTIAL, STATUS_REJECTED, STATUS_FAILED)
+)
+
+#: Protocol marker so future layout changes stay parseable.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A request/response payload is malformed."""
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One plan query.
+
+    ``deadline_seconds`` bounds the search wall-clock (anytime: a plan
+    is returned either way); ``priority`` orders the admission queue
+    (higher first, FIFO within a priority).
+    """
+
+    model: str
+    gpus: int = 8
+    stage_counts: Optional[Tuple[int, ...]] = None
+    iterations: int = 30
+    seed: int = 0
+    deadline_seconds: Optional[float] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.model or not isinstance(self.model, str):
+            raise ProtocolError("model must be a non-empty string")
+        if self.gpus < 1:
+            raise ProtocolError("gpus must be >= 1")
+        if self.iterations < 1:
+            raise ProtocolError("iterations must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ProtocolError("deadline_seconds must be positive")
+        if self.stage_counts is not None:
+            counts = tuple(int(c) for c in self.stage_counts)
+            if not counts or any(c < 1 for c in counts):
+                raise ProtocolError("stage_counts must be positive ints")
+            object.__setattr__(self, "stage_counts", counts)
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the plan-determining fields.
+
+        Stage counts are sorted and deduplicated first, so query-order
+        quirks don't defeat the cache.
+        """
+        canonical = {
+            "model": self.model,
+            "gpus": self.gpus,
+            "stage_counts": (
+                sorted(set(self.stage_counts))
+                if self.stage_counts is not None
+                else None
+            ),
+            "iterations": self.iterations,
+            "seed": self.seed,
+        }
+        digest = hashlib.sha256(
+            json.dumps(canonical, sort_keys=True).encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "model": self.model,
+            "gpus": self.gpus,
+            "stage_counts": (
+                list(self.stage_counts)
+                if self.stage_counts is not None
+                else None
+            ),
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "deadline_seconds": self.deadline_seconds,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanRequest":
+        if not isinstance(data, dict):
+            raise ProtocolError("request must be a JSON object")
+        version = data.get("protocol_version", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version: {version!r}"
+            )
+        unknown = sorted(
+            set(data)
+            - {
+                "protocol_version", "model", "gpus", "stage_counts",
+                "iterations", "seed", "deadline_seconds", "priority",
+            }
+        )
+        if unknown:
+            raise ProtocolError(f"unknown request field(s): {unknown}")
+        try:
+            stage_counts = data.get("stage_counts")
+            return cls(
+                model=data["model"],
+                gpus=int(data.get("gpus", 8)),
+                stage_counts=(
+                    tuple(int(c) for c in stage_counts)
+                    if stage_counts is not None
+                    else None
+                ),
+                iterations=int(data.get("iterations", 30)),
+                seed=int(data.get("seed", 0)),
+                deadline_seconds=(
+                    float(data["deadline_seconds"])
+                    if data.get("deadline_seconds") is not None
+                    else None
+                ),
+                priority=int(data.get("priority", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ProtocolError):
+                raise
+            raise ProtocolError(
+                f"malformed request: {type(exc).__name__}: {exc}"
+            ) from exc
+
+
+@dataclass
+class PlanResponse:
+    """The terminal answer to one :class:`PlanRequest`."""
+
+    status: str
+    request_id: int
+    fingerprint: str
+    plan: Optional[dict] = None
+    objective: Optional[float] = None
+    cached: bool = False
+    retry_after: Optional[float] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    failures: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.status not in TERMINAL_STATUSES:
+            raise ProtocolError(f"unknown status: {self.status!r}")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the response carries a usable plan."""
+        return self.status in (STATUS_SERVED, STATUS_PARTIAL)
+
+    def to_json(self) -> dict:
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "status": self.status,
+            "request_id": self.request_id,
+            "fingerprint": self.fingerprint,
+            "plan": self.plan,
+            "objective": self.objective,
+            "cached": self.cached,
+            "retry_after": self.retry_after,
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds,
+            "failures": self.failures,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanResponse":
+        if not isinstance(data, dict):
+            raise ProtocolError("response must be a JSON object")
+        try:
+            return cls(
+                status=data["status"],
+                request_id=int(data["request_id"]),
+                fingerprint=data["fingerprint"],
+                plan=data.get("plan"),
+                objective=data.get("objective"),
+                cached=bool(data.get("cached", False)),
+                retry_after=data.get("retry_after"),
+                error=data.get("error"),
+                elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+                failures=list(data.get("failures", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ProtocolError):
+                raise
+            raise ProtocolError(
+                f"malformed response: {type(exc).__name__}: {exc}"
+            ) from exc

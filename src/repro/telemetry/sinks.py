@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 from collections import deque
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Union
@@ -44,7 +45,10 @@ class JsonlSink:
     """Append every event to a JSONL run log.
 
     Lines are flushed on ``close`` (or per event with ``flush_every=1``)
-    so a crashed run still leaves a usable prefix on disk.
+    so a crashed run still leaves a usable prefix on disk.  Writes are
+    serialized under a lock: the planner daemon emits from many threads
+    at once, and ``TextIOWrapper`` corrupts its buffer under concurrent
+    writers.
     """
 
     def __init__(
@@ -54,18 +58,22 @@ class JsonlSink:
         self._handle = open(self.path, "a", encoding="utf-8")
         self._flush_every = max(1, flush_every)
         self._pending = 0
+        self._lock = threading.Lock()
 
     def handle(self, event: Event) -> None:
-        self._handle.write(json.dumps(event.to_json()) + "\n")
-        self._pending += 1
-        if self._pending >= self._flush_every:
-            self._handle.flush()
-            self._pending = 0
+        line = json.dumps(event.to_json()) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._pending += 1
+            if self._pending >= self._flush_every:
+                self._handle.flush()
+                self._pending = 0
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.flush()
-            self._handle.close()
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
 
 
 class ConsoleSink:

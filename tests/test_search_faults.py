@@ -7,12 +7,16 @@ import time
 import pytest
 
 from repro.core import (
+    AcesoSearch,
     CheckpointError,
+    Deadline,
+    SearchBudget,
     SearchCheckpoint,
     SearchFailedError,
+    retry_delay,
     search_all_stage_counts,
 )
-from repro.core.search import _stage_count_worker
+from repro.core.search import _failure_kind_from_error, _stage_count_worker
 from repro.faults import (
     DeviceFailure,
     FaultPlan,
@@ -517,6 +521,301 @@ class TestCheckpointResume:
         path.write_text(json.dumps({"format_version": 99}))
         with pytest.raises(CheckpointError, match="format version"):
             SearchCheckpoint.load(path)
+
+
+class TestRetryJitter:
+    def test_schedule_is_deterministic_and_bounded(self):
+        for count in (1, 2, 4):
+            for attempt in (0, 1, 2):
+                delay = retry_delay(0.5, count, attempt, seed=7)
+                assert delay == retry_delay(0.5, count, attempt, seed=7)
+                floor = 0.5 * 2**attempt
+                assert floor <= delay < 2 * floor
+        # Different stage counts draw decorrelated jitter, so a herd of
+        # simultaneous failures does not re-fork in lockstep.
+        delays = {retry_delay(0.5, c, 0, seed=7) for c in range(1, 9)}
+        assert len(delays) == 8
+
+    def test_process_retries_follow_the_jitter_schedule(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        from repro.telemetry import CallbackSink, TelemetryBus, using_bus
+
+        def always_raises_on_two(payload):
+            if payload[3] == 2:
+                raise RuntimeError("injected fault")
+            return _stage_count_worker(payload)
+
+        retries = []
+        bus = TelemetryBus()
+        bus.add_sink(CallbackSink(
+            lambda e: retries.append(e)
+            if e.name == "driver.worker.retry"
+            else None
+        ))
+        with using_bus(bus):
+            search_all_stage_counts(
+                tiny_graph,
+                small_cluster,
+                fresh_model(tiny_graph, small_cluster, tiny_database),
+                budget_per_count=BUDGET,
+                workers=2,
+                max_retries=2,
+                retry_backoff=0.01,
+                _worker_fn=always_raises_on_two,
+            )
+        assert [e.attrs["attempt"] for e in retries] == [0, 1]
+        for event in retries:
+            assert event.attrs["delay"] == retry_delay(
+                0.01, 2, event.attrs["attempt"], seed=0
+            )
+
+    def test_serial_retries_follow_the_jitter_schedule(
+        self, tiny_graph, small_cluster, tiny_database, monkeypatch
+    ):
+        import repro.core.search as search_module
+        from repro.telemetry import CallbackSink, TelemetryBus, using_bus
+
+        def always_broken(graph, cluster, count):
+            raise RuntimeError("bad init")
+
+        monkeypatch.setattr(
+            search_module, "balanced_config", always_broken
+        )
+        monkeypatch.setattr(search_module.time, "sleep", lambda s: None)
+        retries = []
+        bus = TelemetryBus()
+        bus.add_sink(CallbackSink(
+            lambda e: retries.append(e)
+            if e.name == "driver.worker.retry"
+            else None
+        ))
+        with using_bus(bus):
+            search_all_stage_counts(
+                tiny_graph,
+                small_cluster,
+                fresh_model(tiny_graph, small_cluster, tiny_database),
+                stage_counts=[2],
+                budget_per_count=BUDGET,
+                max_retries=2,
+                retry_backoff=0.25,
+            )
+        assert [e.attrs["delay"] for e in retries] == [
+            retry_delay(0.25, 2, 0, seed=0),
+            retry_delay(0.25, 2, 1, seed=0),
+        ]
+
+
+class TestCheckpointQuarantine:
+    def test_corrupt_file_is_quarantined_not_fatal(self, tmp_path):
+        from repro.telemetry import CallbackSink, TelemetryBus, using_bus
+
+        path = tmp_path / "search.ckpt.json"
+        path.write_text('{"format_version": 1, "completed": tru')
+        events = []
+        bus = TelemetryBus()
+        bus.add_sink(CallbackSink(events.append))
+        with using_bus(bus):
+            assert SearchCheckpoint.load_or_quarantine(path) is None
+        assert not path.exists()
+        quarantined = tmp_path / "search.ckpt.json.corrupt"
+        assert quarantined.exists()
+        assert quarantined.read_text().endswith("tru")
+        names = [e.name for e in events]
+        assert names == ["checkpoint.corrupt"]
+        assert events[0].attrs["quarantined_to"] == str(quarantined)
+
+    def test_missing_and_valid_files_pass_through(self, tmp_path):
+        path = tmp_path / "none.json"
+        assert SearchCheckpoint.load_or_quarantine(path) is None
+        ckpt = SearchCheckpoint.new(
+            [1, 2], {"max_iterations": 3}, {"num_ops": 1}, path
+        )
+        ckpt.save()
+        loaded = SearchCheckpoint.load_or_quarantine(path)
+        assert loaded is not None
+        assert path.exists()
+
+    def test_resume_with_corrupt_checkpoint_starts_fresh(
+        self, tiny_graph, small_cluster, tiny_database, tmp_path
+    ):
+        path = tmp_path / "search.ckpt.json"
+        path.write_text("not json at all")
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert not result.failures
+        assert (tmp_path / "search.ckpt.json.corrupt").exists()
+        # The fresh checkpoint written alongside is valid and complete.
+        on_disk = json.loads(path.read_text())
+        assert sorted(on_disk["completed"]) == ["1", "2", "4"]
+
+
+class TestDeadline:
+    def test_deadline_semantics(self):
+        unbounded = Deadline(None)
+        assert not unbounded.expired()
+        assert unbounded.remaining() is None
+        expired = Deadline(0.0)
+        assert expired.expired()
+        assert expired.remaining() == 0.0
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+        cancelled = Deadline(None)
+        cancelled.cancel()
+        assert cancelled.expired()
+        assert cancelled.remaining() == 0.0
+
+    def test_anytime_prefix_is_bit_exact(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        """A deadline hit after k iterations returns exactly the plan a
+        k-iteration search returns — the acceptance criterion."""
+        from repro.parallel import balanced_config
+        from repro.telemetry import CallbackSink, TelemetryBus, using_bus
+
+        cutoff = 3
+        init = balanced_config(tiny_graph, small_cluster, 2)
+        reference = AcesoSearch(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+        ).run(init, SearchBudget(max_iterations=cutoff))
+
+        # A fake clock that jumps past the deadline once `cutoff`
+        # iterations have been applied, mid-"wall-clock" of the run.
+        clock = [0.0]
+        deadline = Deadline(10.0, clock=lambda: clock[0])
+
+        def advance(event):
+            if (
+                event.name == "search.iteration"
+                and event.attrs["index"] >= cutoff
+            ):
+                clock[0] = 100.0
+
+        bus = TelemetryBus()
+        bus.add_sink(CallbackSink(advance))
+        with using_bus(bus):
+            anytime = AcesoSearch(
+                tiny_graph,
+                small_cluster,
+                fresh_model(tiny_graph, small_cluster, tiny_database),
+            ).run(
+                init,
+                SearchBudget(max_iterations=cutoff * 10),
+                deadline=deadline,
+            )
+        assert anytime.partial
+        assert not reference.partial
+        assert anytime.trace.num_iterations == cutoff
+        assert anytime.best_objective == reference.best_objective
+        assert anytime.best_config.signature() == (
+            reference.best_config.signature()
+        )
+
+    def test_expired_deadline_sheds_every_count(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        for workers in (1, 2):
+            result = search_all_stage_counts(
+                tiny_graph,
+                small_cluster,
+                fresh_model(tiny_graph, small_cluster, tiny_database),
+                budget_per_count=BUDGET,
+                workers=workers,
+                deadline=Deadline(0.0),
+            )
+            assert not result.runs
+            assert result.partial
+            assert {f.kind for f in result.failures} == {"deadline"}
+            with pytest.raises(SearchFailedError):
+                result.best
+
+    def test_generous_deadline_changes_nothing(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        clean = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+        )
+        bounded = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            deadline=Deadline(3600.0),
+        )
+        assert not bounded.partial
+        assert bounded.best.best_objective == clean.best.best_objective
+
+    def test_partial_runs_are_not_checkpointed(
+        self, tiny_graph, small_cluster, tiny_database, tmp_path
+    ):
+        path = tmp_path / "search.ckpt.json"
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            deadline=Deadline(0.0),
+            checkpoint_path=path,
+        )
+        assert result.partial
+        on_disk = json.loads(path.read_text())
+        # Deadline-cut results are best-so-far, not the search's
+        # answer: a resume must search these counts again.
+        assert on_disk["completed"] == {}
+
+
+class TestMemoryGuard:
+    def test_failure_kind_classification(self):
+        assert _failure_kind_from_error("MemoryError: big") == "oom"
+        assert _failure_kind_from_error("RuntimeError: x") == "error"
+
+    def test_memory_capped_worker_surfaces_oom(
+        self, tiny_graph, small_cluster, tiny_database
+    ):
+        def allocates_on_two(payload):
+            if payload[3] == 2:
+                hog = bytearray(8 * 1024**3)  # 8 GiB, over any cap
+                return len(hog)
+            return _stage_count_worker(payload)
+
+        result = search_all_stage_counts(
+            tiny_graph,
+            small_cluster,
+            fresh_model(tiny_graph, small_cluster, tiny_database),
+            budget_per_count=BUDGET,
+            workers=2,
+            max_retries=0,
+            worker_memory_mb=2048,
+            _worker_fn=allocates_on_two,
+        )
+        assert [run.num_stages for run in result.runs] == [1, 4]
+        failure = result.failures[0]
+        assert failure.num_stages == 2
+        assert failure.kind == "oom"
+        assert "MemoryError" in failure.error
+
+    def test_rejects_nonpositive_cap(
+        self, tiny_graph, small_cluster, tiny_perf_model
+    ):
+        with pytest.raises(ValueError, match="worker_memory_mb"):
+            search_all_stage_counts(
+                tiny_graph,
+                small_cluster,
+                tiny_perf_model,
+                budget_per_count=BUDGET,
+                worker_memory_mb=0,
+            )
 
 
 class TestElasticReplan:
