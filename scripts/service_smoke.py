@@ -29,9 +29,9 @@ REQUESTS = [
      "iterations": 3},
     {"model": "gpt-2l", "gpus": 4, "stage_counts": [1, 2],
      "iterations": 3},
-    # Injected worker crash: the model does not exist, the search
-    # raises, and the daemon must answer `failed` (or `rejected` once
-    # the breaker for this config opens) — never hang or 500-garbage.
+    # Invalid request: the model does not exist.  Admission lint must
+    # answer `rejected` with an ACE204 diagnostic (HTTP 400) without
+    # ever spawning a search worker — never hang or 500-garbage.
     {"model": "no-such-model", "gpus": 4},
     # Sub-second deadline on a search that cannot finish in time: the
     # anytime path must answer with best-so-far or a clean failure.
@@ -117,17 +117,38 @@ def main():
             )
         if status in ("served", "partial") and not body.get("plan"):
             problems.append(f"request {index}: {status} without a plan")
-        if status == "rejected" and body.get("retry_after") is None:
+        if (
+            status == "rejected"
+            and body.get("retry_after") is None
+            and not body.get("diagnostics")
+        ):
+            # Back-pressure rejections must say when to retry; admission
+            # -lint rejections instead carry structured diagnostics.
             problems.append(
-                f"request {index}: rejected without retry_after"
+                f"request {index}: rejected without retry_after "
+                "or diagnostics"
             )
     if results[2] is not None:
-        crash_status = results[2][1].get("status")
-        if crash_status not in ("failed", "rejected"):
+        crash_code, crash_body = results[2]
+        crash_status = crash_body.get("status")
+        if crash_status != "rejected":
             problems.append(
-                f"injected crash answered {crash_status!r}, expected "
-                "failed/rejected"
+                f"unknown-model request answered {crash_status!r}, "
+                "expected rejected (admission lint)"
             )
+        else:
+            codes = [
+                d.get("code") for d in crash_body.get("diagnostics", [])
+            ]
+            if "ACE204" not in codes:
+                problems.append(
+                    f"unknown-model rejection lacks ACE204: {codes}"
+                )
+            if crash_code != 400:
+                problems.append(
+                    f"unknown-model rejection got http {crash_code}, "
+                    "expected 400"
+                )
 
     code, health = (
         None,

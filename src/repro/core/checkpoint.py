@@ -149,6 +149,7 @@ class SearchCheckpoint:
         file also returns ``None`` (nothing to quarantine).
         """
         from ..telemetry import WARNING, get_bus
+        from ..telemetry.events import CHECKPOINT_CORRUPT
 
         path = Path(path)
         if not path.exists():
@@ -163,7 +164,7 @@ class SearchCheckpoint:
             except OSError:
                 quarantined = False
             get_bus().emit(
-                "checkpoint.corrupt",
+                CHECKPOINT_CORRUPT,
                 source="checkpoint",
                 level=WARNING,
                 path=str(path),

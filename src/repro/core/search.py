@@ -38,6 +38,22 @@ from ..parallel.initializer import balanced_config
 from ..perfmodel.model import PerfModel
 from ..perfmodel.report import PerfReport
 from ..telemetry import WARNING, CallbackSink, Event, get_bus
+from ..telemetry.events import (
+    DRIVER_BEGIN,
+    DRIVER_COUNT_COMPLETED,
+    DRIVER_COUNT_FAILED,
+    DRIVER_COUNT_RESTORED,
+    DRIVER_END,
+    DRIVER_WORKER_CRASH,
+    DRIVER_WORKER_ERROR,
+    DRIVER_WORKER_RETRY,
+    DRIVER_WORKER_SPAWN,
+    DRIVER_WORKER_TIMEOUT,
+    SEARCH_BEGIN,
+    SEARCH_DEADLINE,
+    SEARCH_END,
+    SEARCH_ITERATION,
+)
 from .bottleneck import rank_bottlenecks
 from .budget import Deadline, SearchBudget
 from .dedup import UnexploredPool, VisitedSet
@@ -195,7 +211,7 @@ class AcesoSearch:
         best_objective = self.perf_model.objective(init_config)
         top: List[Tuple[float, ParallelConfig]] = [(best_objective, best)]
         emit(
-            "search.begin",
+            SEARCH_BEGIN,
             best_objective=best_objective,
             num_stages=init_config.num_stages,
         )
@@ -262,7 +278,7 @@ class AcesoSearch:
                     best, best_objective = new_config, objective
                 top = _update_top(top, objective, new_config, opts.top_k)
                 emit(
-                    "search.iteration",
+                    SEARCH_ITERATION,
                     index=iteration,
                     elapsed=budget.elapsed(),
                     bottlenecks_tried=tried,
@@ -274,7 +290,7 @@ class AcesoSearch:
             else:
                 restart = unexplored.pop_best()
                 emit(
-                    "search.iteration",
+                    SEARCH_ITERATION,
                     index=iteration,
                     elapsed=budget.elapsed(),
                     bottlenecks_tried=tried,
@@ -290,13 +306,13 @@ class AcesoSearch:
 
         if partial:
             emit(
-                "search.deadline",
+                SEARCH_DEADLINE,
                 iterations_completed=iteration,
                 elapsed=budget.elapsed(),
                 best_objective=best_objective,
             )
         emit(
-            "search.end",
+            SEARCH_END,
             iterations=iteration,
             converged=converged,
             partial=partial,
@@ -630,7 +646,7 @@ def _run_counts_in_processes(
             delay = retry_delay(retry_backoff, count, attempt, jitter_seed)
             queue.append((count, attempt + 1, time.monotonic() + delay))
             bus.emit(
-                "driver.worker.retry",
+                DRIVER_WORKER_RETRY,
                 source="driver",
                 level=WARNING,
                 num_stages=count,
@@ -646,13 +662,13 @@ def _run_counts_in_processes(
                 kind=kind,
             )
             bus.emit(
-                "driver.count.failed",
+                DRIVER_COUNT_FAILED,
                 source="driver",
                 level=WARNING,
                 num_stages=count,
                 attempts=attempt + 1,
                 error=error,
-                kind=kind,
+                failure_kind=kind,
                 _failure=failures[count],
             )
 
@@ -667,13 +683,13 @@ def _run_counts_in_processes(
                 kind="deadline",
             )
             bus.emit(
-                "driver.count.failed",
+                DRIVER_COUNT_FAILED,
                 source="driver",
                 level=WARNING,
                 num_stages=count,
                 attempts=attempt,
                 error=failures[count].error,
-                kind="deadline",
+                failure_kind="deadline",
                 _failure=failures[count],
             )
 
@@ -709,7 +725,7 @@ def _run_counts_in_processes(
             process.start()
             child_conn.close()
             bus.emit(
-                "driver.worker.spawn",
+                DRIVER_WORKER_SPAWN,
                 source="driver",
                 num_stages=count,
                 attempt=attempt,
@@ -759,7 +775,7 @@ def _run_counts_in_processes(
                 if status == "ok":
                     results[count] = value
                     bus.emit(
-                        "driver.count.completed",
+                        DRIVER_COUNT_COMPLETED,
                         source="driver",
                         num_stages=count,
                         attempt=worker.attempt,
@@ -767,7 +783,7 @@ def _run_counts_in_processes(
                     )
                 else:
                     bus.emit(
-                        "driver.worker.error",
+                        DRIVER_WORKER_ERROR,
                         source="driver",
                         level=WARNING,
                         num_stages=count,
@@ -784,7 +800,7 @@ def _run_counts_in_processes(
                 worker.process.join()
                 finished.append(count)
                 bus.emit(
-                    "driver.worker.crash",
+                    DRIVER_WORKER_CRASH,
                     source="driver",
                     level=WARNING,
                     num_stages=count,
@@ -809,7 +825,7 @@ def _run_counts_in_processes(
                     deadline is not None and deadline.expired()
                 )
                 bus.emit(
-                    "driver.worker.timeout",
+                    DRIVER_WORKER_TIMEOUT,
                     source="driver",
                     level=WARNING,
                     num_stages=count,
@@ -956,7 +972,7 @@ def search_all_stage_counts(
         snapshot = checkpoint
 
         def record(event: Event) -> None:
-            if event.name == "driver.count.completed":
+            if event.name == DRIVER_COUNT_COMPLETED:
                 run = event.attrs["_result"]
                 if run.result.partial:
                     # A deadline-cut plan is best-so-far, not the
@@ -968,11 +984,11 @@ def search_all_stage_counts(
 
         checkpoint_sink = bus.add_sink(CallbackSink(
             record,
-            names=("driver.count.completed", "driver.count.failed"),
+            names=(DRIVER_COUNT_COMPLETED, DRIVER_COUNT_FAILED),
         ))
 
     bus.emit(
-        "driver.begin",
+        DRIVER_BEGIN,
         source="driver",
         stage_counts=list(counts),
         workers=min(workers, len(counts)),
@@ -980,7 +996,7 @@ def search_all_stage_counts(
     )
     for run in restored:
         bus.emit(
-            "driver.count.restored",
+            DRIVER_COUNT_RESTORED,
             source="driver",
             num_stages=run.num_stages,
         )
@@ -999,13 +1015,13 @@ def search_all_stage_counts(
                         kind="deadline",
                     )
                     bus.emit(
-                        "driver.count.failed",
+                        DRIVER_COUNT_FAILED,
                         source="driver",
                         level=WARNING,
                         num_stages=count,
                         attempts=0,
                         error=failures[count].error,
-                        kind="deadline",
+                        failure_kind="deadline",
                         _failure=failures[count],
                     )
                     continue
@@ -1031,7 +1047,7 @@ def search_all_stage_counts(
                                 retry_backoff, count, attempt, jitter_seed
                             )
                             bus.emit(
-                                "driver.worker.retry",
+                                DRIVER_WORKER_RETRY,
                                 source="driver",
                                 level=WARNING,
                                 num_stages=count,
@@ -1049,20 +1065,20 @@ def search_all_stage_counts(
                             kind=_failure_kind_from_error(error),
                         )
                         bus.emit(
-                            "driver.count.failed",
+                            DRIVER_COUNT_FAILED,
                             source="driver",
                             level=WARNING,
                             num_stages=count,
                             attempts=attempt + 1,
                             error=error,
-                            kind=failures[count].kind,
+                            failure_kind=failures[count].kind,
                             _failure=failures[count],
                         )
                         break
                     run = StageCountResult(num_stages=count, result=result)
                     results[count] = run
                     bus.emit(
-                        "driver.count.completed",
+                        DRIVER_COUNT_COMPLETED,
                         source="driver",
                         num_stages=count,
                         attempt=attempt,
@@ -1109,7 +1125,7 @@ def search_all_stage_counts(
     )
     outcome.wall_seconds = time.perf_counter() - started
     bus.emit(
-        "driver.end",
+        DRIVER_END,
         source="driver",
         completed=sorted(results),
         failed=sorted(failures),

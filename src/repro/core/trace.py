@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..telemetry.events import SEARCH_BEGIN, SEARCH_ITERATION
+
 
 @dataclass(frozen=True)
 class IterationRecord:
@@ -144,11 +146,11 @@ class SearchTrace:
         """
         trace = cls()
         for event in events:
-            if event.name == "search.begin":
+            if event.name == SEARCH_BEGIN:
                 trace.convergence.append(
                     (0.0, event.attrs["best_objective"])
                 )
-            elif event.name == "search.iteration":
+            elif event.name == SEARCH_ITERATION:
                 attrs = event.attrs
                 trace.record_iteration(
                     index=attrs["index"],

@@ -25,6 +25,7 @@ from ..ir.graph import OpGraph
 from ..parallel.config import ParallelConfig
 from ..parallel.validation import ConfigError, validate_config
 from ..telemetry import WARNING, get_bus
+from ..telemetry.events import FAULTS_LINK_DEGRADATION
 from .plan import FaultPlan
 
 
@@ -47,7 +48,7 @@ def degrade_cluster(cluster: ClusterSpec, plan: FaultPlan) -> ClusterSpec:
         for scope, factor in (("intra", intra), ("inter", inter)):
             if factor < 1.0:
                 bus.emit(
-                    "faults.link_degradation",
+                    FAULTS_LINK_DEGRADATION,
                     source="faults",
                     level=WARNING,
                     scope=scope,

@@ -1,0 +1,63 @@
+"""Static analysis for Aceso plans, artifacts, and the codebase itself.
+
+Two tiers share one typed-diagnostics core (:mod:`repro.lint.diagnostics`):
+
+* **Tier A** (domain): collect-all analyzers over in-memory
+  ``ParallelConfig``/``OpGraph``/``ClusterSpec`` triples
+  (:mod:`repro.lint.config_rules`), admission analysis of
+  ``PlanRequest``s before a worker is spawned
+  (:mod:`repro.lint.requests`), and linting of every on-disk JSON
+  artifact the planner reads or writes — plans, plan-cache entries,
+  search checkpoints, request journals, telemetry run logs
+  (:mod:`repro.lint.artifacts`).
+* **Tier B** (codebase): stdlib-``ast`` rules over ``src/repro``
+  enforcing the repo's determinism and telemetry contracts
+  (:mod:`repro.lint.codebase`).
+
+The ``repro-lint`` CLI (:mod:`repro.lint.cli`) fronts both tiers.
+"""
+
+from .diagnostics import (
+    CODES,
+    ERROR,
+    WARNING,
+    Diagnostic,
+    max_severity,
+)
+from .config_rules import (
+    analyze_config,
+    analyze_memory,
+    analyze_primitives,
+    analyze_structure,
+)
+from .requests import analyze_request
+from .artifacts import (
+    lint_artifact_path,
+    lint_checkpoint_file,
+    lint_journal_file,
+    lint_plan_cache_file,
+    lint_plan_file,
+    lint_run_log_file,
+)
+from .codebase import analyze_source, analyze_tree
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "max_severity",
+    "analyze_config",
+    "analyze_memory",
+    "analyze_primitives",
+    "analyze_structure",
+    "analyze_request",
+    "lint_artifact_path",
+    "lint_checkpoint_file",
+    "lint_journal_file",
+    "lint_plan_cache_file",
+    "lint_plan_file",
+    "lint_run_log_file",
+    "analyze_source",
+    "analyze_tree",
+]

@@ -1,0 +1,552 @@
+"""Tier-A linting of every on-disk JSON artifact the planner touches.
+
+One collect-all linter per artifact family, each returning
+:class:`~repro.lint.diagnostics.Diagnostic` lists instead of raising:
+
+* serialized plans (``repro.parallel.serialization``) — ``ACE30x``
+* plan-cache entries (``<fingerprint>.plan.json``) — ``ACE31x``
+* search checkpoints (``<fingerprint>.ckpt.json``) — ``ACE32x``
+* journaled requests (``<fingerprint>.request.json``) — ``ACE33x``
+* telemetry run logs (JSONL) — ``ACE34x``
+
+These are *static* checks: nothing is deserialized into live planner
+objects, so a hostile or bit-rotted file can be linted safely before
+the daemon resumes from it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from .diagnostics import Diagnostic
+
+#: Fingerprints are the first 16 hex digits of a sha256.
+_FINGERPRINT_HEX = 16
+
+#: Valid run-log event kinds (see ``repro.telemetry.bus``).
+_EVENT_KINDS = frozenset(("event", "span_begin", "span_end", "counter"))
+
+_PLAN_KEYS = frozenset(("format_version", "microbatch_size", "stages"))
+_STAGE_KEYS = frozenset(
+    ("start", "end", "num_devices", "tp", "dp", "tp_dim", "recompute")
+)
+_STAGE_ARRAY_KEYS = ("tp", "dp", "tp_dim", "recompute")
+_CACHE_KEYS = frozenset(("plan", "objective", "model", "gpus"))
+_CHECKPOINT_KEYS = frozenset(
+    ("format_version", "stage_counts", "budget_kwargs", "context",
+     "completed", "failures")
+)
+_RESULT_KEYS = frozenset(
+    ("best_config", "best_objective", "top_configs", "num_estimates",
+     "elapsed_seconds", "converged", "visited_signatures")
+)
+_RUN_LOG_KEYS = ("name", "kind", "ts", "pid", "source", "level", "attrs")
+
+
+def _is_fingerprint(text: str) -> bool:
+    return len(text) == _FINGERPRINT_HEX and all(
+        c in "0123456789abcdef" for c in text
+    )
+
+
+def _load_json(
+    path: Path, code: str
+) -> Tuple[Optional[object], List[Diagnostic]]:
+    try:
+        return json.loads(path.read_text()), []
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return None, [Diagnostic(
+            code,
+            f"cannot read {path}: {type(exc).__name__}: {exc}",
+            location=str(path),
+        )]
+
+
+# ----------------------------------------------------------------------
+# serialized plans (ACE30x)
+# ----------------------------------------------------------------------
+def lint_plan_dict(data, location: str) -> List[Diagnostic]:
+    """Strict-schema lint of one serialized plan dict."""
+    out: List[Diagnostic] = []
+    if not isinstance(data, dict):
+        return [Diagnostic(
+            "ACE303", "plan must be a JSON object", location=location
+        )]
+    version = data.get("format_version")
+    if version != 1:
+        out.append(Diagnostic(
+            "ACE302",
+            f"unsupported plan format version {version!r} (expected 1)",
+            location=location,
+        ))
+    unknown = sorted(set(data) - _PLAN_KEYS)
+    if unknown:
+        out.append(Diagnostic(
+            "ACE303",
+            f"unknown plan field(s) {unknown}",
+            location=location,
+        ))
+    missing = sorted(_PLAN_KEYS - set(data))
+    if missing:
+        out.append(Diagnostic(
+            "ACE303",
+            f"missing plan field(s) {missing}",
+            location=location,
+        ))
+    mbs = data.get("microbatch_size")
+    if "microbatch_size" in data and (
+        not isinstance(mbs, int) or isinstance(mbs, bool) or mbs < 1
+    ):
+        out.append(Diagnostic(
+            "ACE303",
+            f"microbatch_size must be a positive int, got {mbs!r}",
+            location=location,
+        ))
+    stages = data.get("stages")
+    if "stages" in data:
+        if not isinstance(stages, list) or not stages:
+            out.append(Diagnostic(
+                "ACE303",
+                "stages must be a non-empty list",
+                location=location,
+            ))
+        else:
+            for i, stage in enumerate(stages):
+                out.extend(_lint_plan_stage(stage, i, location))
+    return out
+
+
+def _lint_plan_stage(stage, i: int, location: str) -> List[Diagnostic]:
+    loc = f"{location} stage {i}"
+    if not isinstance(stage, dict):
+        return [Diagnostic(
+            "ACE303", f"stage {i} must be a JSON object", location=loc
+        )]
+    out: List[Diagnostic] = []
+    unknown = sorted(set(stage) - _STAGE_KEYS)
+    if unknown:
+        out.append(Diagnostic(
+            "ACE303", f"stage {i} has unknown field(s) {unknown}",
+            location=loc,
+        ))
+    missing = sorted(_STAGE_KEYS - set(stage))
+    if missing:
+        out.append(Diagnostic(
+            "ACE303", f"stage {i} is missing field(s) {missing}",
+            location=loc,
+        ))
+        return out
+    for key in ("start", "end", "num_devices"):
+        if not isinstance(stage[key], int) or isinstance(stage[key], bool):
+            out.append(Diagnostic(
+                "ACE303",
+                f"stage {i} field {key!r} must be an int, got "
+                f"{stage[key]!r}",
+                location=loc,
+            ))
+            return out
+    span = stage["end"] - stage["start"]
+    for key in _STAGE_ARRAY_KEYS:
+        value = stage[key]
+        if not isinstance(value, list):
+            out.append(Diagnostic(
+                "ACE303",
+                f"stage {i} field {key!r} must be a list",
+                location=loc,
+            ))
+        elif span > 0 and len(value) != span:
+            out.append(Diagnostic(
+                "ACE303",
+                f"stage {i} field {key!r} has {len(value)} entries for a "
+                f"{span}-op span",
+                location=loc,
+            ))
+    return out
+
+
+def lint_plan_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one serialized plan JSON file."""
+    path = Path(path)
+    data, out = _load_json(path, "ACE301")
+    if data is None:
+        return out
+    return lint_plan_dict(data, str(path))
+
+
+# ----------------------------------------------------------------------
+# plan-cache entries (ACE31x)
+# ----------------------------------------------------------------------
+def lint_plan_cache_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one ``<fingerprint>.plan.json`` cache entry."""
+    path = Path(path)
+    out: List[Diagnostic] = []
+    stem = path.name[: -len(".plan.json")] if path.name.endswith(
+        ".plan.json"
+    ) else path.stem
+    if not _is_fingerprint(stem):
+        out.append(Diagnostic(
+            "ACE311",
+            f"cache entry filename {path.name!r} is not "
+            f"<{_FINGERPRINT_HEX}-hex-fingerprint>.plan.json",
+            location=str(path),
+            hint="cache keys are PlanRequest.fingerprint() digests",
+        ))
+    data, load_diags = _load_json(path, "ACE301")
+    out.extend(load_diags)
+    if data is None:
+        return out
+    if not isinstance(data, dict):
+        out.append(Diagnostic(
+            "ACE310", "cache entry must be a JSON object",
+            location=str(path),
+        ))
+        return out
+    unknown = sorted(set(data) - _CACHE_KEYS)
+    if unknown:
+        out.append(Diagnostic(
+            "ACE310",
+            f"cache entry has unknown field(s) {unknown}",
+            location=str(path),
+        ))
+    missing = sorted(_CACHE_KEYS - set(data))
+    if missing:
+        out.append(Diagnostic(
+            "ACE310",
+            f"cache entry is missing field(s) {missing}",
+            location=str(path),
+        ))
+    if "objective" in data and not isinstance(
+        data["objective"], (int, float)
+    ):
+        out.append(Diagnostic(
+            "ACE310",
+            f"cache entry objective must be a number, got "
+            f"{data['objective']!r}",
+            location=str(path),
+        ))
+    if "model" in data and not isinstance(data["model"], str):
+        out.append(Diagnostic(
+            "ACE310", "cache entry model must be a string",
+            location=str(path),
+        ))
+    if "gpus" in data and (
+        not isinstance(data["gpus"], int) or data["gpus"] < 1
+    ):
+        out.append(Diagnostic(
+            "ACE310",
+            f"cache entry gpus must be a positive int, got "
+            f"{data['gpus']!r}",
+            location=str(path),
+        ))
+    if "plan" in data:
+        out.extend(lint_plan_dict(data["plan"], f"{path} plan"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# search checkpoints (ACE32x)
+# ----------------------------------------------------------------------
+def lint_checkpoint_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one ``SearchCheckpoint`` JSON file."""
+    path = Path(path)
+    data, out = _load_json(path, "ACE320")
+    if data is None:
+        return out
+    if not isinstance(data, dict):
+        return [Diagnostic(
+            "ACE320", "checkpoint must be a JSON object",
+            location=str(path),
+        )]
+    version = data.get("format_version")
+    if version != 1:
+        out.append(Diagnostic(
+            "ACE321",
+            f"unsupported checkpoint format version {version!r} "
+            f"(expected 1)",
+            location=str(path),
+        ))
+    unknown = sorted(set(data) - _CHECKPOINT_KEYS)
+    if unknown:
+        out.append(Diagnostic(
+            "ACE322",
+            f"checkpoint has unknown field(s) {unknown}",
+            location=str(path),
+        ))
+    missing = sorted(
+        {"stage_counts", "budget_kwargs"} - set(data)
+    )
+    if missing:
+        out.append(Diagnostic(
+            "ACE322",
+            f"checkpoint is missing field(s) {missing}",
+            location=str(path),
+        ))
+    stage_counts: List[int] = []
+    raw_counts = data.get("stage_counts", [])
+    if not isinstance(raw_counts, list) or any(
+        not isinstance(c, int) or isinstance(c, bool) or c < 1
+        for c in raw_counts
+    ):
+        out.append(Diagnostic(
+            "ACE322",
+            f"stage_counts must be a list of positive ints, got "
+            f"{raw_counts!r}",
+            location=str(path),
+        ))
+    else:
+        stage_counts = raw_counts
+    for key in ("budget_kwargs", "context"):
+        if key in data and not isinstance(data[key], dict):
+            out.append(Diagnostic(
+                "ACE322",
+                f"checkpoint field {key!r} must be a JSON object",
+                location=str(path),
+            ))
+    completed = data.get("completed", {})
+    completed_counts: List[int] = []
+    if not isinstance(completed, dict):
+        out.append(Diagnostic(
+            "ACE322", "checkpoint completed must be a JSON object",
+            location=str(path),
+        ))
+        completed = {}
+    for key, payload in completed.items():
+        loc = f"{path} completed[{key}]"
+        try:
+            count = int(key)
+        except (TypeError, ValueError):
+            out.append(Diagnostic(
+                "ACE322",
+                f"completed key {key!r} is not a stage count",
+                location=loc,
+            ))
+            continue
+        completed_counts.append(count)
+        if not isinstance(payload, dict):
+            out.append(Diagnostic(
+                "ACE322",
+                f"completed[{key}] must be a JSON object",
+                location=loc,
+            ))
+            continue
+        missing_result = sorted(_RESULT_KEYS - set(payload))
+        if missing_result:
+            out.append(Diagnostic(
+                "ACE322",
+                f"completed[{key}] is missing field(s) {missing_result}",
+                location=loc,
+            ))
+        if "best_config" in payload:
+            out.extend(lint_plan_dict(
+                payload["best_config"], f"{loc}.best_config"
+            ))
+        if "best_config" in payload and isinstance(
+            payload["best_config"], dict
+        ):
+            stages = payload["best_config"].get("stages")
+            if isinstance(stages, list) and len(stages) != count:
+                out.append(Diagnostic(
+                    "ACE323",
+                    f"completed[{key}] best_config has {len(stages)} "
+                    f"stages, expected {count}",
+                    location=loc,
+                ))
+    failures = data.get("failures", [])
+    failed_counts: List[int] = []
+    if not isinstance(failures, list):
+        out.append(Diagnostic(
+            "ACE322", "checkpoint failures must be a list",
+            location=str(path),
+        ))
+        failures = []
+    for i, failure in enumerate(failures):
+        if not isinstance(failure, dict) or not {
+            "num_stages", "error", "attempts"
+        } <= set(failure):
+            out.append(Diagnostic(
+                "ACE322",
+                f"failures[{i}] must carry num_stages/error/attempts",
+                location=str(path),
+            ))
+            continue
+        if isinstance(failure["num_stages"], int):
+            failed_counts.append(failure["num_stages"])
+    if stage_counts:
+        stray = sorted(set(completed_counts) - set(stage_counts))
+        if stray:
+            out.append(Diagnostic(
+                "ACE323",
+                f"completed stage counts {stray} are absent from "
+                f"stage_counts {sorted(stage_counts)}",
+                location=str(path),
+            ))
+    # record_run removes a count's failure record on success, so a
+    # count in both sets means the file was hand-edited or torn.
+    both = sorted(set(completed_counts) & set(failed_counts))
+    if both:
+        out.append(Diagnostic(
+            "ACE323",
+            f"stage counts {both} appear as both completed and failed",
+            location=str(path),
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# journaled requests (ACE33x)
+# ----------------------------------------------------------------------
+def lint_journal_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one ``<fingerprint>.request.json`` journal entry."""
+    from ..service.protocol import PlanRequest, ProtocolError
+
+    path = Path(path)
+    data, out = _load_json(path, "ACE301")
+    if data is None:
+        return out
+    try:
+        request = PlanRequest.from_json(data)
+    except ProtocolError as exc:
+        out.append(Diagnostic(
+            "ACE330", str(exc), location=str(path),
+        ))
+        return out
+    if path.name.endswith(".request.json"):
+        stem = path.name[: -len(".request.json")]
+        expected = request.fingerprint()
+        if stem != expected:
+            out.append(Diagnostic(
+                "ACE331",
+                f"journal filename fingerprint {stem!r} does not match "
+                f"the request's fingerprint {expected!r}",
+                location=str(path),
+                hint="the journal was renamed or its request edited",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# telemetry run logs (ACE34x)
+# ----------------------------------------------------------------------
+def lint_run_log_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Collect-all twin of ``repro.telemetry.validate_run_log``.
+
+    Adds the registry check the raise-first validator cannot do: every
+    event name must come from :mod:`repro.telemetry.events` (ACE343).
+    """
+    from ..telemetry import events as registry
+
+    path = Path(path)
+    out: List[Diagnostic] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Diagnostic(
+            "ACE340",
+            f"cannot read {path}: {type(exc).__name__}: {exc}",
+            location=str(path),
+        )]
+    for lineno, line in enumerate(lines, start=1):
+        loc = f"{path}:{lineno}"
+        if not line.strip():
+            out.append(Diagnostic(
+                "ACE340", "blank line in run log", location=loc,
+            ))
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            out.append(Diagnostic(
+                "ACE340", f"invalid JSON: {exc}", location=loc,
+            ))
+            continue
+        if not isinstance(data, dict):
+            out.append(Diagnostic(
+                "ACE341", "event must be a JSON object", location=loc,
+            ))
+            continue
+        missing = [key for key in _RUN_LOG_KEYS if key not in data]
+        if missing:
+            out.append(Diagnostic(
+                "ACE341", f"missing keys {missing}", location=loc,
+            ))
+            continue
+        if not isinstance(data["name"], str) or not data["name"]:
+            out.append(Diagnostic(
+                "ACE341", "name must be a non-empty string", location=loc,
+            ))
+            continue
+        if not isinstance(data["ts"], (int, float)) or data["ts"] < 0:
+            out.append(Diagnostic(
+                "ACE341", "ts must be a non-negative number", location=loc,
+            ))
+        if not isinstance(data["pid"], int):
+            out.append(Diagnostic(
+                "ACE341", "pid must be an int", location=loc,
+            ))
+        if not isinstance(data["attrs"], dict):
+            out.append(Diagnostic(
+                "ACE341", "attrs must be an object", location=loc,
+            ))
+        kind = data["kind"]
+        if kind not in _EVENT_KINDS:
+            out.append(Diagnostic(
+                "ACE342",
+                f"unknown event kind {kind!r} (expected one of "
+                f"{sorted(_EVENT_KINDS)})",
+                location=loc,
+            ))
+        if not registry.is_registered(data["name"]):
+            out.append(Diagnostic(
+                "ACE343",
+                f"event name {data['name']!r} is not in the telemetry "
+                f"registry",
+                location=loc,
+                hint="register it in repro/telemetry/events.py",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def lint_artifact_path(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one artifact file, dispatching on its name/shape."""
+    path = Path(path)
+    name = path.name
+    if name.endswith(".request.json"):
+        return lint_journal_file(path)
+    if name.endswith(".ckpt.json"):
+        return lint_checkpoint_file(path)
+    if name.endswith(".plan.json") and _is_fingerprint(
+        name[: -len(".plan.json")]
+    ):
+        return lint_plan_cache_file(path)
+    if name.endswith(".jsonl"):
+        return lint_run_log_file(path)
+    data, out = _load_json(path, "ACE301")
+    if data is None:
+        return out
+    if isinstance(data, dict):
+        if {"plan", "objective"} <= set(data):
+            return lint_plan_cache_file(path)
+        if {"stage_counts", "completed"} <= set(data) or {
+            "stage_counts", "budget_kwargs"
+        } <= set(data):
+            return lint_checkpoint_file(path)
+        if "protocol_version" in data and "model" in data:
+            return lint_journal_file(path)
+        if "stages" in data or "microbatch_size" in data:
+            return lint_plan_dict(data, str(path))
+    return [Diagnostic(
+        "ACE301",
+        f"unrecognized artifact shape in {name}",
+        location=str(path),
+        severity="warning",
+        hint=(
+            "expected a plan, cache entry (*.plan.json), checkpoint "
+            "(*.ckpt.json), request journal (*.request.json), or "
+            "run log (*.jsonl)"
+        ),
+    )]

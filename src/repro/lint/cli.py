@@ -1,0 +1,136 @@
+"""The ``repro-lint`` command-line front end.
+
+Dispatches each path to the right analyzer: Python files and source
+trees go through the Tier-B codebase rules, JSON/JSONL artifacts (and
+directories of them) through the Tier-A artifact linters.  Examples::
+
+    repro-lint src/repro                      # codebase invariants
+    repro-lint state/ daemon-events.jsonl     # artifact lint
+    repro-lint src/repro --format json -o report.json
+    repro-lint plan.json --select ACE30       # one rule family
+
+Exit codes: 0 clean (warnings allowed), 1 when any error-severity
+diagnostic survives filtering, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .artifacts import lint_artifact_path
+from .codebase import analyze_file
+from .diagnostics import ERROR, WARNING, Diagnostic
+
+#: Artifact filename suffixes ``repro-lint`` picks up in directories.
+_ARTIFACT_SUFFIXES = (".json", ".jsonl")
+
+
+def _collect_paths(root: Path) -> List[Path]:
+    """Lintable files under ``root`` (itself, when it is a file)."""
+    if root.is_file():
+        return [root]
+    files = [p for p in root.rglob("*.py")]
+    for suffix in _ARTIFACT_SUFFIXES:
+        files.extend(root.rglob(f"*{suffix}"))
+    return sorted(p for p in files if p.is_file())
+
+
+def _lint_file(path: Path) -> List[Diagnostic]:
+    if path.suffix == ".py":
+        return analyze_file(path)
+    return lint_artifact_path(path)
+
+
+def _select(
+    diagnostics: List[Diagnostic], prefixes: Optional[List[str]]
+) -> List[Diagnostic]:
+    if not prefixes:
+        return diagnostics
+    wanted = tuple(p.strip().upper() for p in prefixes if p.strip())
+    return [d for d in diagnostics if d.code.startswith(wanted)]
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for Aceso plans, artifacts, and the "
+            "repro codebase (diagnostic codes ACE1xx structural, "
+            "ACE2xx feasibility, ACE3xx artifact, ACE9xx codebase)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories: .py sources, JSON artifacts, "
+        "JSONL run logs",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        "--rule",
+        dest="select",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="only report codes with this prefix (repeatable; "
+        "e.g. --select ACE9 or --rule ACE331)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the JSON report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    diagnostics: List[Diagnostic] = []
+    checked: List[str] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such path: {raw}")
+        for file in _collect_paths(path):
+            checked.append(str(file))
+            try:
+                diagnostics.extend(_lint_file(file))
+            except SyntaxError as exc:
+                print(
+                    f"repro-lint: cannot parse {file}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+
+    diagnostics = _select(diagnostics, args.select)
+    errors = [d for d in diagnostics if d.severity == ERROR]
+    warnings = [d for d in diagnostics if d.severity == WARNING]
+    report = {
+        "diagnostics": [d.to_json() for d in diagnostics],
+        "counts": {"error": len(errors), "warning": len(warnings)},
+        "files_checked": len(checked),
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for diag in diagnostics:
+            print(diag.render())
+        print(
+            f"repro-lint: {len(checked)} file(s), "
+            f"{len(errors)} error(s), {len(warnings)} warning(s)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

@@ -1,0 +1,327 @@
+"""Tier-A domain analyzers over in-memory planning objects.
+
+``analyze_structure`` is the collect-all twin of the historical
+``validate_config`` raise-on-first checker: same invariants (§3.1 and
+§5.1 of the paper), same check order, byte-identical message text —
+``validate_config`` now wraps this analyzer's first error, so the two
+can never drift.  ``analyze_memory`` is the static Eq. 1 feasibility
+pass: it prices every stage with the performance model and reports
+which stages would OOM and by how much.  ``analyze_primitives`` is the
+Table 1 preflight: every registered primitive must have an applier and
+a resolvable partner spec before the search may expand it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .diagnostics import Diagnostic
+
+
+def _stage_loc(i: int) -> str:
+    return f"stage {i}"
+
+
+# ----------------------------------------------------------------------
+# structural invariants (ACE1xx)
+# ----------------------------------------------------------------------
+def analyze_structure(config, graph, cluster) -> List[Diagnostic]:
+    """Collect every violated structural invariant of ``config``.
+
+    Diagnostics appear in the exact order the legacy raise-on-first
+    checker tested them (spans, devices, parallel degrees, tp_dims,
+    microbatch), so ``diagnostics[0]`` is always the violation
+    ``validate_config`` historically raised.
+    """
+    out: List[Diagnostic] = []
+    _check_spans(config, graph, out)
+    _check_devices(config, cluster, out)
+    _check_parallel_degrees(config, cluster, out)
+    _check_tp_dims(config, graph, out)
+    _check_microbatch(config, graph, out)
+    return out
+
+
+def _check_spans(config, graph, out: List[Diagnostic]) -> None:
+    expected = 0
+    for i, stage in enumerate(config.stages):
+        if stage.start != expected:
+            out.append(Diagnostic(
+                "ACE101",
+                f"stage {i} starts at op {stage.start}, expected {expected}",
+                location=_stage_loc(i),
+                hint="stage spans must tile the op chain contiguously",
+            ))
+        if stage.end <= stage.start:
+            out.append(Diagnostic(
+                "ACE102",
+                f"stage {i} has empty span",
+                location=_stage_loc(i),
+                hint="every stage must own at least one op",
+            ))
+        expected = stage.end
+    if expected != graph.num_ops:
+        out.append(Diagnostic(
+            "ACE103",
+            f"stages cover {expected} ops but the graph has "
+            f"{graph.num_ops}",
+            hint="the last stage must end at num_ops",
+        ))
+
+
+def _check_devices(config, cluster, out: List[Diagnostic]) -> None:
+    total = 0
+    for i, stage in enumerate(config.stages):
+        n = stage.num_devices
+        if n < 1 or (n & (n - 1)):
+            out.append(Diagnostic(
+                "ACE110",
+                f"stage {i} device count {stage.num_devices} is not a "
+                f"power of two",
+                location=_stage_loc(i),
+            ))
+        total += stage.num_devices
+    if total != cluster.num_gpus:
+        out.append(Diagnostic(
+            "ACE111",
+            f"stages use {total} devices but the cluster has "
+            f"{cluster.num_gpus}",
+            hint="device counts must sum to the cluster size",
+        ))
+
+
+def _check_parallel_degrees(config, cluster, out: List[Diagnostic]) -> None:
+    for i, stage in enumerate(config.stages):
+        for name, arr in (("tp", stage.tp), ("dp", stage.dp)):
+            if np.any(arr < 1):
+                out.append(Diagnostic(
+                    "ACE120",
+                    f"stage {i} has non-positive {name}",
+                    location=_stage_loc(i),
+                ))
+            bad = arr & (arr - 1)
+            if np.any(bad):
+                out.append(Diagnostic(
+                    "ACE121",
+                    f"stage {i} has non-power-of-two {name} values",
+                    location=_stage_loc(i),
+                ))
+        if np.any(stage.tp * stage.dp != stage.num_devices):
+            out.append(Diagnostic(
+                "ACE122",
+                f"stage {i}: tp * dp != num_devices ({stage.num_devices})",
+                location=_stage_loc(i),
+            ))
+        if np.any(stage.tp > cluster.num_gpus):
+            out.append(Diagnostic(
+                "ACE123",
+                f"stage {i} tp exceeds cluster size",
+                location=_stage_loc(i),
+            ))
+
+
+def _check_tp_dims(config, graph, out: List[Diagnostic]) -> None:
+    num_options = graph.arrays.num_options
+    for i, stage in enumerate(config.stages):
+        if np.any(stage.tp_dim < 0):
+            out.append(Diagnostic(
+                "ACE130",
+                f"stage {i} has negative tp_dim",
+                location=_stage_loc(i),
+            ))
+        limit = num_options[stage.start:stage.end]
+        # When the span itself is broken the slice can be the wrong
+        # length; the span diagnostics above already cover that case.
+        if limit.shape == stage.tp_dim.shape and np.any(
+            stage.tp_dim >= limit
+        ):
+            out.append(Diagnostic(
+                "ACE131",
+                f"stage {i} has tp_dim beyond an op's partition options",
+                location=_stage_loc(i),
+            ))
+
+
+def _check_microbatch(config, graph, out: List[Diagnostic]) -> None:
+    mbs = config.microbatch_size
+    if graph.global_batch_size % mbs:
+        out.append(Diagnostic(
+            "ACE140",
+            f"microbatch {mbs} does not divide global batch "
+            f"{graph.global_batch_size}",
+        ))
+    for i, stage in enumerate(config.stages):
+        if np.any(mbs % stage.dp):
+            out.append(Diagnostic(
+                "ACE141",
+                f"stage {i}: microbatch {mbs} not divisible by some op dp",
+                location=_stage_loc(i),
+                hint="every op's per-GPU share mbs/dp must be integral",
+            ))
+
+
+# ----------------------------------------------------------------------
+# memory feasibility (ACE2xx, Eq. 1)
+# ----------------------------------------------------------------------
+def analyze_memory(
+    config, graph, cluster, *, perf_model=None, seed: int = 0
+) -> List[Diagnostic]:
+    """Static Eq. 1 feasibility: which stages would OOM, and by how much.
+
+    Requires a structurally valid config (run :func:`analyze_structure`
+    first); builds a performance model when none is supplied.
+    """
+    if perf_model is None:
+        from ..perfmodel.model import build_perf_model
+
+        perf_model = build_perf_model(graph, cluster, seed=seed)
+    report = perf_model.estimate(config)
+    limit = report.memory_limit
+    out: List[Diagnostic] = []
+    for i, peak in enumerate(report.peak_memories):
+        if peak > limit:
+            overage = peak - limit
+            out.append(Diagnostic(
+                "ACE201",
+                f"stage {i} peak memory {peak / 2**30:.2f} GiB exceeds "
+                f"device capacity {limit / 2**30:.2f} GiB by "
+                f"{overage / 2**30:.2f} GiB",
+                location=_stage_loc(i),
+                hint=(
+                    "apply a memory-decreasing primitive to this stage "
+                    "(dec-op#, dec-mbs, inc-dp, inc-tp, inc-rc)"
+                ),
+                attrs={
+                    "peak_bytes": float(peak),
+                    "limit_bytes": float(limit),
+                    "overage_bytes": float(overage),
+                },
+            ))
+    return out
+
+
+def weight_state_lower_bound(graph, cluster) -> float:
+    """Per-GPU lower bound on resident weight+optimizer bytes.
+
+    Weights and optimizer state shard only across tensor-parallel (and
+    for the optimizer, dp replicas each keep a copy), so even a perfect
+    plan keeps at least ``total_params * (elem + optimizer_bytes) /
+    num_gpus`` on some device.  A request whose bound already exceeds
+    device capacity cannot be planned at all.
+    """
+    per_param = graph.elem_bytes + float(graph.optimizer_bytes_per_param)
+    return float(graph.total_params) * per_param / cluster.num_gpus
+
+
+def analyze_weight_state(graph, cluster) -> List[Diagnostic]:
+    """Request-level ACE202 check: can the weights fit at all?"""
+    bound = weight_state_lower_bound(graph, cluster)
+    limit = float(cluster.device.memory_bytes)
+    if bound <= limit:
+        return []
+    return [Diagnostic(
+        "ACE202",
+        f"weights + optimizer state need at least "
+        f"{bound / 2**30:.2f} GiB per GPU but devices have "
+        f"{limit / 2**30:.2f} GiB",
+        hint="request more GPUs or a smaller model",
+        attrs={
+            "lower_bound_bytes": bound,
+            "limit_bytes": limit,
+            "num_gpus": cluster.num_gpus,
+        },
+    )]
+
+
+# ----------------------------------------------------------------------
+# primitive legality preflight (ACE21x)
+# ----------------------------------------------------------------------
+def _partner_names(partner: str) -> List[str]:
+    """Expand a Table 1 partner spec into primitive names.
+
+    ``"dec-dp/tp"`` means "dec-dp or dec-tp on the partner stage".
+    """
+    if "/" not in partner:
+        return [partner]
+    prefix, _, alternatives = partner.partition("-")
+    return [f"{prefix}-{alt}" for alt in alternatives.split("/")]
+
+
+def analyze_primitives(
+    names: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Preflight the primitive table (or an explicit name list).
+
+    Every primitive the search may expand must exist in Table 1
+    (``ACE210``) and have a registered applier (``ACE211``); partner
+    specs must expand to known primitives (``ACE210``).
+    """
+    from ..core.apply import has_applier
+    from ..core.primitives import PRIMITIVES_BY_NAME, _EXTENSIONS, all_primitives
+
+    known = set(PRIMITIVES_BY_NAME) | set(_EXTENSIONS)
+    out: List[Diagnostic] = []
+    if names is not None:
+        for name in names:
+            if name not in known:
+                out.append(Diagnostic(
+                    "ACE210",
+                    f"unknown primitive {name!r}",
+                    location=name,
+                    hint=f"known primitives: {sorted(known)}",
+                ))
+            elif not has_applier(name):
+                out.append(Diagnostic(
+                    "ACE211",
+                    f"primitive {name!r} has no registered applier",
+                    location=name,
+                    hint="register one with repro.core.apply.register_applier",
+                ))
+        return out
+
+    for spec in all_primitives():
+        if not has_applier(spec.name):
+            out.append(Diagnostic(
+                "ACE211",
+                f"primitive {spec.name!r} has no registered applier",
+                location=spec.name,
+                hint="register one with repro.core.apply.register_applier",
+            ))
+        if spec.partner:
+            for partner in _partner_names(spec.partner):
+                if partner not in known:
+                    out.append(Diagnostic(
+                        "ACE210",
+                        f"primitive {spec.name!r} names unknown partner "
+                        f"{partner!r}",
+                        location=spec.name,
+                    ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+def analyze_config(
+    config,
+    graph,
+    cluster,
+    *,
+    perf_model=None,
+    memory: bool = True,
+    seed: int = 0,
+) -> List[Diagnostic]:
+    """Full Tier-A analysis of one configuration.
+
+    Structural diagnostics come first; the Eq. 1 memory pass only runs
+    on structurally clean configs (the performance model assumes valid
+    spans and degrees).
+    """
+    out = analyze_structure(config, graph, cluster)
+    if memory and not out:
+        out.extend(analyze_memory(
+            config, graph, cluster, perf_model=perf_model, seed=seed
+        ))
+    return out

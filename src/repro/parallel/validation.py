@@ -2,18 +2,17 @@
 
 The search only ever constructs valid configurations, but primitives
 are easier to write (and test) against a single authoritative checker.
-``validate_config`` raises :class:`ConfigError` with a precise message
-on the first violated invariant.
+The invariants themselves now live in the collect-all analyzer
+:func:`repro.lint.config_rules.analyze_structure`; ``validate_config``
+is a thin raise-on-first wrapper that surfaces the analyzer's first
+diagnostic as a :class:`ConfigError` with the historical message text.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..cluster.topology import ClusterSpec
 from ..ir.graph import OpGraph
 from .config import ParallelConfig
-from .stage import is_power_of_two
 
 
 class ConfigError(ValueError):
@@ -37,90 +36,15 @@ def validate_config(
     5. the aggregated microbatch size divides the global batch and is
        divisible by every op's ``dp`` (integral per-GPU share);
     6. ``tp`` never exceeds the cluster size.
+
+    Raises :class:`ConfigError` with the first violation, in the same
+    order (and with the same message) the historical checker used.
     """
-    _check_spans(config, graph)
-    _check_devices(config, cluster)
-    _check_parallel_degrees(config, cluster)
-    _check_tp_dims(config, graph)
-    _check_microbatch(config, graph)
+    from ..lint.config_rules import analyze_structure
 
-
-def _check_spans(config: ParallelConfig, graph: OpGraph) -> None:
-    expected = 0
-    for i, stage in enumerate(config.stages):
-        if stage.start != expected:
-            raise ConfigError(
-                f"stage {i} starts at op {stage.start}, expected {expected}"
-            )
-        if stage.end <= stage.start:
-            raise ConfigError(f"stage {i} has empty span")
-        expected = stage.end
-    if expected != graph.num_ops:
-        raise ConfigError(
-            f"stages cover {expected} ops but the graph has {graph.num_ops}"
-        )
-
-
-def _check_devices(config: ParallelConfig, cluster: ClusterSpec) -> None:
-    total = 0
-    for i, stage in enumerate(config.stages):
-        if not is_power_of_two(stage.num_devices):
-            raise ConfigError(
-                f"stage {i} device count {stage.num_devices} is not a "
-                f"power of two"
-            )
-        total += stage.num_devices
-    if total != cluster.num_gpus:
-        raise ConfigError(
-            f"stages use {total} devices but the cluster has "
-            f"{cluster.num_gpus}"
-        )
-
-
-def _check_parallel_degrees(
-    config: ParallelConfig, cluster: ClusterSpec
-) -> None:
-    for i, stage in enumerate(config.stages):
-        for name, arr in (("tp", stage.tp), ("dp", stage.dp)):
-            if np.any(arr < 1):
-                raise ConfigError(f"stage {i} has non-positive {name}")
-            bad = arr & (arr - 1)
-            if np.any(bad):
-                raise ConfigError(
-                    f"stage {i} has non-power-of-two {name} values"
-                )
-        if np.any(stage.tp * stage.dp != stage.num_devices):
-            raise ConfigError(
-                f"stage {i}: tp * dp != num_devices ({stage.num_devices})"
-            )
-        if np.any(stage.tp > cluster.num_gpus):
-            raise ConfigError(f"stage {i} tp exceeds cluster size")
-
-
-def _check_tp_dims(config: ParallelConfig, graph: OpGraph) -> None:
-    num_options = graph.arrays.num_options
-    for i, stage in enumerate(config.stages):
-        if np.any(stage.tp_dim < 0):
-            raise ConfigError(f"stage {i} has negative tp_dim")
-        limit = num_options[stage.start:stage.end]
-        if np.any(stage.tp_dim >= limit):
-            raise ConfigError(
-                f"stage {i} has tp_dim beyond an op's partition options"
-            )
-
-
-def _check_microbatch(config: ParallelConfig, graph: OpGraph) -> None:
-    mbs = config.microbatch_size
-    if graph.global_batch_size % mbs:
-        raise ConfigError(
-            f"microbatch {mbs} does not divide global batch "
-            f"{graph.global_batch_size}"
-        )
-    for i, stage in enumerate(config.stages):
-        if np.any(mbs % stage.dp):
-            raise ConfigError(
-                f"stage {i}: microbatch {mbs} not divisible by some op dp"
-            )
+    diagnostics = analyze_structure(config, graph, cluster)
+    if diagnostics:
+        raise ConfigError(diagnostics[0].message)
 
 
 def is_valid(

@@ -38,6 +38,7 @@ from ..parallel.config import ParallelConfig
 from ..parallel.stage import StageConfig
 from ..profiling.database import ProfileDatabase, ProfiledGraph
 from ..telemetry import DEBUG, CounterGroup, get_bus
+from ..telemetry.events import PERFMODEL_ESTIMATE, PERFMODEL_FIRST_FEASIBLE
 from .memory import (
     activation_kept_mask,
     in_flight_counts,
@@ -179,14 +180,14 @@ class PerfModel:
             self.first_feasible_estimate = self._c_estimates.value
             if bus.active:
                 bus.emit(
-                    "perfmodel.first_feasible",
+                    PERFMODEL_FIRST_FEASIBLE,
                     source="perfmodel",
                     level=DEBUG,
                     estimates=self.first_feasible_estimate,
                 )
         if bus.active:
             bus.emit(
-                "perfmodel.estimate",
+                PERFMODEL_ESTIMATE,
                 source="perfmodel",
                 level=DEBUG,
                 oom=report.is_oom,

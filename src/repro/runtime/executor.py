@@ -24,6 +24,13 @@ from ..ir.graph import OpGraph
 from ..parallel.config import ParallelConfig
 from ..perfmodel.memory import activation_kept_mask
 from ..telemetry import DEBUG, WARNING, get_bus
+from ..telemetry.events import (
+    FAULTS_DEVICE_FAILURE,
+    FAULTS_STRAGGLER,
+    FAULTS_TRANSIENT_OOM,
+    RUNTIME_RUN,
+    RUNTIME_TASK,
+)
 from .allocator import replay_transients
 from .schedule import max_in_flight
 from .simulator import TaskRecord, simulate_pipeline
@@ -254,7 +261,7 @@ class Executor:
                     for stage, factor in enumerate(straggle):
                         if factor > 1.0:
                             bus.emit(
-                                "faults.straggler",
+                                FAULTS_STRAGGLER,
                                 source="faults",
                                 level=WARNING,
                                 stage=stage,
@@ -266,7 +273,7 @@ class Executor:
             degraded |= oom_hit
             if oom_hit and bus.active:
                 bus.emit(
-                    "faults.transient_oom",
+                    FAULTS_TRANSIENT_OOM,
                     source="faults",
                     level=WARNING,
                     stages=sorted(
@@ -283,7 +290,7 @@ class Executor:
                 failed_device = failure.device_id
                 if bus.active:
                     bus.emit(
-                        "faults.device_failure",
+                        FAULTS_DEVICE_FAILURE,
                         source="faults",
                         level=WARNING,
                         device=failure.device_id,
@@ -303,7 +310,7 @@ class Executor:
         if bus.active:
             for task in sim.tasks:
                 bus.emit(
-                    "runtime.task",
+                    RUNTIME_TASK,
                     source="runtime",
                     level=DEBUG,
                     stage=task.stage,
@@ -313,7 +320,7 @@ class Executor:
                     end=task.end,
                 )
             bus.emit(
-                "runtime.run",
+                RUNTIME_RUN,
                 source="runtime",
                 level=WARNING if sim.halted else DEBUG,
                 makespan=sim.makespan,

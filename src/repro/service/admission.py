@@ -21,6 +21,10 @@ import threading
 from typing import List, Optional
 
 from ..telemetry import WARNING, get_bus
+from ..telemetry.events import (
+    SERVICE_ADMISSION_ADMITTED,
+    SERVICE_ADMISSION_REJECTED,
+)
 
 
 class QueueFullError(RuntimeError):
@@ -70,7 +74,7 @@ class AdmissionController:
                 self.rejected += 1
                 retry_after = self._retry_after_locked()
                 get_bus().emit(
-                    "service.admission.rejected",
+                    SERVICE_ADMISSION_REJECTED,
                     source="service",
                     level=WARNING,
                     depth=len(self._heap),
@@ -85,7 +89,7 @@ class AdmissionController:
             )
             self.admitted += 1
             get_bus().emit(
-                "service.admission.admitted",
+                SERVICE_ADMISSION_ADMITTED,
                 source="service",
                 depth=len(self._heap),
                 priority=priority,

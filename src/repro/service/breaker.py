@@ -22,6 +22,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..telemetry import WARNING, get_bus
+from ..telemetry.events import (
+    SERVICE_BREAKER_CLOSE,
+    SERVICE_BREAKER_OPEN,
+    SERVICE_BREAKER_PROBE,
+)
 
 CLOSED = "closed"
 OPEN = "open"
@@ -97,7 +102,7 @@ class CircuitBreaker:
                 state.state = HALF_OPEN
                 state.probing = True
                 get_bus().emit(
-                    "service.breaker.probe",
+                    SERVICE_BREAKER_PROBE,
                     source="service",
                     key=key,
                     **state.attrs,
@@ -120,7 +125,7 @@ class CircuitBreaker:
             state.probing = False
             if was_open:
                 get_bus().emit(
-                    "service.breaker.close",
+                    SERVICE_BREAKER_CLOSE,
                     source="service",
                     key=key,
                     **state.attrs,
@@ -142,7 +147,7 @@ class CircuitBreaker:
                 state.opened_at = self._clock()
                 state.trips += 1
                 get_bus().emit(
-                    "service.breaker.open",
+                    SERVICE_BREAKER_OPEN,
                     source="service",
                     level=WARNING,
                     key=key,

@@ -23,6 +23,11 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..telemetry import get_bus
+from ..telemetry.events import (
+    SERVICE_CACHE_HIT,
+    SERVICE_CACHE_INVALIDATE,
+    SERVICE_CACHE_MISS,
+)
 
 
 class PlanCache:
@@ -66,7 +71,7 @@ class PlanCache:
             if entry is None:
                 self.misses += 1
                 get_bus().emit(
-                    "service.cache.miss",
+                    SERVICE_CACHE_MISS,
                     source="service",
                     fingerprint=fingerprint,
                 )
@@ -74,7 +79,7 @@ class PlanCache:
             self._entries.move_to_end(fingerprint)
             self.hits += 1
             get_bus().emit(
-                "service.cache.hit",
+                SERVICE_CACHE_HIT,
                 source="service",
                 fingerprint=fingerprint,
             )
@@ -114,7 +119,7 @@ class PlanCache:
                 del self._entries[fingerprint]
                 self._unlink(fingerprint)
             get_bus().emit(
-                "service.cache.invalidate",
+                SERVICE_CACHE_INVALIDATE,
                 source="service",
                 dropped=len(doomed),
                 remaining=len(self._entries),

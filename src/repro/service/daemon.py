@@ -38,7 +38,22 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..core.budget import Deadline
+from ..lint.diagnostics import ERROR as LINT_ERROR
+from ..lint.requests import analyze_plan_request
 from ..telemetry import WARNING, get_bus
+from ..telemetry.events import (
+    SERVICE_DRAIN_BEGIN,
+    SERVICE_DRAIN_END,
+    SERVICE_REQUEST_COMPLETED,
+    SERVICE_REQUEST_FAILED,
+    SERVICE_REQUEST_INVALID,
+    SERVICE_REQUEST_READMITTED,
+    SERVICE_REQUEST_RECEIVED,
+    SERVICE_REQUEST_REJECTED,
+    SERVICE_REQUEST_STARTED,
+    SERVICE_START,
+    SERVICE_WATCHDOG_REAP,
+)
 from .admission import AdmissionController, QueueFullError
 from .breaker import BreakerOpenError, CircuitBreaker
 from .cache import PlanCache
@@ -94,6 +109,7 @@ class PlannerDaemon:
         search_workers: int = 1,
         timeout_per_count: Optional[float] = None,
         worker_memory_mb: Optional[float] = None,
+        admission_lint: Optional[bool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -102,6 +118,14 @@ class PlannerDaemon:
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
         self._planner = planner or self._default_planner
+        # The Tier-A admission lint validates requests against the real
+        # model registry and paper cluster, which only describes the
+        # default planner; injected planners (tests, alternative
+        # back-ends) define their own model namespace, so lint defaults
+        # to on exactly when the default planner is in use.
+        self._admission_lint = (
+            admission_lint if admission_lint is not None else planner is None
+        )
         self._search_workers = search_workers
         self._timeout_per_count = timeout_per_count
         self._worker_memory_mb = worker_memory_mb
@@ -145,7 +169,7 @@ class PlannerDaemon:
         )
         self._watchdog.start()
         get_bus().emit(
-            "service.start",
+            SERVICE_START,
             source="service",
             workers=self.workers,
             queue_limit=self.admission.max_pending,
@@ -200,7 +224,7 @@ class PlannerDaemon:
         bus = get_bus()
         shed = self.admission.drain()
         bus.emit(
-            "service.drain.begin",
+            SERVICE_DRAIN_BEGIN,
             source="service",
             level=WARNING,
             queued=len(shed),
@@ -239,7 +263,7 @@ class PlannerDaemon:
             "queued_shed": len(shed),
             "in_flight_interrupted": len(interrupted),
         }
-        bus.emit("service.drain.end", source="service", **summary)
+        bus.emit(SERVICE_DRAIN_END, source="service", **summary)
         return summary
 
     def stop(self) -> None:
@@ -275,7 +299,7 @@ class PlannerDaemon:
         request_id = next(self._ids)
         fingerprint = request.fingerprint()
         bus.emit(
-            "service.request.received",
+            SERVICE_REQUEST_RECEIVED,
             source="service",
             request_id=request_id,
             fingerprint=fingerprint,
@@ -311,7 +335,7 @@ class PlannerDaemon:
                 cached=True,
             ))
             bus.emit(
-                "service.request.completed",
+                SERVICE_REQUEST_COMPLETED,
                 source="service",
                 request_id=request_id,
                 fingerprint=fingerprint,
@@ -319,6 +343,30 @@ class PlannerDaemon:
                 cached=True,
             )
             return response
+        # Admission lint (Tier A): a request naming an unknown model, an
+        # unbuildable cluster, or a model whose weight state cannot fit
+        # the cluster under any plan is rejected with structured
+        # diagnostics instead of burning a search worker on it.
+        invalid = [
+            d for d in analyze_plan_request(request)
+            if d.severity == LINT_ERROR
+        ] if self._admission_lint else []
+        if invalid:
+            bus.emit(
+                SERVICE_REQUEST_INVALID,
+                source="service",
+                level=WARNING,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                codes=[d.code for d in invalid],
+            )
+            return self._count(PlanResponse(
+                status=STATUS_REJECTED,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                error="; ".join(d.message for d in invalid),
+                diagnostics=[d.to_json() for d in invalid],
+            ))
         try:
             self.breaker.check(self._breaker_key(request))
         except BreakerOpenError as exc:
@@ -393,7 +441,7 @@ class PlannerDaemon:
         self.counters[key] = self.counters.get(key, 0) + 1
         if response.status == STATUS_REJECTED:
             get_bus().emit(
-                "service.request.rejected",
+                SERVICE_REQUEST_REJECTED,
                 source="service",
                 level=WARNING,
                 request_id=response.request_id,
@@ -434,7 +482,7 @@ class PlannerDaemon:
             except (OSError, ValueError):
                 continue  # torn journal entry: the client will retry
             get_bus().emit(
-                "service.request.readmitted",
+                SERVICE_REQUEST_READMITTED,
                 source="service",
                 fingerprint=request.fingerprint(),
                 model=request.model,
@@ -507,7 +555,7 @@ class PlannerDaemon:
         with self._lock:
             self._in_flight[ticket.request_id] = ticket
         bus.emit(
-            "service.request.started",
+            SERVICE_REQUEST_STARTED,
             source="service",
             request_id=ticket.request_id,
             fingerprint=ticket.fingerprint,
@@ -529,7 +577,7 @@ class PlannerDaemon:
                     key, error, model=request.model, gpus=request.gpus
                 )
             bus.emit(
-                "service.request.failed",
+                SERVICE_REQUEST_FAILED,
                 source="service",
                 level=WARNING,
                 request_id=ticket.request_id,
@@ -575,7 +623,7 @@ class PlannerDaemon:
                 except OSError:
                     pass
         bus.emit(
-            "service.request.completed",
+            SERVICE_REQUEST_COMPLETED,
             source="service",
             request_id=ticket.request_id,
             fingerprint=ticket.fingerprint,
@@ -626,7 +674,7 @@ class PlannerDaemon:
                 )
                 if overdue >= self._watchdog_grace:
                     get_bus().emit(
-                        "service.watchdog.reap",
+                        SERVICE_WATCHDOG_REAP,
                         source="service",
                         level=WARNING,
                         request_id=ticket.request_id,

@@ -26,6 +26,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from ..telemetry import get_bus
+from ..telemetry.events import SERVICE_HTTP_ACCESS, SERVICE_HTTP_LISTEN
 from .daemon import PlannerDaemon
 from .protocol import (
     STATUS_REJECTED,
@@ -61,7 +62,7 @@ class _Handler(BaseHTTPRequestHandler):
         # Route access logs onto the telemetry bus instead of stderr so
         # the daemon run log is the single source of truth.
         get_bus().emit(
-            "service.http.access",
+            SERVICE_HTTP_ACCESS,
             source="service",
             client=self.address_string(),
             line=fmt % args,
@@ -117,8 +118,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
             return
         response = self._daemon.submit(request)
+        code = _STATUS_CODES.get(response.status, 500)
+        if response.status == STATUS_REJECTED and response.diagnostics:
+            # Admission lint rejected the request as invalid: that is a
+            # client error (400), not back-pressure (429) — retrying the
+            # same payload can never succeed.
+            code = 400
         self._send_json(
-            _STATUS_CODES.get(response.status, 500),
+            code,
             response.to_json(),
             retry_after=response.retry_after,
         )
@@ -147,7 +154,7 @@ def serve(
     ``serve_forever`` and owns shutdown ordering."""
     server = PlannerHTTPServer((host, port), daemon)
     get_bus().emit(
-        "service.http.listen",
+        SERVICE_HTTP_LISTEN,
         source="service",
         host=host,
         port=server.server_address[1],

@@ -174,6 +174,9 @@ class PlanResponse:
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
     failures: list = field(default_factory=list)
+    #: Structured admission-lint findings (``Diagnostic.to_json()``
+    #: dicts) explaining a rejected-as-invalid request.
+    diagnostics: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.status not in TERMINAL_STATUSES:
@@ -197,6 +200,7 @@ class PlanResponse:
             "error": self.error,
             "elapsed_seconds": self.elapsed_seconds,
             "failures": self.failures,
+            "diagnostics": self.diagnostics,
         }
 
     @classmethod
@@ -215,6 +219,7 @@ class PlanResponse:
                 error=data.get("error"),
                 elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
                 failures=list(data.get("failures", [])),
+                diagnostics=list(data.get("diagnostics", [])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, ProtocolError):

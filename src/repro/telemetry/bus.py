@@ -276,9 +276,13 @@ class CounterGroup:
         return {name: c.value for name, c in self._counters.items()}
 
     def emit_to(self, bus: "TelemetryBus", name: Optional[str] = None) -> None:
-        """Emit one ``counter`` event with the current values."""
+        """Emit one ``counter`` event with the current values.
+
+        The default name is ``<source>.counters``; groups used outside
+        tests must register theirs in :mod:`repro.telemetry.events`.
+        """
         bus.emit(
-            name or f"{self.source}.counters",
+            name or f"{self.source}.counters",  # lint: allow(ACE902)
             kind=COUNTER,
             source=self.source,
             level=DEBUG,

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
 from .bus import Event
+from .events import RUNTIME_TASK
 
 #: Seconds (simulator clock) -> microseconds (trace-event clock).
 _US = 1e6
@@ -99,7 +100,7 @@ def chrome_trace_from_events(events: Iterable[Event]) -> dict:
     """
     by_pid: Dict[int, List[dict]] = defaultdict(list)
     for event in events:
-        if event.name != "runtime.task":
+        if event.name != RUNTIME_TASK:
             continue
         attrs = event.attrs
         by_pid[event.pid].append(_task_event(

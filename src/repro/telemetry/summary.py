@@ -14,6 +14,13 @@ from collections import defaultdict
 from typing import Dict, List, Sequence
 
 from .bus import COUNTER, SPAN_END, Event
+from .events import (
+    DRIVER_COUNT_FAILED,
+    DRIVER_WORKER_ISSUES,
+    DRIVER_WORKER_PREFIX,
+    FAULTS_PREFIX,
+    SEARCH_ITERATION,
+)
 
 
 def summarize_events(events: Sequence[Event]) -> dict:
@@ -22,7 +29,7 @@ def summarize_events(events: Sequence[Event]) -> dict:
     sources = TallyCounter(e.source for e in events if e.source)
     pids = sorted({e.pid for e in events})
 
-    iterations = [e for e in events if e.name == "search.iteration"]
+    iterations = [e for e in events if e.name == SEARCH_ITERATION]
     improved = [e for e in iterations if e.attrs.get("improved")]
     best = None
     for event in iterations:
@@ -31,7 +38,7 @@ def summarize_events(events: Sequence[Event]) -> dict:
             best = value
 
     lifecycle = TallyCounter(
-        e.name for e in events if e.name.startswith("driver.worker.")
+        e.name for e in events if e.name.startswith(DRIVER_WORKER_PREFIX)
     )
     worker_issues = [
         {
@@ -42,12 +49,7 @@ def summarize_events(events: Sequence[Event]) -> dict:
             "pid": e.pid,
         }
         for e in events
-        if e.name in (
-            "driver.worker.retry",
-            "driver.worker.timeout",
-            "driver.worker.crash",
-            "driver.worker.error",
-        )
+        if e.name in DRIVER_WORKER_ISSUES
     ]
     failures = [
         {
@@ -56,11 +58,11 @@ def summarize_events(events: Sequence[Event]) -> dict:
             "error": e.attrs.get("error"),
         }
         for e in events
-        if e.name == "driver.count.failed"
+        if e.name == DRIVER_COUNT_FAILED
     ]
 
     faults = TallyCounter(
-        e.name for e in events if e.name.startswith("faults.")
+        e.name for e in events if e.name.startswith(FAULTS_PREFIX)
     )
 
     counters: Dict[str, Dict[str, int]] = {}
