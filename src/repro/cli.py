@@ -263,6 +263,8 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         "search_seconds_parallel": multi.parallel_seconds,
         "search_seconds_wall": multi.wall_seconds,
         "search_workers": multi.workers,
+        "pool_forks": multi.pool_forks,
+        "pool_tasks": multi.pool_tasks,
         "estimates": multi.num_estimates,
         "partial": multi.partial,
         "failures": [
@@ -291,6 +293,12 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         f"({multi.num_estimates} configurations estimated)",
         payload["config"],
     ]
+    if multi.pool_forks:
+        lines.insert(
+            4,
+            f"worker pool: {multi.pool_tasks} task(s) across "
+            f"{multi.pool_forks} forked process(es)",
+        )
     if multi.partial:
         lines.insert(
             1,

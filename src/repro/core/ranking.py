@@ -62,7 +62,7 @@ def candidate_groups(
             candidates = apply_primitive(spec.name, ctx)
             if not candidates:
                 continue
-            objectives = [ctx.perf_model.objective(c) for c in candidates]
+            objectives = ctx.perf_model.objective_batch(candidates)
             if rng is None:
                 order = np.argsort(objectives)
             else:

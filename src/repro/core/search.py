@@ -11,18 +11,21 @@ configurations under different pipeline stage numbers": independent
 searches per stage count whose *parallel* cost is the slowest single
 search (reported alongside the serial total).
 
-The multiprocess driver is crash-safe and self-healing: every stage
-count runs in its own subprocess with an optional per-count timeout,
-failed or hung workers are retried with exponential backoff, surviving
-results are always returned (failures become structured
-:class:`SearchFailure` records instead of exceptions), and — with a
-checkpoint path — completed stage counts persist to JSON so an
-interrupted search resumes without repeating work.
+The multiprocess driver is crash-safe and self-healing: stage counts
+are dispatched onto a persistent :class:`~repro.core.pool.WorkerPool`
+whose processes load the problem once (inherited at fork) and serve
+many tasks, each under an optional per-count timeout.  Failed or hung
+counts are retried with exponential backoff on individually
+restartable workers, surviving results are always returned (failures
+become structured :class:`SearchFailure` records instead of
+exceptions), and — with a checkpoint path — completed stage counts
+persist to JSON so an interrupted search resumes without repeating
+work.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import functools
 import random
 import time
 from collections import deque
@@ -59,6 +62,7 @@ from .budget import Deadline, SearchBudget
 from .dedup import UnexploredPool, VisitedSet
 from .finetune import finetune
 from .multihop import MultiHopSearcher
+from .pool import PoolWorker, WorkerPool, _apply_worker_memory_limit  # noqa: F401 - re-export
 from .trace import SearchTrace
 
 #: Extra seconds a worker subprocess gets past the request deadline to
@@ -408,13 +412,18 @@ class MultiStageSearchResult:
     with ``workers > 1`` the §4.3 "parallel cost" is observed rather
     than simulated.  ``failures`` lists stage counts whose workers
     crashed, raised, or timed out past their retry budget; the runs
-    that survived are still reported.
+    that survived are still reported.  ``pool_forks`` / ``pool_tasks``
+    record the persistent pool's process churn: tasks exceeding forks
+    is worker reuse, forks exceeding the worker cap means crashed or
+    reaped workers were replaced (both zero on the serial path).
     """
 
     runs: List[StageCountResult] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
     failures: List[SearchFailure] = field(default_factory=list)
+    pool_forks: int = 0
+    pool_tasks: int = 0
 
     def _require_runs(self, what: str) -> None:
         if not self.runs:
@@ -515,66 +524,24 @@ def _stage_count_worker(payload: tuple) -> StageCountResult:
     return StageCountResult(num_stages=count, result=result)
 
 
-def _apply_worker_memory_limit(memory_limit_mb: Optional[float]) -> None:
-    """Cap the worker's address space (the opt-in RSS guard).
+def _payload_from_task(shared: tuple, task: Tuple[int, Optional[float]]):
+    """Rebuild a :func:`_stage_count_worker` payload inside a pool worker.
 
-    A runaway stage count then fails with a structured ``MemoryError``
-    (surfaced as ``SearchFailure(kind="oom")``) instead of inviting the
-    host OOM killer.  No-op where ``resource`` is unavailable or the
-    host forbids lowering limits.
+    ``shared`` is the per-pool problem state (inherited by fork or
+    shipped once per worker); ``task`` is the tiny per-dispatch tuple
+    ``(count, deadline_seconds)`` that actually crosses the pipe.
     """
-    if memory_limit_mb is None:
-        return
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX host
-        return
-    limit = int(memory_limit_mb * 1024 * 1024)
-    try:
-        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
-    except (ValueError, OSError):  # pragma: no cover - restrictive host
-        pass
-
-
-def _subprocess_entry(
-    worker_fn, payload, conn, memory_limit_mb=None
-) -> None:
-    """Run one worker and ship its outcome through a pipe.
-
-    The child installs a fresh telemetry bus with a capture sink (the
-    forked parent bus — and any file handles its sinks hold — is never
-    written), so every event the worker emits travels back alongside
-    the result and the parent can merge it into its own run log with
-    worker attribution.  Raised exceptions travel back as ``("error",
-    message, events)`` so the parent distinguishes a clean failure from
-    a crashed process (which sends nothing and is detected by its exit
-    code).
-    """
-    from ..telemetry import RingBufferSink, TelemetryBus, set_bus
-
-    _apply_worker_memory_limit(memory_limit_mb)
-    bus = TelemetryBus()
-    capture = bus.add_sink(RingBufferSink())
-    set_bus(bus)
-    try:
-        result = worker_fn(payload)
-        conn.send(("ok", result, capture.events))
-    except BaseException as exc:  # noqa: BLE001 - report, don't mask
-        try:
-            conn.send(
-                ("error", f"{type(exc).__name__}: {exc}", capture.events)
-            )
-        except (BrokenPipeError, OSError):
-            pass
-    finally:
-        conn.close()
+    (graph, cluster, database, options, budget_kwargs,
+     model_kwargs) = shared
+    count, deadline_seconds = task
+    return (graph, cluster, database, count, options, budget_kwargs,
+            model_kwargs, deadline_seconds)
 
 
 @dataclass
-class _ActiveWorker:
-    process: multiprocessing.Process
-    conn: object
-    deadline: Optional[float]
+class _ActiveTask:
+    worker: PoolWorker
+    kill_at: Optional[float]
     attempt: int
 
 
@@ -585,10 +552,11 @@ def _failure_kind_from_error(error: str) -> str:
     return "error"
 
 
-def _run_counts_in_processes(
+def _run_counts_in_pool(
     counts: Sequence[int],
-    payload_for,
+    task_for,
     worker_fn,
+    payload_builder,
     *,
     max_workers: int,
     timeout_per_count: Optional[float],
@@ -599,36 +567,58 @@ def _run_counts_in_processes(
     worker_memory_mb: Optional[float] = None,
     bus=None,
 ):
-    """Self-healing process-per-count scheduler.
+    """Self-healing scheduler over a persistent worker pool.
 
-    Unlike a ``ProcessPoolExecutor`` — where one dead worker breaks the
-    pool and takes every pending future with it — each stage count owns
-    a private process and pipe.  A worker that raises, crashes, or
-    blows its per-count deadline is retried with jittered exponential
-    backoff (:func:`retry_delay`) up to ``max_retries`` extra attempts;
-    the other counts never notice.  Returns ``(results, failures)``
-    keyed by stage count.
+    Stage counts are dispatched to long-lived :class:`WorkerPool`
+    processes that load the problem state once (inherited read-only at
+    fork under the POSIX default) and then receive only a tiny
+    ``(count, deadline_seconds)`` tuple per task — no per-task pickling
+    of the graph or profile database.  Unlike a
+    ``ProcessPoolExecutor`` — where one dead worker breaks the pool and
+    takes every pending future with it — each pool worker owns a
+    private pipe, so a worker that crashes or blows its per-count
+    deadline is discarded *individually* and lazily replaced; tasks
+    that raise cleanly keep their worker alive for reuse.  A failed
+    count is retried with jittered exponential backoff
+    (:func:`retry_delay`) up to ``max_retries`` extra attempts; the
+    other counts never notice.  Returns ``(results, failures, stats)``
+    — the first two keyed by stage count, ``stats`` a dict with the
+    pool's process ``forks`` and dispatched ``tasks`` counts (tasks
+    exceeding forks is the pool's reuse at work).
 
     A request ``deadline`` turns the scheduler anytime: workers search
     cooperatively against the remaining time, queued counts are shed as
     ``kind="deadline"`` failures once it expires, and a watchdog reaps
-    any worker still alive ``DEADLINE_KILL_GRACE`` seconds past it.
-    ``worker_memory_mb`` applies an ``RLIMIT_AS`` cap inside each
-    subprocess so a runaway count surfaces as ``kind="oom"``.
+    any worker still running a task ``DEADLINE_KILL_GRACE`` seconds
+    past it — workers are only ever forked on first dispatch, so an
+    already-expired deadline forks nothing.  ``worker_memory_mb``
+    applies an ``RLIMIT_AS`` cap inside each pool worker so a runaway
+    count surfaces as ``kind="oom"``.
 
-    Worker lifecycle (spawn / retry / timeout / crash / completion)
-    is published on the telemetry ``bus``; completed and finally-failed
-    counts carry their payload objects in private ``_result`` /
-    ``_failure`` attrs for in-process subscribers (checkpointing), and
-    each worker's own captured event stream is re-emitted with
-    ``num_stages``/``attempt`` attribution.
+    Worker lifecycle (dispatch / retry / timeout / crash / completion)
+    is published on the telemetry ``bus`` with the same event
+    vocabulary as the old process-per-count scheduler
+    (``driver.worker.spawn`` now marks a task dispatch, carrying the
+    pool worker's pid), plus ``driver.pool.worker_start`` /
+    ``driver.pool.worker_exit`` for actual process churn.  Completed
+    and finally-failed counts carry their payload objects in private
+    ``_result`` / ``_failure`` attrs for in-process subscribers
+    (checkpointing), and each worker's own captured event stream is
+    re-emitted with ``num_stages``/``attempt`` attribution.
     """
-    ctx = multiprocessing.get_context()
     bus = bus if bus is not None else get_bus()
     queue = deque((count, 0, 0.0) for count in counts)  # (count, attempt, not_before)
     active: dict = {}
     results: dict = {}
     failures: dict = {}
+    dispatched = 0
+    pool = WorkerPool(
+        worker_fn,
+        payload_builder,
+        max_workers=max_workers,
+        memory_limit_mb=worker_memory_mb,
+        bus=bus,
+    )
 
     def forward(worker_events, count: int, attempt: int) -> None:
         if not bus.active:
@@ -693,167 +683,173 @@ def _run_counts_in_processes(
                 _failure=failures[count],
             )
 
-    while queue or active:
-        now = time.monotonic()
-        if deadline is not None and deadline.expired():
-            # Anytime contract: stop launching, shed the backlog, and
-            # give live workers one grace window to return their
-            # best-so-far partial results before the watchdog reaps.
-            shed_queued_past_deadline()
-            reap_at = now + DEADLINE_KILL_GRACE
-            for worker in active.values():
-                if worker.deadline is None or worker.deadline > reap_at:
-                    worker.deadline = reap_at
-        # Launch whatever fits, skipping retries still in backoff.
-        for _ in range(len(queue)):
-            if len(active) >= max_workers:
-                break
-            count, attempt, not_before = queue[0]
-            if not_before > now:
-                queue.rotate(-1)
-                continue
-            queue.popleft()
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_subprocess_entry,
-                args=(
-                    worker_fn, payload_for(count), child_conn,
-                    worker_memory_mb,
-                ),
-                daemon=True,  # a hung worker must not block exit
-            )
-            process.start()
-            child_conn.close()
-            bus.emit(
-                DRIVER_WORKER_SPAWN,
-                source="driver",
-                num_stages=count,
-                attempt=attempt,
-                worker_pid=process.pid,
-            )
-            kill_at = (
-                now + timeout_per_count
-                if timeout_per_count is not None
-                else None
-            )
-            if deadline is not None:
-                left = deadline.remaining()
-                if left is not None:
-                    reap_at = now + left + DEADLINE_KILL_GRACE
-                    kill_at = (
-                        reap_at if kill_at is None
-                        else min(kill_at, reap_at)
-                    )
-            active[count] = _ActiveWorker(
-                process=process,
-                conn=parent_conn,
-                deadline=kill_at,
-                attempt=attempt,
-            )
-
-        finished = []
-        for count, worker in active.items():
-            message = None
-            if worker.conn.poll(0):
+    try:
+        while queue or active:
+            now = time.monotonic()
+            if deadline is not None and deadline.expired():
+                # Anytime contract: stop dispatching, shed the backlog,
+                # and give in-flight tasks one grace window to return
+                # their best-so-far partial results before the watchdog
+                # reaps their workers.
+                shed_queued_past_deadline()
+                reap_at = now + DEADLINE_KILL_GRACE
+                for task in active.values():
+                    if task.kill_at is None or task.kill_at > reap_at:
+                        task.kill_at = reap_at
+            # Dispatch whatever fits, skipping retries still in backoff.
+            # Workers fork lazily inside pool.acquire(), so a queue that
+            # drains without dispatching (expired deadline) forks none.
+            for _ in range(len(queue)):
+                count, attempt, not_before = queue[0]
+                if not_before > now:
+                    queue.rotate(-1)
+                    continue
+                worker = pool.acquire()
+                if worker is None:
+                    break  # every worker busy and the pool is at cap
+                queue.popleft()
                 try:
-                    message = worker.conn.recv()
-                except (EOFError, OSError):
-                    message = None
-            if message is None and not worker.process.is_alive():
-                # The process exited between our poll and now — drain
-                # the pipe once more before declaring a crash.
-                if worker.conn.poll(0.05):
+                    worker.conn.send(task_for(count))
+                except (BrokenPipeError, OSError):
+                    # The idle worker died between tasks; replace it and
+                    # re-dispatch the task, which never started.
+                    pool.discard(worker)
+                    queue.appendleft((count, attempt, not_before))
+                    continue
+                worker.busy = True
+                dispatched += 1
+                bus.emit(
+                    DRIVER_WORKER_SPAWN,
+                    source="driver",
+                    num_stages=count,
+                    attempt=attempt,
+                    worker_pid=worker.pid,
+                )
+                kill_at = (
+                    now + timeout_per_count
+                    if timeout_per_count is not None
+                    else None
+                )
+                if deadline is not None:
+                    left = deadline.remaining()
+                    if left is not None:
+                        reap_at = now + left + DEADLINE_KILL_GRACE
+                        kill_at = (
+                            reap_at if kill_at is None
+                            else min(kill_at, reap_at)
+                        )
+                active[count] = _ActiveTask(
+                    worker=worker,
+                    kill_at=kill_at,
+                    attempt=attempt,
+                )
+
+            finished = []
+            for count, task in active.items():
+                worker = task.worker
+                message = None
+                if worker.conn.poll(0):
                     try:
                         message = worker.conn.recv()
                     except (EOFError, OSError):
                         message = None
-            if message is not None:
-                worker.process.join()
-                finished.append(count)
-                status, value, worker_events = message
-                forward(worker_events, count, worker.attempt)
-                if status == "ok":
-                    results[count] = value
+                if message is None and not worker.alive():
+                    # The process exited between our poll and now —
+                    # drain the pipe once more before declaring a crash.
+                    if worker.conn.poll(0.05):
+                        try:
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                if message is not None:
+                    finished.append(count)
+                    worker.busy = False
+                    worker.tasks_done += 1
+                    status, value, worker_events = message
+                    forward(worker_events, count, task.attempt)
+                    if status == "ok":
+                        results[count] = value
+                        bus.emit(
+                            DRIVER_COUNT_COMPLETED,
+                            source="driver",
+                            num_stages=count,
+                            attempt=task.attempt,
+                            _result=value,
+                        )
+                    else:
+                        bus.emit(
+                            DRIVER_WORKER_ERROR,
+                            source="driver",
+                            level=WARNING,
+                            num_stages=count,
+                            attempt=task.attempt,
+                            error=value,
+                        )
+                        register_failure(
+                            count,
+                            task.attempt,
+                            value,
+                            kind=_failure_kind_from_error(value),
+                        )
+                elif not worker.alive():
+                    finished.append(count)
+                    pool.discard(worker)
+                    exitcode = worker.process.exitcode
                     bus.emit(
-                        DRIVER_COUNT_COMPLETED,
-                        source="driver",
-                        num_stages=count,
-                        attempt=worker.attempt,
-                        _result=value,
-                    )
-                else:
-                    bus.emit(
-                        DRIVER_WORKER_ERROR,
+                        DRIVER_WORKER_CRASH,
                         source="driver",
                         level=WARNING,
                         num_stages=count,
-                        attempt=worker.attempt,
-                        error=value,
+                        attempt=task.attempt,
+                        exitcode=exitcode,
                     )
                     register_failure(
                         count,
-                        worker.attempt,
-                        value,
-                        kind=_failure_kind_from_error(value),
+                        task.attempt,
+                        "worker process died with exit code "
+                        f"{exitcode}",
+                        kind="crash",
                     )
-            elif not worker.process.is_alive():
-                worker.process.join()
-                finished.append(count)
-                bus.emit(
-                    DRIVER_WORKER_CRASH,
-                    source="driver",
-                    level=WARNING,
-                    num_stages=count,
-                    attempt=worker.attempt,
-                    exitcode=worker.process.exitcode,
-                )
-                register_failure(
-                    count,
-                    worker.attempt,
-                    "worker process died with exit code "
-                    f"{worker.process.exitcode}",
-                    kind="crash",
-                )
-            elif (
-                worker.deadline is not None
-                and time.monotonic() >= worker.deadline
-            ):
-                worker.process.terminate()
-                worker.process.join()
-                finished.append(count)
-                past_deadline = (
-                    deadline is not None and deadline.expired()
-                )
-                bus.emit(
-                    DRIVER_WORKER_TIMEOUT,
-                    source="driver",
-                    level=WARNING,
-                    num_stages=count,
-                    attempt=worker.attempt,
-                    timeout=timeout_per_count,
-                    past_deadline=past_deadline,
-                )
-                if past_deadline:
-                    register_failure(
-                        count,
-                        worker.attempt,
-                        "worker reaped past the request deadline",
-                        kind="deadline",
+                elif (
+                    task.kill_at is not None
+                    and time.monotonic() >= task.kill_at
+                ):
+                    pool.discard(worker, kill=True)
+                    finished.append(count)
+                    past_deadline = (
+                        deadline is not None and deadline.expired()
                     )
-                else:
-                    register_failure(
-                        count,
-                        worker.attempt,
-                        f"timed out after {timeout_per_count:.1f}s",
-                        kind="timeout",
+                    bus.emit(
+                        DRIVER_WORKER_TIMEOUT,
+                        source="driver",
+                        level=WARNING,
+                        num_stages=count,
+                        attempt=task.attempt,
+                        timeout=timeout_per_count,
+                        past_deadline=past_deadline,
                     )
-        for count in finished:
-            worker = active.pop(count)
-            worker.conn.close()
-        if active and not finished:
-            time.sleep(0.005)
+                    if past_deadline:
+                        register_failure(
+                            count,
+                            task.attempt,
+                            "worker reaped past the request deadline",
+                            kind="deadline",
+                        )
+                    else:
+                        register_failure(
+                            count,
+                            task.attempt,
+                            f"timed out after {timeout_per_count:.1f}s",
+                            kind="timeout",
+                        )
+            for count in finished:
+                active.pop(count)
+            if active and not finished:
+                time.sleep(0.005)
+    finally:
+        pool.shutdown()
 
-    return results, failures
+    return results, failures, {"forks": pool.num_forks, "tasks": dispatched}
 
 
 def search_all_stage_counts(
@@ -879,9 +875,11 @@ def search_all_stage_counts(
     ``budget_per_count`` holds :class:`SearchBudget` keyword arguments
     applied to each stage count's search (default: 60 iterations); its
     keys are validated up front so a typo fails before any worker
-    forks.  With ``workers > 1`` every stage count searches in its own
-    subprocess under ``timeout_per_count`` seconds (``None`` = no
-    limit); a worker that raises, crashes, or hangs is retried up to
+    forks.  With ``workers > 1`` stage counts are dispatched onto a
+    persistent pool of up to ``workers`` processes that load the
+    problem state once and are reused across tasks, each task under
+    ``timeout_per_count`` seconds (``None`` = no limit); a count that
+    raises, crashes its worker, or hangs is retried up to
     ``max_retries`` more times with jittered exponential backoff
     (:func:`retry_delay`, seeded from ``options.seed``), after which it
     becomes a :class:`SearchFailure` record while the surviving counts
@@ -1091,18 +1089,23 @@ def search_all_stage_counts(
                 "stage_cache_size": perf_model._stage_cache_size,
                 "reserve_safety_factor": perf_model.reserve_safety_factor,
             }
+            # The heavy problem state crosses into pool workers exactly
+            # once (inherited at fork, or shipped per worker under
+            # spawn); each dispatched task is only (count, remaining).
+            shared = (graph, cluster, perf_model.database, options,
+                      budget_kwargs, model_kwargs)
 
-            def payload_for(count: int) -> tuple:
+            def task_for(count: int) -> Tuple[int, Optional[float]]:
                 remaining = (
                     deadline.remaining() if deadline is not None else None
                 )
-                return (graph, cluster, perf_model.database, count, options,
-                        budget_kwargs, model_kwargs, remaining)
+                return (count, remaining)
 
-            fresh, failures = _run_counts_in_processes(
+            fresh, failures, pool_stats = _run_counts_in_pool(
                 todo,
-                payload_for,
+                task_for,
                 worker_fn,
+                functools.partial(_payload_from_task, shared),
                 max_workers=min(workers, len(todo)),
                 timeout_per_count=timeout_per_count,
                 max_retries=max_retries,
@@ -1113,6 +1116,8 @@ def search_all_stage_counts(
                 bus=bus,
             )
             results.update(fresh)
+            outcome.pool_forks = pool_stats["forks"]
+            outcome.pool_tasks = pool_stats["tasks"]
     finally:
         if checkpoint_sink is not None:
             bus.remove_sink(checkpoint_sink)

@@ -94,9 +94,12 @@ def _warm_replan(
 
     init: Optional[ParallelConfig] = None
     init_objective = float("inf")
-    for candidate in adapted:
-        perf_model.estimate(candidate)
-        objective = perf_model.objective(candidate)
+    # One batched estimate over every adapted survivor; batch order is
+    # the prior objective order, so ``first_feasible_estimate`` lands on
+    # the same survivor a sequential scan would have found.
+    reports = perf_model.estimate_batch(adapted)
+    for candidate, report in zip(adapted, reports):
+        objective = perf_model.objective_from_report(report)
         if objective < init_objective:
             init, init_objective = candidate, objective
     if init is None:

@@ -32,6 +32,7 @@ class ParallelConfig:
     stages: List[StageConfig]
     microbatch_size: int = 1
     _signature: str = field(default="", repr=False, compare=False)
+    _cache_key: bytes = field(default=b"", repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.stages:
@@ -121,6 +122,29 @@ class ParallelConfig:
                 digest.update(stage.signature_bytes())
             self._signature = digest.hexdigest()
         return self._signature
+
+    def cache_key(self) -> bytes:
+        """Fast identity key for memoization hot paths.
+
+        Semantically equivalent to :meth:`signature` (two configs get
+        the same key iff they apply the same settings to the same op
+        spans) but composed from the stages' cached 16-byte digests
+        instead of their full array serializations, so computing it
+        hashes ~100 bytes rather than kilobytes.  Kept separate from
+        :meth:`signature` on purpose: the executor seeds its measurement
+        noise from the signature's exact value, so the signature's byte
+        layout is load-bearing and must not change, while this key only
+        needs to be unique.
+        """
+        if not self._cache_key:
+            parts = [
+                int(self.microbatch_size).to_bytes(8, "little", signed=True)
+            ]
+            parts += [stage.digest() for stage in self.stages]
+            self._cache_key = hashlib.blake2b(
+                b"".join(parts), digest_size=16
+            ).digest()
+        return self._cache_key
 
     # ------------------------------------------------------------------
     # whole-model array views (used by the performance model)

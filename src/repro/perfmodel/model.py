@@ -21,14 +21,14 @@ Estimation is structured in two layers:
    warmup/steady/cooldown totals.
 
 Whole-config estimates are additionally memoized by configuration
-signature in a second LRU; the miss counter (``num_estimates``) is the
+identity (``ParallelConfig.cache_key``) in a second LRU; the miss counter (``num_estimates``) is the
 "explored configurations" metric of Exp#4.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,13 +38,23 @@ from ..parallel.config import ParallelConfig
 from ..parallel.stage import StageConfig
 from ..profiling.database import ProfileDatabase, ProfiledGraph
 from ..telemetry import DEBUG, CounterGroup, get_bus
-from ..telemetry.events import PERFMODEL_ESTIMATE, PERFMODEL_FIRST_FEASIBLE
+from ..telemetry.events import (
+    PERFMODEL_ESTIMATE,
+    PERFMODEL_ESTIMATE_BATCH,
+    PERFMODEL_FIRST_FEASIBLE,
+)
 from .memory import (
     activation_kept_mask,
     in_flight_counts,
     stage_allocator_reserve,
 )
-from .report import PerfReport, StageCost, StageReport
+from .report import (
+    LazyStages,
+    PerfReport,
+    StageCost,
+    StageReport,
+    lazy_perf_report,
+)
 from .timing import stage_totals
 
 
@@ -56,6 +66,26 @@ def _log2_int(values: np.ndarray) -> np.ndarray:
     no float ``log2`` rounding hazard.
     """
     return np.frexp(values.astype(np.float64))[1] - 1
+
+
+class _PendingReport:
+    """Placeholder occupying a config-cache slot during a batch.
+
+    :meth:`PerfModel.estimate_batch` must mutate the LRU in exactly the
+    order a sequential loop of :meth:`PerfModel.estimate` would — a
+    miss early in the batch can evict an entry that a config later in
+    the batch would otherwise have hit.  Phase 1 therefore *reserves*
+    each miss's slot immediately (evicting at the sequential position)
+    and phase 3 replaces the placeholder with the assembled report.
+    ``slot`` is the miss's index into the batch's miss list, so repeat
+    occurrences within the batch resolve to the same report.
+    Placeholders never outlive the ``estimate_batch`` call.
+    """
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
 
 
 class PerfModel:
@@ -164,7 +194,7 @@ class PerfModel:
 
     def estimate(self, config: ParallelConfig) -> PerfReport:
         """Predict the performance of ``config`` (memoized)."""
-        key = config.signature()
+        key = config.cache_key()
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -194,6 +224,120 @@ class PerfModel:
                 iteration_time=report.iteration_time,
             )
         return report
+
+    def estimate_batch(
+        self, configs: Sequence[ParallelConfig]
+    ) -> List[PerfReport]:
+        """Predict the performance of many candidates at once.
+
+        Semantically a loop of :meth:`estimate` — same caches, same
+        counters, same ``num_estimates`` accounting, and bit-identical
+        reports — but cache misses are assembled together by
+        :meth:`_assemble_batch` as padded ``[batch, stage]`` array ops,
+        and telemetry is one aggregated ``perfmodel.estimate_batch``
+        event per call instead of one event per costed config.
+
+        ``first_feasible_estimate`` advances exactly as the sequential
+        loop would: the counter value at the first non-OOM *miss* in
+        batch order.  Eviction fidelity holds too: each miss reserves
+        its LRU slot in phase 1 with a :class:`_PendingReport`, so an
+        insertion mid-batch evicts (and can force a later config to
+        re-miss) at exactly the point the sequential loop would.
+        """
+        reports: List[Optional[PerfReport]] = [None] * len(configs)
+        miss_indices: List[int] = []
+        miss_keys: List[bytes] = []
+        duplicates: List[Tuple[int, int]] = []
+        cache = self._cache
+        for i, config in enumerate(configs):
+            key = config.cache_key()
+            cached = cache.get(key)
+            if cached is not None:
+                cache.move_to_end(key)
+                self._c_config_hits.value += 1
+                if isinstance(cached, _PendingReport):
+                    # Repeat within one batch: sequentially the second
+                    # occurrence would hit the entry the first inserted.
+                    duplicates.append((i, cached.slot))
+                else:
+                    reports[i] = cached
+                continue
+            if len(cache) >= self._cache_size:
+                cache.popitem(last=False)
+            cache[key] = _PendingReport(len(miss_indices))
+            miss_indices.append(i)
+            miss_keys.append(key)
+
+        first_feasible_now = False
+        oom_count = 0
+        if miss_indices:
+            miss_configs = [configs[i] for i in miss_indices]
+            try:
+                # Inlined hit path of _cost_stage (same cache, counters,
+                # and LRU recency updates): the per-call overhead is
+                # visible at batch sizes in the thousands.
+                stage_cache = self._stage_cache
+                stage_hits = self._c_stage_hits
+                cost_stage = self._cost_stage
+                costs_per_config: List[List[StageCost]] = []
+                for config in miss_configs:
+                    mbs = config.microbatch_size
+                    costs = []
+                    for stage in config.stages:
+                        cache_key = (stage.digest(), mbs)
+                        cached_cost = stage_cache.get(cache_key)
+                        if cached_cost is not None:
+                            stage_cache.move_to_end(cache_key)
+                            stage_hits.value += 1
+                            costs.append(cached_cost)
+                        else:
+                            costs.append(cost_stage(stage, mbs))
+                    costs_per_config.append(costs)
+                miss_reports, oom_flags = self._assemble_batch(
+                    miss_configs, costs_per_config
+                )
+            except BaseException:
+                # Never leak placeholders into the cache where a later
+                # estimate() could return one as a report.
+                for key in miss_keys:
+                    if isinstance(cache.get(key), _PendingReport):
+                        del cache[key]
+                raise
+            oom_count = int(np.count_nonzero(oom_flags))
+            for key, report, oom in zip(miss_keys, miss_reports, oom_flags):
+                # The reserved slot may be gone (evicted mid-batch) —
+                # the sequential loop would have lost the entry too.
+                # Replacing a still-present value preserves LRU order.
+                if key in cache:
+                    cache[key] = report
+                self._c_estimates.value += 1
+                if self.first_feasible_estimate is None and not oom:
+                    self.first_feasible_estimate = self._c_estimates.value
+                    first_feasible_now = True
+            for i, report in zip(miss_indices, miss_reports):
+                reports[i] = report
+            for i, slot in duplicates:
+                reports[i] = miss_reports[slot]
+
+        bus = get_bus()
+        if bus.active and configs:
+            if first_feasible_now:
+                bus.emit(
+                    PERFMODEL_FIRST_FEASIBLE,
+                    source="perfmodel",
+                    level=DEBUG,
+                    estimates=self.first_feasible_estimate,
+                )
+            bus.emit(
+                PERFMODEL_ESTIMATE_BATCH,
+                source="perfmodel",
+                level=DEBUG,
+                batch=len(configs),
+                hits=len(configs) - len(miss_indices),
+                misses=len(miss_indices),
+                oom=oom_count,
+            )
+        return reports
 
     def estimate_fresh(self, config: ParallelConfig) -> PerfReport:
         """Re-cost every stage from scratch, bypassing both caches.
@@ -237,13 +381,29 @@ class PerfModel:
         feasibility (the paper's "an infeasible configuration becomes
         feasible" notion of better).
         """
-        report = self.estimate(config)
+        return self.objective_from_report(self.estimate(config))
+
+    def objective_from_report(self, report: PerfReport) -> float:
+        """The :meth:`objective` scoring rule for an existing report.
+
+        Split out so batch callers can score the reports
+        :meth:`estimate_batch` returns without a second cache lookup.
+        """
         if not report.is_oom:
             return report.iteration_time
         overflow = sum(
             max(0.0, m - report.memory_limit) for m in report.peak_memories
         )
         return self.OOM_PENALTY * (1.0 + overflow / report.memory_limit)
+
+    def objective_batch(
+        self, configs: Sequence[ParallelConfig]
+    ) -> List[float]:
+        """Search objectives for many candidates (one batched estimate)."""
+        return [
+            self.objective_from_report(report)
+            for report in self.estimate_batch(configs)
+        ]
 
     # ------------------------------------------------------------------
     # per-stage costing (stage-count invariant, memoized)
@@ -443,6 +603,146 @@ class PerfModel:
             iteration_time=float(totals.max()),
             memory_limit=self.memory_limit,
         )
+
+    def _assemble_batch(
+        self,
+        configs: Sequence[ParallelConfig],
+        costs_per_config: Sequence[List[StageCost]],
+    ) -> Tuple[List[PerfReport], np.ndarray]:
+        """Assemble many configurations' reports in one set of array ops.
+
+        Stage costs are gathered into padded ``[batch, stage, column]``
+        float64 tensors (see ``STAGE_COST_COLUMNS``); the Eq. 1 peak
+        memories, pipeline p2p boundary transfers, and Eq. 2 totals are
+        then evaluated for the whole batch at once.  Every expression
+        mirrors :meth:`_assemble`'s operand association order on the
+        same float64 values, so the returned reports are bit-identical
+        to the scalar path; slots past a configuration's own stage
+        count are masked out of every reduction.  Returns the reports
+        plus a per-config OOM flag vector (used for first-feasible
+        tracking without re-deriving it from report properties).
+        """
+        num_configs = len(configs)
+        counts = np.array(
+            [config.num_stages for config in configs], dtype=np.int64
+        )
+        max_stages = int(counts.max())
+        stage_pos = np.arange(max_stages)
+        valid = stage_pos[None, :] < counts[:, None]
+
+        # Gather every stage's precomputed cost row into one flat
+        # [total_stages, column] block, then scatter through the valid
+        # mask: boolean fancy indexing walks the padded tensor in
+        # C order, which is exactly the (config, stage) order the flat
+        # lists were built in.
+        flat_rows: List[np.ndarray] = []
+        flat_devs: List[int] = []
+        for config, costs in zip(configs, costs_per_config):
+            for cost in costs:
+                flat_rows.append(cost.row)
+            for stage in config.stages:
+                flat_devs.append(stage.num_devices)
+        rows = np.zeros((num_configs, max_stages, 12), dtype=np.float64)
+        devs = np.zeros((num_configs, max_stages), dtype=np.int64)
+        rows[valid] = np.concatenate(flat_rows).reshape(len(flat_rows), 12)
+        devs[valid] = flat_devs
+        (
+            fwd, bwd, recompute, tp_fwd, tp_bwd, reshard, dp_sync,
+            weight, optimizer, activation, reserved, egress,
+        ) = np.moveaxis(rows, 2, 0)
+
+        batch_size = self.graph.global_batch_size
+        num_mb = np.array(
+            [config.num_microbatches(batch_size) for config in configs],
+            dtype=np.int64,
+        )
+
+        # --- pipeline p2p per microbatch (vectorized over the batch) ---
+        p2p_fwd_in = np.zeros((num_configs, max_stages))
+        p2p_bwd_in = np.zeros((num_configs, max_stages))
+        if max_stages > 1:
+            boundary_dev = np.clip(
+                np.cumsum(devs, axis=1)[:, :-1] - 1,
+                0,
+                self.cluster.num_gpus - 2,
+            )
+            gpn = self.cluster.gpus_per_node
+            inter = (boundary_dev // gpn) != ((boundary_dev + 1) // gpn)
+            kind = inter.astype(np.int64)  # 0 -> intra, 1 -> inter
+            boundary = stage_pos[None, :-1] < counts[:, None] - 1
+            out_bytes = egress[:, :-1]
+            transfer = np.where(
+                boundary & (out_bytes > 0),
+                self._p2p_lat[kind] + out_bytes * self._p2p_ibw[kind],
+                0.0,
+            )
+            p2p_fwd_in[:, 1:] = transfer
+            p2p_bwd_in[:, :-1] = transfer
+
+        in_flight = np.minimum(
+            counts[:, None] - stage_pos[None, :], num_mb[:, None]
+        )
+
+        # --- Eq. 2 totals: same association order as the scalar path ---
+        fwd_total = ((fwd + tp_fwd) + reshard) + p2p_fwd_in
+        bwd_total = (((bwd + recompute) + tp_bwd) + reshard) + p2p_bwd_in
+        pair = fwd_total + bwd_total
+        prefix = np.zeros((num_configs, max_stages))
+        prefix[:, 1:] = np.cumsum(pair, axis=1)[:, :-1]
+        totals = (prefix + num_mb[:, None] * pair) + dp_sync
+        iteration_times = np.where(valid, totals, -np.inf).max(axis=1)
+
+        # --- Eq. 1 peak memory feasibility ----------------------------
+        peaks = (weight + optimizer) + activation * in_flight + reserved
+        oom_flags = np.any(
+            valid & (peaks > self.memory_limit), axis=1
+        )
+
+        tp_comm = tp_fwd + tp_bwd
+        reshard_rt = reshard * 2.0
+        p2p_time = p2p_fwd_in + p2p_bwd_in
+        # One bulk [batch, stage, field] conversion covering the ten
+        # leading float fields of StageReport in declaration order; the
+        # int-typed in_flight and trailing reserved_bytes convert
+        # separately so in_flight stays a Python int like the scalar
+        # path produces.
+        planes = np.stack(
+            (
+                fwd, bwd, recompute, tp_comm, reshard_rt, p2p_time,
+                dp_sync, weight, optimizer, activation,
+            ),
+            axis=2,
+        ).tolist()
+        in_flight_l = in_flight.tolist()
+        reserved_l = reserved.tolist()
+        peaks_l = peaks.tolist()
+        iteration_l = iteration_times.tolist()
+        num_mb_l = num_mb.tolist()
+        counts_l = counts.tolist()
+        oom_l = oom_flags.tolist()
+
+        # Reports come out stage-lazy: most batch-estimated candidates
+        # only ever answer objective queries (iteration time + the peak
+        # memories precomputed above), and the search discards them
+        # without reading per-stage detail.  LazyStages materializes
+        # identical StageReport tuples for the survivors on demand.
+        memory_limit = self.memory_limit
+        reports: List[PerfReport] = []
+        for b in range(num_configs):
+            n = counts_l[b]
+            payload = LazyStages(
+                planes[b][:n],
+                in_flight_l[b][:n],
+                reserved_l[b][:n],
+                peaks_l[b][:n],
+                oom_l[b],
+            )
+            reports.append(
+                lazy_perf_report(
+                    payload, num_mb_l[b], iteration_l[b], memory_limit
+                )
+            )
+        return reports, oom_flags
 
     # ------------------------------------------------------------------
     def _p2p_kind(self, boundary_device: int):

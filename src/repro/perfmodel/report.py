@@ -12,8 +12,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 #: Resource names used by bottleneck analysis (Table 1 columns).
 RESOURCES = ("compute", "communication", "memory")
+
+#: Column order of :attr:`StageCost.row` — the batched assembly kernel
+#: gathers stage costs into ``[batch, stage, len(STAGE_COST_COLUMNS)]``
+#: tensors and slices per-field planes by these positions.
+STAGE_COST_COLUMNS = (
+    "fwd_time",
+    "bwd_time",
+    "recompute_time",
+    "tp_fwd_comm_time",
+    "tp_bwd_comm_time",
+    "reshard_time",
+    "dp_sync_time",
+    "weight_bytes",
+    "optimizer_bytes",
+    "activation_bytes",
+    "reserved_bytes",
+    "egress_bytes",
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +68,44 @@ class StageCost:
     activation_bytes: float
     reserved_bytes: float
     egress_bytes: float
+
+    def __post_init__(self) -> None:
+        # Precomputed STAGE_COST_COLUMNS vector so the batched assembly
+        # copies one contiguous row per stage instead of re-reading
+        # twelve attributes per candidate on the hot path.  Stored via
+        # object.__setattr__ (the dataclass is frozen) and deliberately
+        # not a field: equality, hashing, and pickling see only the
+        # twelve scalars.
+        object.__setattr__(
+            self,
+            "row",
+            np.array(
+                [
+                    self.fwd_time,
+                    self.bwd_time,
+                    self.recompute_time,
+                    self.tp_fwd_comm_time,
+                    self.tp_bwd_comm_time,
+                    self.reshard_time,
+                    self.dp_sync_time,
+                    self.weight_bytes,
+                    self.optimizer_bytes,
+                    self.activation_bytes,
+                    self.reserved_bytes,
+                    self.egress_bytes,
+                ],
+                dtype=np.float64,
+            ),
+        )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("row", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__post_init__()
 
 
 @dataclass(frozen=True)
@@ -107,26 +165,129 @@ class StageReport:
         )
 
 
+#: StageReport float fields materialized from a lazy plane row, in
+#: declaration order (in_flight and reserved_bytes are carried apart so
+#: in_flight stays a Python int).
+_STAGE_REPORT_PLANE_FIELDS = (
+    "fwd_time_mb",
+    "bwd_time_mb",
+    "recompute_time_mb",
+    "tp_comm_time_mb",
+    "reshard_time_mb",
+    "p2p_time_mb",
+    "dp_sync_time",
+    "weight_bytes",
+    "optimizer_bytes",
+    "activation_bytes_mb",
+)
+
+
+class LazyStages:
+    """Deferred per-stage report payload for batch-assembled estimates.
+
+    The batched assembly kernel computes every stage value as array
+    planes; most of those reports only ever answer "what is your
+    objective?" before the search discards them, so building eight
+    ``StageReport`` objects per candidate up front is pure overhead.
+    This payload keeps the plane rows (plus the precomputed Eq. 1 peak
+    memories and OOM verdict) and materializes the ``StageReport``
+    tuple on first access — with values bit-identical to the eager
+    scalar path, since they are the same Python floats either way.
+    """
+
+    __slots__ = ("planes", "in_flight", "reserved", "peaks", "oom")
+
+    def __init__(self, planes, in_flight, reserved, peaks, oom):
+        self.planes = planes
+        self.in_flight = in_flight
+        self.reserved = reserved
+        self.peaks = peaks
+        self.oom = oom
+
+    def build(self) -> Tuple[StageReport, ...]:
+        new_stage = StageReport.__new__
+        reports = []
+        for row, infl, resv in zip(self.planes, self.in_flight, self.reserved):
+            report = new_stage(StageReport)
+            fields = report.__dict__
+            (
+                fields["fwd_time_mb"],
+                fields["bwd_time_mb"],
+                fields["recompute_time_mb"],
+                fields["tp_comm_time_mb"],
+                fields["reshard_time_mb"],
+                fields["p2p_time_mb"],
+                fields["dp_sync_time"],
+                fields["weight_bytes"],
+                fields["optimizer_bytes"],
+                fields["activation_bytes_mb"],
+            ) = row
+            fields["in_flight"] = infl
+            fields["reserved_bytes"] = resv
+            reports.append(report)
+        return tuple(reports)
+
+
 @dataclass(frozen=True)
 class PerfReport:
-    """Predicted performance of a full configuration."""
+    """Predicted performance of a full configuration.
+
+    Instances from the scalar estimator carry their ``stages`` tuple
+    directly; instances from the batch estimator defer it behind a
+    :class:`LazyStages` payload (see :func:`lazy_perf_report`) and
+    materialize on first access.  Equality, hashing, pickling, and
+    every property read through the same field values either way.
+    """
 
     stages: Tuple[StageReport, ...]
     num_microbatches: int
     iteration_time: float
     memory_limit: float
 
+    def __getattr__(self, name: str):
+        # Only ever reached when normal lookup fails, i.e. for the
+        # not-yet-materialized ``stages`` of a lazy instance.
+        if name == "stages":
+            payload = self.__dict__.pop("_lazy", None)
+            if payload is not None:
+                stages = payload.build()
+                self.__dict__["stages"] = stages
+                return stages
+        raise AttributeError(name)
+
+    def __getstate__(self) -> dict:
+        # Canonical field order regardless of lazy/eager construction
+        # history, so identical reports pickle to identical bytes.
+        return {
+            "stages": self.stages,
+            "num_microbatches": self.num_microbatches,
+            "iteration_time": self.iteration_time,
+            "memory_limit": self.memory_limit,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def num_stages(self) -> int:
+        payload = self.__dict__.get("_lazy")
+        if payload is not None:
+            return len(payload.peaks)
         return len(self.stages)
 
     @property
     def peak_memories(self) -> List[float]:
+        payload = self.__dict__.get("_lazy")
+        if payload is not None:
+            return list(payload.peaks)
         return [s.peak_memory for s in self.stages]
 
     @property
     def is_oom(self) -> bool:
         """Whether any stage exceeds the device memory limit."""
+        payload = self.__dict__.get("_lazy")
+        if payload is not None:
+            return payload.oom
         return any(m > self.memory_limit for m in self.peak_memories)
 
     @property
@@ -174,3 +335,24 @@ class PerfReport:
             name: (own[name] / totals[name]) if totals[name] > 0 else 0.0
             for name in RESOURCES
         }
+
+
+def lazy_perf_report(
+    payload: LazyStages,
+    num_microbatches: int,
+    iteration_time: float,
+    memory_limit: float,
+) -> PerfReport:
+    """Construct a :class:`PerfReport` with deferred stage reports.
+
+    Bypasses the dataclass ``__init__`` so the ``stages`` slot stays
+    unset until :attr:`PerfReport.stages` is first read (at which point
+    ``__getattr__`` materializes it from ``payload``).
+    """
+    report = PerfReport.__new__(PerfReport)
+    fields = report.__dict__
+    fields["_lazy"] = payload
+    fields["num_microbatches"] = num_microbatches
+    fields["iteration_time"] = iteration_time
+    fields["memory_limit"] = memory_limit
+    return report

@@ -7,8 +7,8 @@ returns after one attribute check, so disabled telemetry costs nothing
 measurable (``benchmarks/bench_perfmodel_micro.py`` guards this).
 
 Producers never hold a bus reference across process boundaries; they
-call :func:`get_bus` at emit time, and subprocess workers install their
-own bus (see ``repro.core.search._subprocess_entry``) whose captured
+call :func:`get_bus` at emit time, and pool workers install their own
+bus per task (see ``repro.core.pool._pool_worker_main``) whose captured
 events are forwarded to the parent with worker attribution.
 """
 

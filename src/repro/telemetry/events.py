@@ -25,6 +25,7 @@ SEARCH_END = "search.end"
 
 # -- performance model ------------------------------------------------
 PERFMODEL_ESTIMATE = "perfmodel.estimate"
+PERFMODEL_ESTIMATE_BATCH = "perfmodel.estimate_batch"
 PERFMODEL_FIRST_FEASIBLE = "perfmodel.first_feasible"
 PERFMODEL_COUNTERS = "perfmodel.counters"
 
@@ -39,6 +40,8 @@ DRIVER_WORKER_RETRY = "driver.worker.retry"
 DRIVER_WORKER_TIMEOUT = "driver.worker.timeout"
 DRIVER_WORKER_CRASH = "driver.worker.crash"
 DRIVER_WORKER_ERROR = "driver.worker.error"
+DRIVER_POOL_WORKER_START = "driver.pool.worker_start"
+DRIVER_POOL_WORKER_EXIT = "driver.pool.worker_exit"
 
 # -- runtime executor -------------------------------------------------
 RUNTIME_RUN = "runtime.run"

@@ -82,6 +82,38 @@ class TestIdentity:
         copy.stages[0].tp_dim[0] = 1
         assert copy.signature() != sig
 
+    def test_cache_key_equal_for_equal_configs(self):
+        assert two_stage_config().cache_key() == two_stage_config().cache_key()
+
+    def test_cache_key_differs_on_microbatch(self):
+        a = two_stage_config()
+        b = two_stage_config()
+        b.microbatch_size = 8
+        assert a.cache_key() != b.cache_key()
+
+    def test_cache_key_differs_on_op_setting(self):
+        a = two_stage_config()
+        b = two_stage_config()
+        b.stages[1].recompute[0] = True
+        assert a.cache_key() != b.cache_key()
+
+    def test_cache_key_tracks_signature_equality(self):
+        # cache_key is the perf-model's fast stand-in for signature():
+        # the two must agree on whether any pair of configs is equal.
+        base = two_stage_config()
+        variants = [base, two_stage_config()]
+        mutated = base.mutated_copy(dirty_stages=[1])
+        mutated.stages[1].recompute[:] = True
+        variants.append(mutated)
+        resized = two_stage_config()
+        resized.microbatch_size = 4
+        variants.append(resized)
+        for a in variants:
+            for b in variants:
+                same_sig = a.signature() == b.signature()
+                same_key = a.cache_key() == b.cache_key()
+                assert same_sig == same_key
+
 
 class TestViews:
     def test_gather_arrays(self):

@@ -1,0 +1,203 @@
+"""Equivalence of ``estimate_batch`` with a sequential ``estimate`` loop.
+
+The batched estimator's contract is *bit identity*: for any batch of
+configurations and any starting cache state — warm, cold, or small
+enough that insertions evict mid-batch — ``estimate_batch(configs)``
+must leave the model in exactly the state a ``[estimate(c) for c in
+configs]`` loop would, and return exactly the reports that loop would.
+The hypothesis test below drives randomized batches (duplicates
+included) against randomized warm subsets and LRU sizes; deterministic
+tests pin down the trickiest corner (a mid-batch eviction forcing a
+later config to re-miss) and the batch telemetry shape.
+"""
+
+import functools
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ParallelConfig, balanced_config
+from repro.perfmodel import PerfModel
+from repro.perfmodel.model import _PendingReport
+from repro.profiling import SimulatedProfiler
+from repro.telemetry import RingBufferSink, TelemetryBus, using_bus
+from repro.telemetry.events import (
+    PERFMODEL_ESTIMATE,
+    PERFMODEL_ESTIMATE_BATCH,
+)
+
+from conftest import make_tight_cluster, make_tiny_gpt
+
+# Built lazily (not at import/collection time) and shared by every
+# example: hypothesis runs many examples per test, so the problem and
+# the candidate pool must not be rebuilt per example.  The cluster is
+# deliberately tight so the pool mixes feasible and OOM candidates and
+# ``first_feasible_estimate`` accounting is actually exercised.
+
+
+@functools.lru_cache(maxsize=None)
+def _problem():
+    graph = make_tiny_gpt()
+    cluster = make_tight_cluster(4, memory_mb=24)
+    database = SimulatedProfiler(cluster, seed=0).profile(graph)
+    return graph, cluster, database
+
+
+@functools.lru_cache(maxsize=None)
+def _variants():
+    """A pool of distinct configs spanning 1/2/4 stages, tp, and mbs."""
+    graph, cluster, _ = _problem()
+    pool = []
+    for num_stages in (1, 2, 4):
+        base = balanced_config(graph, cluster, num_stages)
+        pool.append(base)
+        for k in range(6):
+            dirty = k % num_stages
+            variant = base.mutated_copy([dirty])
+            stage = variant.stages[dirty]
+            stage.recompute[k % stage.num_ops] = True
+            pool.append(variant)
+        if base.stages[0].num_devices >= 2:
+            tp_variant = base.mutated_copy(range(num_stages))
+            for stage in tp_variant.stages:
+                stage.set_uniform_parallel(2)
+            pool.append(tp_variant)
+    # Microbatch variants share their stages by reference; only the
+    # header of the config signature differs.
+    for mbs in (2, 4):
+        pool.append(
+            ParallelConfig(stages=list(pool[0].stages), microbatch_size=mbs)
+        )
+    return tuple(pool)
+
+
+def _fresh_models(cache_size, stage_cache_size):
+    graph, cluster, database = _problem()
+    kwargs = dict(cache_size=cache_size, stage_cache_size=stage_cache_size)
+    return (
+        PerfModel(graph, cluster, database, **kwargs),
+        PerfModel(graph, cluster, database, **kwargs),
+    )
+
+
+def _assert_same_state(seq, bat):
+    """Counters, feasibility tracking, and both LRUs (order included)."""
+    assert bat.num_estimates == seq.num_estimates
+    assert bat.num_stage_costs == seq.num_stage_costs
+    assert bat.num_stage_hits == seq.num_stage_hits
+    assert (
+        bat.counters["config_hits"].value
+        == seq.counters["config_hits"].value
+    )
+    assert bat.first_feasible_estimate == seq.first_feasible_estimate
+    assert list(bat._cache.keys()) == list(seq._cache.keys())
+    assert list(bat._stage_cache.keys()) == list(seq._stage_cache.keys())
+    for key, report in bat._cache.items():
+        assert not isinstance(report, _PendingReport)
+        assert report.iteration_time == seq._cache[key].iteration_time
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    batch_idx=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=0, max_size=10
+    ),
+    warm_idx=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=0, max_size=6
+    ),
+    cache_size=st.sampled_from([1, 2, 3, 1024]),
+    stage_cache_size=st.sampled_from([0, 2, 1024]),
+)
+def test_batch_bit_identical_to_sequential(
+    batch_idx, warm_idx, cache_size, stage_cache_size
+):
+    variants = _variants()
+    n = len(variants)
+    seq, bat = _fresh_models(cache_size, stage_cache_size)
+    for i in warm_idx:  # identical warm state on both models
+        seq.estimate(variants[i % n])
+        bat.estimate(variants[i % n])
+    batch = [variants[i % n] for i in batch_idx]
+
+    seq_reports = [seq.estimate(config) for config in batch]
+    bat_reports = bat.estimate_batch(batch)
+
+    assert len(bat_reports) == len(seq_reports)
+    for a, b in zip(seq_reports, bat_reports):
+        # Lazy fast paths first, *before* equality materializes stages.
+        assert b.num_stages == a.num_stages
+        assert b.is_oom == a.is_oom
+        assert b.peak_memories == a.peak_memories
+        assert b == a
+        assert pickle.dumps(b) == pickle.dumps(a)
+        assert all(type(s.in_flight) is int for s in b.stages)
+    _assert_same_state(seq, bat)
+
+
+def test_midbatch_eviction_matches_sequential():
+    """The corner the slot reservation exists for.
+
+    With ``cache_size=2``, a batch ``[a, b, c, a]`` against a cache
+    warmed with ``a``: sequentially, c's insertion evicts a, so the
+    final a *re-misses*.  A batch path that resolved hits against the
+    pre-batch cache would count it as a hit instead.
+    """
+    variants = _variants()
+    a, b, c = variants[0], variants[1], variants[2]
+    seq, bat = _fresh_models(2, 1024)
+    seq.estimate(a)
+    bat.estimate(a)
+
+    batch = [a, b, c, a]
+    seq_reports = [seq.estimate(config) for config in batch]
+    bat_reports = bat.estimate_batch(batch)
+
+    assert seq.num_estimates == 4  # warm-up miss + b + c + re-missed a
+    assert seq.counters["config_hits"].value == 1
+    assert [r.iteration_time for r in bat_reports] == [
+        r.iteration_time for r in seq_reports
+    ]
+    _assert_same_state(seq, bat)
+
+
+def test_in_batch_duplicates_share_one_estimate():
+    variants = _variants()
+    seq, bat = _fresh_models(1024, 1024)
+    batch = [variants[3], variants[3], variants[4], variants[3]]
+    seq_reports = [seq.estimate(config) for config in batch]
+    bat_reports = bat.estimate_batch(batch)
+    assert bat.num_estimates == 2
+    assert bat_reports[0] is bat_reports[1] is bat_reports[3]
+    assert bat_reports[0] == seq_reports[0]
+    _assert_same_state(seq, bat)
+
+
+def test_empty_batch_is_a_no_op():
+    model, _ = _fresh_models(1024, 1024)
+    bus = TelemetryBus()
+    sink = bus.add_sink(RingBufferSink())
+    with using_bus(bus):
+        assert model.estimate_batch([]) == []
+    assert model.num_estimates == 0
+    assert sink.events == []
+
+
+def test_estimate_batch_emits_one_aggregated_event():
+    variants = _variants()
+    model, _ = _fresh_models(1024, 1024)
+    model.estimate(variants[0])  # one warm entry -> one hit in the batch
+    bus = TelemetryBus()
+    sink = bus.add_sink(RingBufferSink())
+    with using_bus(bus):
+        model.estimate_batch([variants[0], variants[1], variants[2]])
+    batch_events = [
+        e for e in sink.events if e.name == PERFMODEL_ESTIMATE_BATCH
+    ]
+    per_config = [e for e in sink.events if e.name == PERFMODEL_ESTIMATE]
+    assert len(batch_events) == 1
+    assert per_config == []
+    attrs = batch_events[0].attrs
+    assert attrs["batch"] == 3
+    assert attrs["hits"] == 1
+    assert attrs["misses"] == 2

@@ -1,0 +1,125 @@
+"""Lifecycle tests for the persistent worker pool.
+
+These exercise :class:`repro.core.pool.WorkerPool` directly — the
+scheduler-level behavior (retries, timeouts, deadline shedding) lives
+in ``test_search_faults.py``.  The properties pinned here are the ones
+the pool exists for: one fork serves many tasks, a task error does not
+cost the process, and worker lifetimes are visible in telemetry.
+"""
+
+import multiprocessing
+
+from repro.core.pool import WorkerPool
+from repro.telemetry import RingBufferSink, TelemetryBus
+from repro.telemetry.events import (
+    DRIVER_POOL_WORKER_EXIT,
+    DRIVER_POOL_WORKER_START,
+)
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _flaky(payload):
+    if payload == "boom":
+        raise RuntimeError("kaput")
+    return "ok:" + payload
+
+
+def _identity(task):
+    return task
+
+
+def _run_task(worker, task):
+    worker.conn.send(task)
+    worker.busy = True
+    message = worker.conn.recv()
+    worker.busy = False
+    worker.tasks_done += 1
+    return message
+
+
+def test_one_worker_serves_many_tasks():
+    with WorkerPool(_double, _identity, max_workers=1) as pool:
+        results = []
+        for task in (1, 2, 3):
+            worker = pool.acquire()
+            status, result, _events = _run_task(worker, task)
+            assert status == "ok"
+            results.append(result)
+    assert results == [2, 4, 6]
+    assert pool.num_forks == 1  # persistence: three tasks, one fork
+
+
+def test_worker_survives_task_error():
+    with WorkerPool(_flaky, _identity, max_workers=1) as pool:
+        worker = pool.acquire()
+        status, detail, _events = _run_task(worker, "boom")
+        assert status == "error"
+        assert "RuntimeError" in detail and "kaput" in detail
+        # Same process takes the next task.
+        pid_before = worker.pid
+        status, result, _events = _run_task(pool.acquire(), "next")
+        assert (status, result) == ("ok", "ok:next")
+        assert pool.acquire().pid == pid_before
+    assert pool.num_forks == 1
+
+
+def test_pool_is_lazy_and_capped():
+    with WorkerPool(_double, _identity, max_workers=2) as pool:
+        assert len(pool) == 0  # nothing forked until acquire
+        first = pool.acquire()
+        first.busy = True
+        second = pool.acquire()
+        second.busy = True
+        assert pool.acquire() is None  # saturated at max_workers
+        assert pool.num_forks == 2
+        first.busy = False
+        assert pool.acquire() is first
+        first.busy = False
+        _run_task(first, 21)
+
+
+def test_discarded_worker_is_replaced():
+    with WorkerPool(_double, _identity, max_workers=1) as pool:
+        first = pool.acquire()
+        first_pid = first.pid
+        pool.discard(first, kill=True)
+        assert len(pool) == 0
+        replacement = pool.acquire()
+        assert replacement.pid != first_pid
+        status, result, _events = _run_task(replacement, 5)
+        assert (status, result) == ("ok", 10)
+    assert pool.num_forks == 2
+
+
+def test_worker_lifetimes_are_visible_in_telemetry():
+    bus = TelemetryBus()
+    sink = bus.add_sink(RingBufferSink())
+    with WorkerPool(_double, _identity, max_workers=1, bus=bus) as pool:
+        worker = pool.acquire()
+        _run_task(worker, 1)
+        _run_task(worker, 2)
+    starts = [e for e in sink.events if e.name == DRIVER_POOL_WORKER_START]
+    exits = [e for e in sink.events if e.name == DRIVER_POOL_WORKER_EXIT]
+    assert len(starts) == 1 and len(exits) == 1
+    assert starts[0].attrs["worker_pid"] == exits[0].attrs["worker_pid"]
+    assert exits[0].attrs["tasks"] == 2
+    assert exits[0].attrs["killed"] is False
+
+
+def test_spawned_state_shipping_when_fork_unavailable():
+    """Under spawn/forkserver the pool ships state once per worker."""
+    ctx_method = multiprocessing.get_start_method()
+    pool = WorkerPool(_double, _identity, max_workers=1)
+    # Force the shipping path regardless of platform default: module-
+    # level functions are picklable, so this works under any method.
+    pool._fork = False
+    try:
+        worker = pool.acquire()
+        status, result, _events = _run_task(worker, 7)
+        assert (status, result) == ("ok", 14)
+    finally:
+        pool.shutdown()
+    assert ctx_method in ("fork", "spawn", "forkserver")
