@@ -483,6 +483,197 @@ def estimate_main(argv: Optional[List[str]] = None) -> int:
     return 0 if not run.oom and run.completed else 1
 
 
+def _run_controller(graph, cluster, timeline, seed, iterations):
+    """Drive the elastic controller through ``timeline`` (shared by
+    ``repro-elastic run`` and ``repro-replan --churn-timeline``)."""
+    from .elastic import ControllerPolicy, ElasticController
+
+    controller = ElasticController(
+        graph,
+        cluster,
+        seed=seed,
+        policy=ControllerPolicy(replan_iterations=iterations),
+    )
+    return controller.run(timeline)
+
+
+def _controller_lines(args, run) -> List[str]:
+    """Human rendering of one controller run's decision record."""
+    rows = []
+    for d in run.decisions:
+        events = ",".join(e["kind"] for e in d.events)
+        rows.append([
+            f"{d.time:.1f}s",
+            events[:28],
+            d.action,
+            d.reason,
+            str(d.cluster_gpus),
+            f"{d.estimated_loss:.1%}",
+            f"{d.throughput:.0f}",
+            "yes" if d.feasible else "NO",
+        ])
+    lines = [
+        f"{args.model}: {len(run.decisions)} decisions, "
+        f"{run.num_replans} replans, seed {run.seed}",
+    ]
+    lines.extend(_format_table(
+        ["t", "events", "action", "reason", "gpus", "loss",
+         "samples/s", "feasible"],
+        rows,
+        [7, 28, 9, 16, 5, 7, 10, 9],
+    ))
+    lines.append(
+        f"final plan {run.final_config.signature()[:12]} "
+        f"({'feasible' if run.final_feasible else 'infeasible'})"
+    )
+    return lines
+
+
+def elastic_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-elastic``: churn + continuous rebalancing.
+
+    ``gen`` samples a seeded churn timeline to a ``*.churn.json`` file;
+    ``run`` drives the elastic controller through a timeline (a saved
+    one, or one sampled from ``--seed``) and reports every decision.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-elastic",
+        description="Seeded cluster churn and the elastic "
+        "rebalancing controller",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser(
+        "gen", help="sample a seeded churn timeline to a file"
+    )
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--nodes", type=int, default=4)
+    p_gen.add_argument("--gpus-per-node", type=int, default=2)
+    p_gen.add_argument("--events", type=int, default=8)
+    p_gen.add_argument("--horizon", type=float, default=60.0)
+    p_gen.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE.churn.json",
+        help="write the timeline here (default stdout)",
+    )
+
+    p_run = sub.add_parser(
+        "run", help="drive the controller through a churn timeline"
+    )
+    p_run.add_argument(
+        "--model", default="gpt-4l",
+        help="model name (default gpt-4l)",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--nodes", type=int, default=4)
+    p_run.add_argument("--gpus-per-node", type=int, default=2)
+    p_run.add_argument(
+        "--mixed",
+        action="store_true",
+        help="heterogeneous cluster: upgrade the upper half of the "
+        "nodes to A100s",
+    )
+    p_run.add_argument("--events", type=int, default=8)
+    p_run.add_argument("--horizon", type=float, default=60.0)
+    p_run.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE.churn.json",
+        help="replay this saved timeline instead of sampling one",
+    )
+    p_run.add_argument(
+        "--iterations",
+        type=int,
+        default=6,
+        help="search iterations per replan (default 6)",
+    )
+    p_run.add_argument(
+        "--output",
+        default=None,
+        metavar="RUN.json",
+        help="also write the full decision record here",
+    )
+    p_run.add_argument(
+        "--json", action="store_true",
+        help="emit JSON instead of text",
+    )
+    _add_telemetry_flags(p_run)
+    args = parser.parse_args(argv)
+
+    if args.nodes < 1 or args.gpus_per_node < 1:
+        parser.error("cluster dimensions must be positive")
+    if args.events < 0:
+        parser.error("--events must be non-negative")
+    if args.horizon <= 0:
+        parser.error("--horizon must be positive")
+
+    from .elastic import ChurnTimeline, random_churn_timeline
+
+    if args.command == "gen":
+        timeline = random_churn_timeline(
+            args.nodes,
+            args.gpus_per_node,
+            seed=args.seed,
+            num_events=args.events,
+            horizon_seconds=args.horizon,
+        )
+        if args.output:
+            timeline.save(args.output)
+            print(
+                f"repro-elastic: wrote {len(timeline.events)} events "
+                f"to {args.output}"
+            )
+        else:
+            print(json.dumps(timeline.to_dict(), indent=2))
+        return 0
+
+    if args.timeline:
+        try:
+            timeline = ChurnTimeline.load(args.timeline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"repro-elastic: cannot load {args.timeline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        timeline = random_churn_timeline(
+            args.nodes,
+            args.gpus_per_node,
+            seed=args.seed,
+            num_events=args.events,
+            horizon_seconds=args.horizon,
+        )
+    if args.mixed:
+        from .cluster import a100, mixed_cluster, v100
+
+        half = args.nodes // 2
+        cluster = mixed_cluster(
+            [v100()] * (args.nodes - half) + [a100()] * half,
+            gpus_per_node=args.gpus_per_node,
+        )
+    else:
+        from .cluster import ClusterSpec
+
+        cluster = ClusterSpec(
+            num_nodes=args.nodes, gpus_per_node=args.gpus_per_node
+        )
+    graph = build_model(args.model)
+    with _telemetry(args):
+        run = _run_controller(
+            graph, cluster, timeline, args.seed, args.iterations
+        )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(run.to_dict(), indent=2)
+        )
+    _emit_output(args, run.to_dict(), _controller_lines(args, run))
+    return 0
+
+
 def replan_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro-replan``: device loss → time-to-new-plan."""
     parser = argparse.ArgumentParser(
@@ -509,6 +700,13 @@ def replan_main(argv: Optional[List[str]] = None) -> int:
         default=5,
         help="surviving configurations to warm-start from (default 5)",
     )
+    parser.add_argument(
+        "--churn-timeline",
+        default=None,
+        metavar="FILE.churn.json",
+        help="replay a saved churn timeline through the elastic "
+        "controller instead of the single-failure comparison",
+    )
     args = parser.parse_args(argv)
 
     from .faults import (
@@ -517,6 +715,27 @@ def replan_main(argv: Optional[List[str]] = None) -> int:
         elastic_replan,
         shrink_cluster,
     )
+
+    if args.churn_timeline:
+        from .elastic import ChurnTimeline
+
+        try:
+            timeline = ChurnTimeline.load(args.churn_timeline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"repro-replan: cannot load churn timeline "
+                f"{args.churn_timeline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        cluster = paper_cluster(args.gpus)
+        graph = build_model(args.model)
+        with _telemetry(args):
+            run = _run_controller(
+                graph, cluster, timeline, args.seed, args.iterations
+            )
+        _emit_output(args, run.to_dict(), _controller_lines(args, run))
+        return 0
 
     if not 0 <= args.fail_device < args.gpus:
         parser.error(

@@ -7,6 +7,7 @@ from .topology import (
     DEFAULT_NVLINK,
     ClusterSpec,
     LinkSpec,
+    mixed_cluster,
     paper_cluster,
     single_node,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "DeviceSpec",
     "LinkSpec",
     "a100",
+    "mixed_cluster",
     "paper_cluster",
     "single_node",
     "v100",

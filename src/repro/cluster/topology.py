@@ -10,7 +10,7 @@ answers those queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .device import DeviceSpec, v100
 
@@ -50,10 +50,18 @@ DEFAULT_IB = LinkSpec(bandwidth=12.5e9, latency=20e-6)
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous cluster of ``num_nodes`` x ``gpus_per_node``.
+    """A cluster of ``num_nodes`` x ``gpus_per_node`` devices.
 
     Device ids are dense integers, node-major: GPU ``i`` lives on node
     ``i // gpus_per_node``.
+
+    Clusters are homogeneous by default: every node hosts ``device``.
+    A heterogeneous mix (e.g. some V100 nodes, some A100 nodes) sets
+    ``node_devices`` to one :class:`DeviceSpec` per node; ``device``
+    then acts as the *reference* device the profile database was built
+    on, and per-node rooflines are expressed as scale factors relative
+    to it.  ``node_devices=None`` is the homogeneous fast path — every
+    existing query answers exactly as before.
     """
 
     num_nodes: int = 4
@@ -61,14 +69,113 @@ class ClusterSpec:
     device: DeviceSpec = field(default_factory=v100)
     intra_node: LinkSpec = DEFAULT_NVLINK
     inter_node: LinkSpec = DEFAULT_IB
+    node_devices: Optional[Tuple[DeviceSpec, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1 or self.gpus_per_node < 1:
             raise ValueError("cluster dimensions must be positive")
+        if self.node_devices is not None:
+            if not isinstance(self.node_devices, tuple):
+                object.__setattr__(
+                    self, "node_devices", tuple(self.node_devices)
+                )
+            if len(self.node_devices) != self.num_nodes:
+                raise ValueError(
+                    f"node_devices has {len(self.node_devices)} entries "
+                    f"for {self.num_nodes} nodes"
+                )
 
     @property
     def num_gpus(self) -> int:
         return self.num_nodes * self.gpus_per_node
+
+    # ------------------------------------------------------------------
+    # heterogeneity
+    # ------------------------------------------------------------------
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any node's device differs from the reference."""
+        return self.node_devices is not None and any(
+            spec != self.device for spec in self.node_devices
+        )
+
+    def node_device(self, node: int) -> DeviceSpec:
+        """The device spec hosted by ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+        if self.node_devices is None:
+            return self.device
+        return self.node_devices[node]
+
+    def device_for(self, device_id: int) -> DeviceSpec:
+        """The device spec of one GPU."""
+        return self.node_device(self.node_of(device_id))
+
+    def span_compute_scale(
+        self, first_device: int, num_devices: int, precision: str
+    ) -> float:
+        """Compute-time scale of a contiguous device span vs. reference.
+
+        A pipeline stage advances at the pace of its *slowest* occupied
+        device, so the span's scale is the max over occupied nodes of
+        ``reference_sustained / node_sustained`` at ``precision``
+        (``1.0`` on a homogeneous cluster; ``< 1.0`` when every occupied
+        device is faster than the reference).
+        """
+        if self.node_devices is None:
+            return 1.0
+        if num_devices < 1:
+            raise ValueError("num_devices must be positive")
+        last_device = first_device + num_devices - 1
+        if not (0 <= first_device and last_device < self.num_gpus):
+            raise ValueError(
+                f"span [{first_device}, {last_device}] exceeds cluster "
+                f"size {self.num_gpus}"
+            )
+        reference = self.device.sustained_flops(precision)
+        return max(
+            reference / self.node_devices[n].sustained_flops(precision)
+            for n in range(
+                first_device // self.gpus_per_node,
+                last_device // self.gpus_per_node + 1,
+            )
+        )
+
+    def span_memory_limit(
+        self, first_device: int, num_devices: int
+    ) -> float:
+        """Usable bytes per device over a contiguous span.
+
+        The tightest (minimum) capacity over the occupied nodes: a
+        stage's shards are symmetric, so the smallest device bounds
+        what the whole stage may allocate per GPU.
+        """
+        if self.node_devices is None:
+            return float(self.device.memory_bytes)
+        if num_devices < 1:
+            raise ValueError("num_devices must be positive")
+        last_device = first_device + num_devices - 1
+        if not (0 <= first_device and last_device < self.num_gpus):
+            raise ValueError(
+                f"span [{first_device}, {last_device}] exceeds cluster "
+                f"size {self.num_gpus}"
+            )
+        return float(min(
+            self.node_devices[n].memory_bytes
+            for n in range(
+                first_device // self.gpus_per_node,
+                last_device // self.gpus_per_node + 1,
+            )
+        ))
+
+    @property
+    def min_memory_bytes(self) -> float:
+        """Smallest per-device memory anywhere in the cluster."""
+        if self.node_devices is None:
+            return float(self.device.memory_bytes)
+        return float(min(spec.memory_bytes for spec in self.node_devices))
 
     def node_of(self, device_id: int) -> int:
         """Node index hosting ``device_id``."""
@@ -130,8 +237,20 @@ class ClusterSpec:
 
     def describe(self) -> str:
         """One-line human summary."""
+        if self.is_heterogeneous:
+            names = []
+            for spec in self.node_devices:
+                if not names or names[-1][0] != spec.name:
+                    names.append([spec.name, 1])
+                else:
+                    names[-1][1] += 1
+            device_text = "+".join(
+                f"{count}x{name}" for name, count in names
+            )
+        else:
+            device_text = self.device.name
         return (
-            f"{self.num_nodes}x{self.gpus_per_node} {self.device.name} "
+            f"{self.num_nodes}x{self.gpus_per_node} {device_text} "
             f"(NVLink {self.intra_node.bandwidth / 1e9:.0f} GB/s, "
             f"IB {self.inter_node.bandwidth * 8 / 1e9:.0f} Gb/s)"
         )
@@ -143,6 +262,28 @@ def single_node(num_gpus: int = 8, device: DeviceSpec = None) -> ClusterSpec:
         num_nodes=1,
         gpus_per_node=num_gpus,
         device=device or v100(),
+    )
+
+
+def mixed_cluster(
+    node_devices: Sequence[DeviceSpec],
+    gpus_per_node: int = 8,
+    *,
+    reference: Optional[DeviceSpec] = None,
+) -> ClusterSpec:
+    """A heterogeneous cluster from an explicit per-node device list.
+
+    ``reference`` names the device the profile database is built on
+    (defaults to the first node's device).
+    """
+    specs = tuple(node_devices)
+    if not specs:
+        raise ValueError("node_devices must be non-empty")
+    return ClusterSpec(
+        num_nodes=len(specs),
+        gpus_per_node=gpus_per_node,
+        device=reference or specs[0],
+        node_devices=specs,
     )
 
 

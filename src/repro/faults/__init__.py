@@ -9,10 +9,12 @@ surviving top-k plans after device loss.
 """
 
 from .inject import (
+    NoSurvivorsError,
     adapt_config,
     degrade_cluster,
     memory_safe_variant,
     shrink_cluster,
+    shrink_cluster_checked,
 )
 from .plan import (
     FAULT_FORMAT_VERSION,
@@ -32,6 +34,7 @@ __all__ = [
     "DeviceFailure",
     "FaultPlan",
     "LinkDegradation",
+    "NoSurvivorsError",
     "ReplanComparison",
     "ReplanOutcome",
     "StragglerSlowdown",
@@ -42,4 +45,5 @@ __all__ = [
     "memory_safe_variant",
     "random_fault_plan",
     "shrink_cluster",
+    "shrink_cluster_checked",
 ]

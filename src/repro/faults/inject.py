@@ -18,14 +18,19 @@ Three translations live here:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..cluster.topology import ClusterSpec, LinkSpec
 from ..ir.graph import OpGraph
+from ..lint.diagnostics import Diagnostic
+from ..lint.diagnostics import WARNING as LINT_WARNING
 from ..parallel.config import ParallelConfig
 from ..parallel.validation import ConfigError, validate_config
 from ..telemetry import WARNING, get_bus
-from ..telemetry.events import FAULTS_LINK_DEGRADATION
+from ..telemetry.events import (
+    FAULTS_CLUSTER_SHRUNK,
+    FAULTS_LINK_DEGRADATION,
+)
 from .plan import FaultPlan
 
 
@@ -68,30 +73,137 @@ def _largest_power_of_two_at_most(value: int) -> int:
     return power
 
 
-def shrink_cluster(
+class NoSurvivorsError(ValueError):
+    """Every device failed; no usable cluster remains.
+
+    Carries the structured ``ACE221`` diagnostic so service-layer
+    callers can report the condition without string-matching.
+    """
+
+    def __init__(self, message: str, diagnostic: Diagnostic) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+def _surviving_nodes(
+    cluster: ClusterSpec, failed: set, count: int
+) -> Tuple[int, ...]:
+    """The ``count`` healthiest nodes (fewest failures, then by id)."""
+    losses = [0] * cluster.num_nodes
+    for device in failed:
+        losses[device // cluster.gpus_per_node] += 1
+    ranked = sorted(
+        range(cluster.num_nodes), key=lambda n: (losses[n], n)
+    )
+    return tuple(sorted(ranked[:count]))
+
+
+def shrink_cluster_checked(
     cluster: ClusterSpec, failed_devices: Sequence[int]
-) -> ClusterSpec:
-    """The usable cluster after losing ``failed_devices``.
+) -> Tuple[ClusterSpec, List[Diagnostic]]:
+    """The usable cluster after losing ``failed_devices``, plus
+    structured diagnostics about what the snap cost.
 
     The planner's device splits are power-of-two, so the surviving
     allocation snaps down to the largest power of two not exceeding the
-    healthy device count, keeping the original device and link specs.
-    Multi-node shapes keep full nodes (the paper's testbed rule);
-    anything at or below one node collapses to a single node.
+    healthy device count, keeping the original link specs.  Multi-node
+    shapes keep full nodes (the paper's testbed rule); anything at or
+    below one node collapses to a single node.  Heterogeneous clusters
+    keep the healthiest nodes' device specs.
+
+    When the snap idles healthy survivors (their count is not a power
+    of two) an ``ACE220`` warning diagnostic says exactly how many were
+    dropped; all devices failing raises :class:`NoSurvivorsError`
+    carrying an ``ACE221`` diagnostic.
     """
     failed = {d for d in failed_devices if 0 <= d < cluster.num_gpus}
     survivors = cluster.num_gpus - len(failed)
     if survivors < 1:
-        raise ValueError("no devices survive the fault plan")
+        diagnostic = Diagnostic(
+            "ACE221",
+            f"all {cluster.num_gpus} devices failed; no usable "
+            f"cluster remains",
+            attrs={"num_gpus": cluster.num_gpus, "failed": len(failed)},
+            hint="replace failed hardware before re-planning",
+        )
+        raise NoSurvivorsError(
+            "no devices survive the fault plan", diagnostic
+        )
     size = _largest_power_of_two_at_most(survivors)
+    diagnostics: List[Diagnostic] = []
+    if size < survivors:
+        diagnostics.append(Diagnostic(
+            "ACE220",
+            f"{survivors} devices survive but the planner's "
+            f"power-of-two invariants can only use {size}; "
+            f"{survivors - size} healthy device(s) left idle",
+            severity=LINT_WARNING,
+            attrs={
+                "survivors": survivors,
+                "snapped": size,
+                "dropped": survivors - size,
+            },
+            hint="restore failed devices to a power-of-two total to "
+            "reclaim the idle survivors",
+        ))
+    hetero = cluster.node_devices is not None
     if size <= cluster.gpus_per_node:
-        return replace(cluster, num_nodes=1, gpus_per_node=size)
-    if size % cluster.gpus_per_node:
+        keep = _surviving_nodes(cluster, failed, 1) if hetero else ()
+        shrunk = replace(
+            cluster,
+            num_nodes=1,
+            gpus_per_node=size,
+            node_devices=(
+                (cluster.node_devices[keep[0]],) if hetero else None
+            ),
+        )
+    elif size % cluster.gpus_per_node:
         # Power-of-two sizes above one node are multiples of a
         # power-of-two node width; a non-multiple means the original
         # width wasn't a power of two — fall back to one full node.
-        return replace(cluster, num_nodes=1)
-    return replace(cluster, num_nodes=size // cluster.gpus_per_node)
+        keep = _surviving_nodes(cluster, failed, 1) if hetero else ()
+        shrunk = replace(
+            cluster,
+            num_nodes=1,
+            node_devices=(
+                (cluster.node_devices[keep[0]],) if hetero else None
+            ),
+        )
+    else:
+        new_nodes = size // cluster.gpus_per_node
+        keep = (
+            _surviving_nodes(cluster, failed, new_nodes)
+            if hetero
+            else ()
+        )
+        shrunk = replace(
+            cluster,
+            num_nodes=new_nodes,
+            node_devices=(
+                tuple(cluster.node_devices[n] for n in keep)
+                if hetero
+                else None
+            ),
+        )
+    bus = get_bus()
+    if bus.active:
+        bus.emit(
+            FAULTS_CLUSTER_SHRUNK,
+            source="faults",
+            level=WARNING,
+            failed=len(failed),
+            survivors=survivors,
+            usable=size,
+            dropped=survivors - size,
+        )
+    return shrunk, diagnostics
+
+
+def shrink_cluster(
+    cluster: ClusterSpec, failed_devices: Sequence[int]
+) -> ClusterSpec:
+    """:func:`shrink_cluster_checked` without the diagnostics."""
+    return shrink_cluster_checked(cluster, failed_devices)[0]
 
 
 def memory_safe_variant(config: ParallelConfig) -> ParallelConfig:

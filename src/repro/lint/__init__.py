@@ -34,6 +34,7 @@ from .requests import analyze_request
 from .artifacts import (
     lint_artifact_path,
     lint_checkpoint_file,
+    lint_churn_timeline_file,
     lint_journal_file,
     lint_plan_cache_file,
     lint_plan_file,
@@ -54,6 +55,7 @@ __all__ = [
     "analyze_request",
     "lint_artifact_path",
     "lint_checkpoint_file",
+    "lint_churn_timeline_file",
     "lint_journal_file",
     "lint_plan_cache_file",
     "lint_plan_file",

@@ -509,12 +509,109 @@ def lint_run_log_file(path: Union[str, Path]) -> List[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# churn timelines (ACE35x)
+# ----------------------------------------------------------------------
+def lint_churn_timeline_file(
+    path: Union[str, Path],
+) -> List[Diagnostic]:
+    """Lint one ``*.churn.json`` timeline (Tier A, ``ACE35x``).
+
+    Checks the schema (readable JSON object with ``seed`` and
+    ``events``), the format version, time-ordering, per-event kind and
+    payload validity, and warns when some prefix of the timeline
+    preempts every node it ever mentions — a run replaying it will
+    halt there until a join arrives.
+    """
+    from ..elastic.timeline import CHURN_FORMAT_VERSION, ChurnEvent
+
+    path = Path(path)
+    loc = str(path)
+    data, out = _load_json(path, "ACE350")
+    if data is None:
+        return out
+    if not isinstance(data, dict) or not isinstance(
+        data.get("events"), list
+    ):
+        return [Diagnostic(
+            "ACE350",
+            "churn timeline must be a JSON object with an "
+            "'events' array",
+            location=loc,
+        )]
+    version = data.get("format_version")
+    if version != CHURN_FORMAT_VERSION:
+        out.append(Diagnostic(
+            "ACE351",
+            f"unsupported churn timeline format_version {version!r} "
+            f"(expected {CHURN_FORMAT_VERSION})",
+            location=loc,
+        ))
+    events: List[ChurnEvent] = []
+    for i, raw in enumerate(data["events"]):
+        if not isinstance(raw, dict):
+            out.append(Diagnostic(
+                "ACE353",
+                f"event #{i} is not a JSON object",
+                location=loc,
+            ))
+            continue
+        try:
+            events.append(ChurnEvent.from_dict(raw))
+        except (KeyError, TypeError, ValueError) as exc:
+            out.append(Diagnostic(
+                "ACE353",
+                f"event #{i} is invalid: {exc}",
+                location=loc,
+                attrs={"index": i, "kind": raw.get("kind")},
+            ))
+    times = [event.time for event in events]
+    if any(b < a for a, b in zip(times, times[1:])):
+        out.append(Diagnostic(
+            "ACE352",
+            "churn timeline events are not sorted by time",
+            location=loc,
+            hint="sort events by their 'time' field",
+        ))
+    # Total preemption: with a recorded cluster size, count nodes
+    # exactly; otherwise fall back to the nodes the timeline mentions
+    # (a timeline can't name the nodes it never touches).
+    num_nodes = data.get("num_nodes")
+    nodes_seen = {
+        e.node_id for e in events if e.node_id is not None
+    }
+    preempted: set = set()
+    for event in events:
+        if event.kind == "node_preempt":
+            preempted.add(event.node_id)
+        elif event.kind == "node_join":
+            preempted.discard(event.node_id)
+        dark = (
+            len(preempted) >= num_nodes
+            if isinstance(num_nodes, int)
+            else bool(nodes_seen) and preempted >= nodes_seen
+        )
+        if dark:
+            out.append(Diagnostic(
+                "ACE354",
+                f"at t={event.time:g} every node the timeline "
+                f"mentions is preempted; a replay halts there",
+                severity="warning",
+                location=loc,
+                hint="add a node_join or keep one node alive",
+            ))
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 def lint_artifact_path(path: Union[str, Path]) -> List[Diagnostic]:
     """Lint one artifact file, dispatching on its name/shape."""
     path = Path(path)
     name = path.name
+    if name.endswith(".churn.json"):
+        return lint_churn_timeline_file(path)
     if name.endswith(".request.json"):
         return lint_journal_file(path)
     if name.endswith(".ckpt.json"):
@@ -529,6 +626,8 @@ def lint_artifact_path(path: Union[str, Path]) -> List[Diagnostic]:
     if data is None:
         return out
     if isinstance(data, dict):
+        if {"events", "seed"} <= set(data):
+            return lint_churn_timeline_file(path)
         if {"plan", "objective"} <= set(data):
             return lint_plan_cache_file(path)
         if {"stage_counts", "completed"} <= set(data) or {

@@ -53,6 +53,8 @@ CODES: Dict[str, str] = {
     "ACE204": "requested model is not in the registry",
     "ACE210": "unknown resource-adjustment primitive",
     "ACE211": "primitive has no registered applier",
+    "ACE220": "surviving devices exceed the usable power-of-two snap",
+    "ACE221": "no devices survive the fault plan",
     # -- ACE3xx: on-disk artifacts ------------------------------------
     "ACE301": "artifact is not readable JSON",
     "ACE302": "plan format_version is unsupported",
@@ -69,6 +71,11 @@ CODES: Dict[str, str] = {
     "ACE341": "run log event violates the event schema",
     "ACE342": "run log event has an unknown kind",
     "ACE343": "run log event name is not in the telemetry registry",
+    "ACE350": "churn timeline is not readable or violates the schema",
+    "ACE351": "churn timeline format_version is unsupported",
+    "ACE352": "churn timeline events are not time-ordered",
+    "ACE353": "churn timeline event has an invalid kind or payload",
+    "ACE354": "churn timeline preempts every node",
     # -- ACE9xx: codebase invariants ----------------------------------
     "ACE901": "nondeterministic call in a deterministic module",
     "ACE902": "telemetry emit with a non-literal event name",

@@ -120,6 +120,22 @@ class PerfModel:
         self.database = database
         self.profiled = ProfiledGraph(graph, database)
         self.memory_limit = float(cluster.device.memory_bytes)
+        # Heterogeneous clusters: per-node compute scale relative to
+        # the reference device the database was profiled on, and
+        # per-node memory capacity.  ``None`` keeps the homogeneous
+        # fast path bit-identical to the pre-hetero model.
+        if cluster.is_heterogeneous:
+            reference = cluster.device.sustained_flops(graph.precision)
+            self._node_scale = np.array([
+                reference / spec.sustained_flops(graph.precision)
+                for spec in cluster.node_devices
+            ])
+            self._node_mem = np.array([
+                float(spec.memory_bytes) for spec in cluster.node_devices
+            ])
+        else:
+            self._node_scale = None
+            self._node_mem = None
         self.reserve_safety_factor = (
             RESERVE_SAFETY_FACTOR
             if reserve_safety_factor is None
@@ -293,8 +309,27 @@ class PerfModel:
                         else:
                             costs.append(cost_stage(stage, mbs))
                     costs_per_config.append(costs)
+                limits_per_config = None
+                if self._node_scale is not None:
+                    # Heterogeneous: apply placement-dependent compute
+                    # scales to the (placement-free) cached stage costs
+                    # and collect each config's per-stage memory limits.
+                    limits_per_config = []
+                    scaled_per_config = []
+                    for config, costs in zip(
+                        miss_configs, costs_per_config
+                    ):
+                        scales, limits = self._stage_factors(
+                            [s.num_devices for s in config.stages]
+                        )
+                        limits_per_config.append(limits)
+                        scaled_per_config.append([
+                            cost if scale == 1.0 else cost.scaled(scale)
+                            for cost, scale in zip(costs, scales)
+                        ])
+                    costs_per_config = scaled_per_config
                 miss_reports, oom_flags = self._assemble_batch(
-                    miss_configs, costs_per_config
+                    miss_configs, costs_per_config, limits_per_config
                 )
             except BaseException:
                 # Never leak placeholders into the cache where a later
@@ -391,10 +426,18 @@ class PerfModel:
         """
         if not report.is_oom:
             return report.iteration_time
+        limits = report.stage_limits
+        if limits is None:
+            overflow = sum(
+                max(0.0, m - report.memory_limit)
+                for m in report.peak_memories
+            )
+            return self.OOM_PENALTY * (1.0 + overflow / report.memory_limit)
         overflow = sum(
-            max(0.0, m - report.memory_limit) for m in report.peak_memories
+            max(0.0, m - limit)
+            for m, limit in zip(report.peak_memories, limits)
         )
-        return self.OOM_PENALTY * (1.0 + overflow / report.memory_limit)
+        return self.OOM_PENALTY * (1.0 + overflow / min(limits))
 
     def objective_batch(
         self, configs: Sequence[ParallelConfig]
@@ -531,9 +574,44 @@ class PerfModel:
         costs = [self._cost_stage(stage, mbs) for stage in config.stages]
         return self._assemble(config, costs)
 
+    def _stage_factors(self, device_counts: Sequence[int]):
+        """Hetero placement factors, or ``None`` when homogeneous.
+
+        Stage costs are memoized placement-free (on the reference
+        device); the per-device reality enters here, at assembly, where
+        the contiguous device spans are known.  Returns per-stage
+        ``(compute_scales, memory_limits)``: a stage's compute stretches
+        by the slowest device it occupies and its memory budget is the
+        smallest capacity in its span.
+        """
+        if self._node_scale is None:
+            return None
+        gpn = self.cluster.gpus_per_node
+        max_node = self.cluster.num_nodes - 1
+        scales: List[float] = []
+        limits: List[float] = []
+        first = 0
+        for count in device_counts:
+            lo = min(first // gpn, max_node)
+            hi = min((first + count - 1) // gpn, max_node)
+            scales.append(float(self._node_scale[lo:hi + 1].max()))
+            limits.append(float(self._node_mem[lo:hi + 1].min()))
+            first += count
+        return scales, tuple(limits)
+
     def _assemble(
         self, config: ParallelConfig, costs: List[StageCost]
     ) -> PerfReport:
+        stage_limits = None
+        factors = self._stage_factors(
+            [s.num_devices for s in config.stages]
+        )
+        if factors is not None:
+            scales, stage_limits = factors
+            costs = [
+                cost if scale == 1.0 else cost.scaled(scale)
+                for cost, scale in zip(costs, scales)
+            ]
         num_stages = config.num_stages
         num_mb = config.num_microbatches(self.graph.global_batch_size)
 
@@ -602,12 +680,14 @@ class PerfModel:
             num_microbatches=num_mb,
             iteration_time=float(totals.max()),
             memory_limit=self.memory_limit,
+            stage_limits=stage_limits,
         )
 
     def _assemble_batch(
         self,
         configs: Sequence[ParallelConfig],
         costs_per_config: Sequence[List[StageCost]],
+        limits_per_config: Optional[Sequence[Tuple[float, ...]]] = None,
     ) -> Tuple[List[PerfReport], np.ndarray]:
         """Assemble many configurations' reports in one set of array ops.
 
@@ -694,9 +774,20 @@ class PerfModel:
 
         # --- Eq. 1 peak memory feasibility ----------------------------
         peaks = (weight + optimizer) + activation * in_flight + reserved
-        oom_flags = np.any(
-            valid & (peaks > self.memory_limit), axis=1
-        )
+        if limits_per_config is None:
+            oom_flags = np.any(
+                valid & (peaks > self.memory_limit), axis=1
+            )
+        else:
+            limit_arr = np.full(
+                (num_configs, max_stages), np.inf, dtype=np.float64
+            )
+            limit_arr[valid] = [
+                limit
+                for limits in limits_per_config
+                for limit in limits
+            ]
+            oom_flags = np.any(valid & (peaks > limit_arr), axis=1)
 
         tp_comm = tp_fwd + tp_bwd
         reshard_rt = reshard * 2.0
@@ -739,7 +830,13 @@ class PerfModel:
             )
             reports.append(
                 lazy_perf_report(
-                    payload, num_mb_l[b], iteration_l[b], memory_limit
+                    payload,
+                    num_mb_l[b],
+                    iteration_l[b],
+                    memory_limit,
+                    None
+                    if limits_per_config is None
+                    else limits_per_config[b],
                 )
             )
         return reports, oom_flags

@@ -10,7 +10,7 @@ cacheable by configuration signature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -106,6 +106,30 @@ class StageCost:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.__post_init__()
+
+    def scaled(self, compute_scale: float) -> "StageCost":
+        """Copy with compute terms stretched by ``compute_scale``.
+
+        Heterogeneous assembly prices a stage on the slowest device it
+        occupies by scaling the roofline compute columns (forward,
+        backward, recompute); collective and memory terms are link- and
+        capacity-bound, not device-speed-bound, and stay as profiled on
+        the reference device.
+        """
+        return StageCost(
+            fwd_time=self.fwd_time * compute_scale,
+            bwd_time=self.bwd_time * compute_scale,
+            recompute_time=self.recompute_time * compute_scale,
+            tp_fwd_comm_time=self.tp_fwd_comm_time,
+            tp_bwd_comm_time=self.tp_bwd_comm_time,
+            reshard_time=self.reshard_time,
+            dp_sync_time=self.dp_sync_time,
+            weight_bytes=self.weight_bytes,
+            optimizer_bytes=self.optimizer_bytes,
+            activation_bytes=self.activation_bytes,
+            reserved_bytes=self.reserved_bytes,
+            egress_bytes=self.egress_bytes,
+        )
 
 
 @dataclass(frozen=True)
@@ -243,6 +267,10 @@ class PerfReport:
     num_microbatches: int
     iteration_time: float
     memory_limit: float
+    #: Per-stage memory limits on heterogeneous clusters (the minimum
+    #: capacity over each stage's occupied devices); ``None`` on a
+    #: homogeneous cluster, where ``memory_limit`` bounds every stage.
+    stage_limits: Optional[Tuple[float, ...]] = None
 
     def __getattr__(self, name: str):
         # Only ever reached when normal lookup fails, i.e. for the
@@ -263,6 +291,7 @@ class PerfReport:
             "num_microbatches": self.num_microbatches,
             "iteration_time": self.iteration_time,
             "memory_limit": self.memory_limit,
+            "stage_limits": self.stage_limits,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -284,17 +313,28 @@ class PerfReport:
 
     @property
     def is_oom(self) -> bool:
-        """Whether any stage exceeds the device memory limit."""
+        """Whether any stage exceeds its device memory limit."""
         payload = self.__dict__.get("_lazy")
         if payload is not None:
             return payload.oom
+        if self.stage_limits is not None:
+            return any(
+                m > limit
+                for m, limit in zip(self.peak_memories, self.stage_limits)
+            )
         return any(m > self.memory_limit for m in self.peak_memories)
 
     @property
     def oom_stages(self) -> List[int]:
+        peaks = self.peak_memories
+        limits = (
+            self.stage_limits
+            if self.stage_limits is not None
+            else [self.memory_limit] * len(peaks)
+        )
         return [
-            i for i, m in enumerate(self.peak_memories)
-            if m > self.memory_limit
+            i for i, (m, limit) in enumerate(zip(peaks, limits))
+            if m > limit
         ]
 
     @property
@@ -342,6 +382,7 @@ def lazy_perf_report(
     num_microbatches: int,
     iteration_time: float,
     memory_limit: float,
+    stage_limits: Optional[Tuple[float, ...]] = None,
 ) -> PerfReport:
     """Construct a :class:`PerfReport` with deferred stage reports.
 
@@ -355,4 +396,5 @@ def lazy_perf_report(
     fields["num_microbatches"] = num_microbatches
     fields["iteration_time"] = iteration_time
     fields["memory_limit"] = memory_limit
+    fields["stage_limits"] = stage_limits
     return report

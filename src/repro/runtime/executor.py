@@ -210,6 +210,21 @@ class Executor:
         stage_fwd = per_stage(fwd_op + tp_fwd_comm + reshard)
         stage_bwd = per_stage(bwd_op + tp_bwd_comm + reshard + rc_extra)
 
+        if cluster.is_heterogeneous:
+            # A stage's compute runs at the pace of the slowest device
+            # it occupies; op costs above were priced on the reference
+            # device (the same roofline shared with the profiler).
+            hetero_scale = np.array([
+                cluster.span_compute_scale(
+                    config.stage_first_device(i),
+                    stage.num_devices,
+                    graph.precision,
+                )
+                for i, stage in enumerate(config.stages)
+            ])
+            stage_fwd = stage_fwd * hetero_scale
+            stage_bwd = stage_bwd * hetero_scale
+
         p2p = np.zeros(max(0, num_stages - 1))
         for i in range(num_stages - 1):
             last = config.stages[i].end - 1
@@ -335,13 +350,24 @@ class Executor:
         memory = self._measure_memory(
             config, samples, etp, rc, stage_id, num_mb, rng
         )
-        limit = float(cluster.device.memory_bytes)
+        if cluster.is_heterogeneous:
+            stage_limits = [
+                cluster.span_memory_limit(
+                    config.stage_first_device(i), stage.num_devices
+                )
+                for i, stage in enumerate(config.stages)
+            ]
+            oom = any(m > lim for m, lim in zip(memory, stage_limits))
+            limit = float(min(stage_limits))
+        else:
+            limit = float(cluster.device.memory_bytes)
+            oom = any(m > limit for m in memory)
         return ExecutionResult(
             iteration_time=sim.makespan,
             stage_peak_memory=memory,
             stage_busy=sim.stage_busy,
             bubble_fraction=sim.bubble_fraction,
-            oom=any(m > limit for m in memory),
+            oom=oom,
             memory_limit=limit,
             completed=not sim.halted,
             degraded=degraded,

@@ -42,6 +42,7 @@ from ..lint.diagnostics import ERROR as LINT_ERROR
 from ..lint.requests import analyze_plan_request
 from ..telemetry import WARNING, get_bus
 from ..telemetry.events import (
+    ELASTIC_CACHE_INVALIDATE,
     SERVICE_DRAIN_BEGIN,
     SERVICE_DRAIN_END,
     SERVICE_REQUEST_COMPLETED,
@@ -412,6 +413,35 @@ class PlannerDaemon:
         return self.cache.invalidate(
             lambda _fp, entry: entry.get("gpus") == gpus
         )
+
+    def apply_churn(self, event) -> dict:
+        """Fold one churn event into the serving state.
+
+        ``event`` is a :class:`~repro.elastic.timeline.ChurnEvent` or
+        its dict form.  Every kind stales cached plans (capacity events
+        change the feasible shapes, performance events change every
+        cached objective), so the whole cache is dropped; in-flight and
+        subsequent ``/plan`` requests keep being answered — fresh
+        searches simply see the new conditions.
+        """
+        from ..elastic.timeline import ChurnEvent
+
+        if isinstance(event, dict):
+            event = ChurnEvent.from_dict(event)
+        dropped = self.invalidate_plans()
+        bus = get_bus()
+        if bus.active:
+            bus.emit(
+                ELASTIC_CACHE_INVALIDATE,
+                source="service",
+                level=WARNING,
+                # ``kind`` is TelemetryBus.emit's reserved event-kind
+                # parameter; the churn kind travels under its own name.
+                churn_kind=event.kind,
+                time=event.time,
+                dropped=dropped,
+            )
+        return {"kind": event.kind, "dropped": dropped}
 
     # ------------------------------------------------------------------
     # internals

@@ -12,6 +12,8 @@ module only maps the JSON protocol onto status codes:
                             healthy/degraded detail
 ``GET /readyz``             200 ready / 503 draining or stopped
 ``POST /invalidate``        200, body ``{"dropped": N}``
+``POST /churn``             200, body ``{"kind", "dropped"}``;
+                            400 invalid event
 ==========================  =====================================
 
 ``ThreadingHTTPServer`` gives one thread per connection, so a slow
@@ -48,6 +50,10 @@ class PlannerHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    # The stdlib default backlog of 5 drops connections under request
+    # bursts (e.g. churn replay while plans are in flight); the kernel
+    # clamps this to somaxconn.
+    request_queue_size = 64
 
     def __init__(self, address, daemon: PlannerDaemon) -> None:
         super().__init__(address, _Handler)
@@ -108,6 +114,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_plan()
         elif self.path == "/invalidate":
             self._handle_invalidate()
+        elif self.path == "/churn":
+            self._handle_churn()
         else:
             self._send_json(404, {"error": f"no such path: {self.path}"})
 
@@ -142,6 +150,17 @@ class _Handler(BaseHTTPRequestHandler):
             return
         dropped = self._daemon.invalidate_plans(gpus=gpus)
         self._send_json(200, {"dropped": dropped})
+
+    def _handle_churn(self) -> None:
+        """One churn event (``ChurnEvent`` JSON): stale plans drop,
+        service keeps answering ``/plan`` against the new conditions."""
+        try:
+            body = self._read_body()
+            result = self._daemon.apply_churn(body)
+        except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(200, result)
 
 
 def serve(

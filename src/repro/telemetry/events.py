@@ -52,9 +52,21 @@ FAULTS_DEVICE_FAILURE = "faults.device_failure"
 FAULTS_STRAGGLER = "faults.straggler"
 FAULTS_LINK_DEGRADATION = "faults.link_degradation"
 FAULTS_TRANSIENT_OOM = "faults.transient_oom"
+FAULTS_CLUSTER_SHRUNK = "faults.cluster_shrunk"
 
 # -- checkpointing ----------------------------------------------------
 CHECKPOINT_CORRUPT = "checkpoint.corrupt"
+
+# -- elastic controller ----------------------------------------------
+ELASTIC_RUN_BEGIN = "elastic.run.begin"
+ELASTIC_RUN_END = "elastic.run.end"
+ELASTIC_EVENT = "elastic.event"
+ELASTIC_DECISION = "elastic.decision"
+ELASTIC_REPLAN_BEGIN = "elastic.replan.begin"
+ELASTIC_REPLAN_END = "elastic.replan.end"
+ELASTIC_FALLBACK = "elastic.fallback"
+ELASTIC_CLUSTER_SHRUNK = "elastic.cluster.shrunk"
+ELASTIC_CACHE_INVALIDATE = "elastic.cache.invalidate"
 
 # -- planner service --------------------------------------------------
 SERVICE_START = "service.start"
@@ -88,6 +100,7 @@ DRIVER_WORKER_PREFIX = "driver.worker."
 RUNTIME_PREFIX = "runtime."
 FAULTS_PREFIX = "faults."
 CHECKPOINT_PREFIX = "checkpoint."
+ELASTIC_PREFIX = "elastic."
 SERVICE_PREFIX = "service."
 
 EVENT_PREFIXES: Tuple[str, ...] = (
@@ -97,6 +110,7 @@ EVENT_PREFIXES: Tuple[str, ...] = (
     RUNTIME_PREFIX,
     FAULTS_PREFIX,
     CHECKPOINT_PREFIX,
+    ELASTIC_PREFIX,
     SERVICE_PREFIX,
 )
 

@@ -1,0 +1,826 @@
+"""Elastic subsystem: churn timelines, heterogeneous clusters, the
+rebalancing controller, and churn-aware serving."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tiny_gpt
+from repro.cluster import ClusterSpec, DeviceSpec, a100, mixed_cluster, v100
+from repro.elastic import (
+    CHURN_FORMAT_VERSION,
+    ChurnEvent,
+    ChurnTimeline,
+    ControllerPolicy,
+    ElasticController,
+    random_churn_timeline,
+)
+from repro.faults import (
+    DeviceFailure,
+    FaultPlan,
+    LinkDegradation,
+    NoSurvivorsError,
+    StragglerSlowdown,
+    adapt_config,
+    degrade_cluster,
+    shrink_cluster,
+    shrink_cluster_checked,
+)
+from repro.parallel import balanced_config
+from repro.perfmodel import PerfModel
+from repro.profiling import SimulatedProfiler
+from repro.runtime import Executor
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_tiny_gpt()
+
+
+@pytest.fixture(scope="module")
+def cluster42():
+    return ClusterSpec(num_nodes=4, gpus_per_node=2)
+
+
+def quick_policy(**overrides):
+    kwargs = dict(replan_iterations=2, measure=False)
+    kwargs.update(overrides)
+    return ControllerPolicy(**kwargs)
+
+
+# ======================================================================
+# churn timelines
+# ======================================================================
+class TestChurnTimeline:
+    def test_event_payload_validation(self):
+        with pytest.raises(ValueError, match="node_id"):
+            ChurnEvent(1.0, "node_preempt")
+        with pytest.raises(ValueError, match="factor"):
+            ChurnEvent(1.0, "straggler_on", device_id=0, factor=0.5)
+        with pytest.raises(ValueError, match="scope"):
+            ChurnEvent(1.0, "link_degrade", factor=0.5)
+        with pytest.raises(ValueError, match="factor in"):
+            ChurnEvent(1.0, "link_degrade", scope="intra", factor=1.5)
+        with pytest.raises(ValueError, match="kind"):
+            ChurnEvent(1.0, "meteor_strike")
+        with pytest.raises(ValueError, match="non-negative"):
+            ChurnEvent(-1.0, "node_join", node_id=0)
+
+    def test_dict_round_trip_drops_none_fields(self):
+        event = ChurnEvent(2.5, "straggler_on", device_id=3, factor=1.7)
+        data = event.to_dict()
+        assert set(data) == {"time", "kind", "device_id", "factor"}
+        assert ChurnEvent.from_dict(data) == event
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown churn event"):
+            ChurnEvent.from_dict(
+                {"time": 1.0, "kind": "node_join", "node_id": 0,
+                 "blast_radius": 3}
+            )
+
+    def test_timeline_must_be_time_ordered(self):
+        events = (
+            ChurnEvent(5.0, "node_preempt", node_id=0),
+            ChurnEvent(1.0, "node_join", node_id=0),
+        )
+        with pytest.raises(ValueError, match="time-ordered"):
+            ChurnTimeline(seed=0, events=events)
+
+    def test_file_round_trip(self, tmp_path):
+        timeline = random_churn_timeline(4, 2, seed=9, num_events=7)
+        path = tmp_path / "t.churn.json"
+        timeline.save(path)
+        assert ChurnTimeline.load(path) == timeline
+
+    def test_version_gate(self):
+        data = {"format_version": 99, "seed": 0, "events": []}
+        with pytest.raises(ValueError, match="format version"):
+            ChurnTimeline.from_dict(data)
+
+    def test_random_timeline_is_deterministic(self):
+        a = random_churn_timeline(4, 2, seed=5, num_events=12)
+        b = random_churn_timeline(4, 2, seed=5, num_events=12)
+        c = random_churn_timeline(4, 2, seed=6, num_events=12)
+        assert a == b
+        assert a != c
+
+    def test_random_timeline_state_consistency(self):
+        for seed in range(8):
+            timeline = random_churn_timeline(
+                3, 2, seed=seed, num_events=20
+            )
+            preempted, stragglers, degraded = set(), set(), set()
+            for event in timeline.events:
+                if event.kind == "node_preempt":
+                    assert event.node_id not in preempted
+                    preempted.add(event.node_id)
+                    assert len(preempted) < 3  # one node stays up
+                elif event.kind == "node_join":
+                    assert event.node_id in preempted
+                    preempted.discard(event.node_id)
+                elif event.kind == "straggler_on":
+                    assert event.device_id not in stragglers
+                    stragglers.add(event.device_id)
+                elif event.kind == "straggler_off":
+                    assert event.device_id in stragglers
+                    stragglers.discard(event.device_id)
+                elif event.kind == "link_degrade":
+                    assert event.scope not in degraded
+                    degraded.add(event.scope)
+                else:
+                    assert event.scope in degraded
+                    degraded.discard(event.scope)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    num_events=st.integers(min_value=0, max_value=15),
+    nodes=st.integers(min_value=1, max_value=5),
+)
+def test_random_churn_timeline_round_trips(seed, num_events, nodes):
+    timeline = random_churn_timeline(
+        nodes, 2, seed=seed, num_events=num_events
+    )
+    rebuilt = ChurnTimeline.from_dict(
+        json.loads(json.dumps(timeline.to_dict()))
+    )
+    assert rebuilt == timeline
+    assert rebuilt.to_dict()["format_version"] == CHURN_FORMAT_VERSION
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    failures=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=0, max_value=60, allow_nan=False),
+        ),
+        max_size=3,
+    ),
+    stragglers=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+        ),
+        max_size=3,
+        unique_by=lambda pair: pair[0],
+    ),
+    intra=st.one_of(
+        st.none(),
+        st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+    ),
+)
+def test_fault_plan_json_round_trips(seed, failures, stragglers, intra):
+    links = (
+        (LinkDegradation("intra", intra),) if intra is not None else ()
+    )
+    plan = FaultPlan(
+        seed=seed,
+        device_failures=tuple(
+            DeviceFailure(device_id=d, time=t) for d, t in failures
+        ),
+        stragglers=tuple(
+            StragglerSlowdown(device_id=d, factor=f)
+            for d, f in stragglers
+        ),
+        link_degradations=links,
+    )
+    rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert rebuilt == plan
+
+
+# ======================================================================
+# heterogeneous clusters
+# ======================================================================
+class TestHeterogeneousCluster:
+    def test_mixed_cluster_shape_and_describe(self):
+        cluster = mixed_cluster(
+            [v100(), v100(), a100(), a100()], gpus_per_node=2
+        )
+        assert cluster.is_heterogeneous
+        assert cluster.num_gpus == 8
+        assert "V100" in cluster.describe()
+        assert "A100" in cluster.describe()
+
+    def test_homogeneous_node_devices_is_not_heterogeneous(self):
+        device = v100()
+        cluster = mixed_cluster([device, device], gpus_per_node=2)
+        assert not cluster.is_heterogeneous
+
+    def test_node_devices_length_is_validated(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(
+                num_nodes=2, gpus_per_node=2, node_devices=(v100(),)
+            )
+
+    def test_span_compute_scale_prices_the_slowest_node(self):
+        slow = v100()
+        fast = a100()
+        cluster = mixed_cluster(
+            [slow, fast], gpus_per_node=2, reference=slow
+        )
+        # A span entirely on the fast node runs faster than reference.
+        assert cluster.span_compute_scale(2, 2, "fp16") < 1.0
+        # The reference node costs exactly reference time.
+        assert cluster.span_compute_scale(0, 2, "fp16") == 1.0
+        # A span covering both nodes is paced by the slower one.
+        assert cluster.span_compute_scale(0, 4, "fp16") == 1.0
+
+    def test_span_memory_limit_takes_the_min(self):
+        small = DeviceSpec(name="small", memory_bytes=8 * 2**30)
+        big = a100()
+        cluster = mixed_cluster(
+            [small, big], gpus_per_node=2, reference=big
+        )
+        assert cluster.span_memory_limit(0, 4) == 8 * 2**30
+        assert cluster.span_memory_limit(2, 2) == big.memory_bytes
+
+    def test_perfmodel_hetero_scales_costs(self, graph):
+        homo = ClusterSpec(num_nodes=2, gpus_per_node=2)
+        slowed = DeviceSpec(name="slow-V100", efficiency=0.55 / 2)
+        hetero = ClusterSpec(
+            num_nodes=2,
+            gpus_per_node=2,
+            node_devices=(v100(), slowed),
+        )
+        database = SimulatedProfiler(homo, seed=0).profile(graph)
+        config = balanced_config(graph, homo, 2)
+        base = PerfModel(graph, homo, database).estimate(config)
+        het = PerfModel(graph, hetero, database).estimate(config)
+        # Stage 0 sits on the reference node: identical cost.  Stage 1
+        # sits on the half-speed node: compute costs double.
+        assert het.stages[0].fwd_time_mb == pytest.approx(
+            base.stages[0].fwd_time_mb
+        )
+        assert het.stages[1].fwd_time_mb == pytest.approx(
+            2 * base.stages[1].fwd_time_mb
+        )
+        # Memory columns are capacity-bound, not speed-bound.
+        assert het.stages[1].peak_memory == pytest.approx(
+            base.stages[1].peak_memory
+        )
+        assert het.stage_limits is not None
+
+    def test_perfmodel_hetero_batch_matches_scalar(self, graph):
+        hetero = ClusterSpec(
+            num_nodes=2, gpus_per_node=2, node_devices=(v100(), a100())
+        )
+        database = SimulatedProfiler(hetero, seed=0).profile(graph)
+        configs = [
+            balanced_config(graph, hetero, stages) for stages in (1, 2, 4)
+        ]
+        scalar_model = PerfModel(graph, hetero, database)
+        batch_model = PerfModel(graph, hetero, database)
+        scalar = [scalar_model.estimate(c) for c in configs]
+        batch = batch_model.estimate_batch(configs)
+        for left, right in zip(scalar, batch):
+            assert left.iteration_time == pytest.approx(
+                right.iteration_time
+            )
+            assert left.is_oom == right.is_oom
+            assert left.stage_limits == right.stage_limits
+
+    def test_hetero_oom_uses_per_stage_limits(self, graph):
+        tiny = DeviceSpec(name="tiny", memory_bytes=4 * 2**20)
+        hetero = ClusterSpec(
+            num_nodes=2,
+            gpus_per_node=2,
+            node_devices=(v100(), tiny),
+        )
+        database = SimulatedProfiler(hetero, seed=0).profile(graph)
+        config = balanced_config(graph, hetero, 2)
+        report = PerfModel(graph, hetero, database).estimate(config)
+        assert report.is_oom
+        assert report.oom_stages == [1]
+
+    def test_executor_prices_hetero_placement(self, graph):
+        homo = ClusterSpec(num_nodes=2, gpus_per_node=2)
+        slowed = DeviceSpec(name="slow-V100", efficiency=0.55 / 2)
+        hetero = ClusterSpec(
+            num_nodes=2, gpus_per_node=2, node_devices=(v100(), slowed)
+        )
+        config = balanced_config(graph, homo, 2)
+        fast = Executor(graph, homo, seed=0, noise=0.0).run(config)
+        slow = Executor(graph, hetero, seed=0, noise=0.0).run(config)
+        assert slow.iteration_time > fast.iteration_time
+        assert not slow.oom
+
+    def test_mixed_cluster_survives_search_and_adaptation(self, graph):
+        hetero = mixed_cluster([v100(), a100()], gpus_per_node=2)
+        config = balanced_config(graph, hetero, 2)
+        shrunk = shrink_cluster(hetero, [2, 3])
+        assert shrunk.num_gpus == 2
+        adapted = adapt_config(config, graph, shrunk)
+        assert adapted is not None
+        assert adapted.total_devices == 2
+
+
+# ======================================================================
+# shrink diagnostics & stacked faults
+# ======================================================================
+class TestShrinkDiagnostics:
+    def test_power_of_two_snap_surfaces_ace220(self):
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=8)
+        shrunk, diagnostics = shrink_cluster_checked(cluster, [0, 1, 2])
+        assert shrunk.num_gpus == 4  # 5 survive, snap to 4
+        codes = [d.code for d in diagnostics]
+        assert codes == ["ACE220"]
+        assert diagnostics[0].severity == "warning"
+        assert diagnostics[0].attrs == {
+            "survivors": 5, "snapped": 4, "dropped": 1,
+        }
+
+    def test_exact_power_of_two_is_clean(self):
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=8)
+        shrunk, diagnostics = shrink_cluster_checked(cluster, [0, 1, 2, 3])
+        assert shrunk.num_gpus == 4
+        assert diagnostics == []
+
+    def test_all_devices_failed_raises_ace221(self):
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=4)
+        with pytest.raises(NoSurvivorsError) as excinfo:
+            shrink_cluster_checked(cluster, range(4))
+        assert excinfo.value.diagnostic.code == "ACE221"
+        with pytest.raises(NoSurvivorsError):
+            shrink_cluster(cluster, range(4))
+
+    def test_hetero_shrink_keeps_healthiest_nodes(self):
+        cluster = mixed_cluster(
+            [v100(), a100(), a100(), v100()], gpus_per_node=2
+        )
+        # Node 1 loses both devices, node 0 loses one: the two fully
+        # healthy nodes (2: A100, 3: V100) survive.
+        shrunk, _ = shrink_cluster_checked(cluster, [0, 2, 3])
+        assert shrunk.num_nodes == 2
+        assert [d.name for d in shrunk.node_devices] == [
+            a100().name, v100().name,
+        ]
+
+
+class TestStackedFaults:
+    def stacked_plan(self):
+        return FaultPlan(
+            seed=3,
+            device_failures=(DeviceFailure(device_id=5, time=0.001),),
+            stragglers=(StragglerSlowdown(device_id=1, factor=2.5),),
+            link_degradations=(
+                LinkDegradation("intra", 0.5),
+                LinkDegradation("inter", 0.4),
+            ),
+        )
+
+    def test_executor_runs_all_faults_at_once(self, graph, cluster42):
+        plan = self.stacked_plan()
+        config = balanced_config(graph, cluster42, 2)
+        clean = Executor(graph, cluster42, seed=0, noise=0.0).run(config)
+        hit = Executor(graph, cluster42, seed=0, noise=0.0).run(
+            config, plan
+        )
+        assert hit.degraded
+        assert not hit.completed  # the failure halts the iteration
+        assert hit.failed_device == 5
+        assert hit.throughput(graph.global_batch_size) == 0.0
+        assert clean.completed
+
+    def test_degrade_then_shrink_then_adapt(self, graph, cluster42):
+        plan = self.stacked_plan()
+        degraded = degrade_cluster(cluster42, plan)
+        assert degraded.intra_node.bandwidth == pytest.approx(
+            cluster42.intra_node.bandwidth * 0.5
+        )
+        assert degraded.inter_node.bandwidth == pytest.approx(
+            cluster42.inter_node.bandwidth * 0.4
+        )
+        shrunk = shrink_cluster(degraded, plan.failed_devices())
+        assert shrunk.num_gpus == 4
+        # The degraded links carry over to the surviving cluster.
+        assert shrunk.intra_node.bandwidth == degraded.intra_node.bandwidth
+        config = balanced_config(graph, cluster42, 2)
+        adapted = adapt_config(config, graph, shrunk)
+        assert adapted is not None
+        assert adapted.total_devices == 4
+        assert adapted.num_stages == config.num_stages
+        result = Executor(graph, shrunk, seed=0, noise=0.0).run(adapted)
+        assert result.completed and not result.oom
+
+    def test_stacked_plan_round_trips(self, tmp_path):
+        plan = self.stacked_plan()
+        path = tmp_path / "stacked.fault.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+
+# ======================================================================
+# the elastic controller
+# ======================================================================
+class TestElasticController:
+    def test_replay_equivalence(self, graph, cluster42):
+        timeline = random_churn_timeline(4, 2, seed=7, num_events=8)
+        policy = ControllerPolicy(replan_iterations=3)
+        first = ElasticController(
+            graph, cluster42, seed=3, policy=policy
+        ).run(timeline)
+        second = ElasticController(
+            graph, cluster42, seed=3, policy=policy
+        ).run(timeline)
+        assert first.replay_digest() == second.replay_digest()
+        assert first.to_dict()["decisions"] == [
+            d.to_dict() for d in first.decisions
+        ]
+        # The record is JSON-clean end to end.
+        json.dumps(first.to_dict())
+
+    def test_forced_replan_on_preemption(self, graph, cluster42):
+        timeline = ChurnTimeline(seed=0, events=(
+            ChurnEvent(5.0, "node_preempt", node_id=3),
+        ))
+        run = ElasticController(
+            graph, cluster42, seed=0, policy=quick_policy()
+        ).run(timeline)
+        (decision,) = run.decisions
+        assert decision.action == "replan"
+        assert decision.reason == "shape_mismatch"
+        assert decision.cluster_gpus == 4
+        assert run.final_feasible
+        assert run.final_config.total_devices == 4
+
+    def test_hysteresis_cooldown_blocks_back_to_back_replans(
+        self, graph, cluster42
+    ):
+        timeline = ChurnTimeline(seed=0, events=(
+            ChurnEvent(5.0, "straggler_on", device_id=0, factor=4.0),
+            ChurnEvent(8.0, "straggler_on", device_id=2, factor=4.0),
+        ))
+        policy = quick_policy(
+            loss_threshold=0.05,
+            cooldown_seconds=30.0,
+            debounce_seconds=1.0,
+        )
+        run = ElasticController(
+            graph, cluster42, seed=0, policy=policy
+        ).run(timeline)
+        assert [d.action for d in run.decisions][0] == "replan"
+        assert run.decisions[0].reason == "loss_threshold"
+        second = run.decisions[1]
+        assert second.action == "keep"
+        assert second.reason in ("cooldown", "below_threshold")
+
+    def test_debounce_coalesces_bursts(self, graph, cluster42):
+        timeline = ChurnTimeline(seed=0, events=(
+            ChurnEvent(5.0, "node_preempt", node_id=0),
+            ChurnEvent(5.2, "node_preempt", node_id=1),
+            ChurnEvent(5.4, "straggler_on", device_id=6, factor=2.0),
+        ))
+        run = ElasticController(
+            graph, cluster42, seed=0, policy=quick_policy()
+        ).run(timeline)
+        assert len(run.decisions) == 1
+        assert len(run.decisions[0].events) == 3
+
+    def test_small_losses_are_kept(self, graph, cluster42):
+        timeline = ChurnTimeline(seed=0, events=(
+            ChurnEvent(5.0, "link_degrade", scope="inter", factor=0.9),
+        ))
+        run = ElasticController(
+            graph, cluster42, seed=0,
+            policy=quick_policy(loss_threshold=0.5),
+        ).run(timeline)
+        (decision,) = run.decisions
+        assert decision.action == "keep"
+        assert decision.reason == "below_threshold"
+
+    def test_all_nodes_preempted_halts_then_recovers(
+        self, graph, cluster42
+    ):
+        events = tuple(
+            ChurnEvent(float(i + 1) * 5, "node_preempt", node_id=i)
+            for i in range(4)
+        ) + (ChurnEvent(30.0, "node_join", node_id=0),)
+        run = ElasticController(
+            graph, cluster42, seed=0, policy=quick_policy()
+        ).run(ChurnTimeline(seed=0, events=events))
+        actions = [d.action for d in run.decisions]
+        assert "halt" in actions
+        assert actions[-1] == "replan"  # the join resumes service
+        assert run.decisions[-1].reason == "resume"
+        assert run.final_feasible
+
+    def test_events_about_unknown_hardware_are_inert(self, graph):
+        single = ClusterSpec(num_nodes=1, gpus_per_node=4)
+        timeline = ChurnTimeline(seed=0, events=(
+            ChurnEvent(1.0, "node_preempt", node_id=7),
+            ChurnEvent(2.0, "straggler_on", device_id=99, factor=2.0),
+        ))
+        run = ElasticController(
+            graph, single, seed=0, policy=quick_policy()
+        ).run(timeline)
+        assert all(d.action == "keep" for d in run.decisions)
+        assert run.final_feasible
+
+    def test_never_crashes_on_random_timelines(self, graph, cluster42):
+        for seed in range(4):
+            timeline = random_churn_timeline(
+                4, 2, seed=seed, num_events=10
+            )
+            run = ElasticController(
+                graph, cluster42, seed=seed, policy=quick_policy()
+            ).run(timeline)
+            assert len(run.decisions) >= 1
+            for decision in run.decisions:
+                assert decision.plan_signature
+
+    def test_straggler_folds_into_planner_view(self, graph, cluster42):
+        from repro.elastic.controller import _MembershipState
+
+        controller = ElasticController(
+            graph, cluster42, seed=0, policy=quick_policy()
+        )
+        state = _MembershipState()
+        state.apply(ChurnEvent(1.0, "straggler_on", device_id=2, factor=2.0))
+        state.apply(
+            ChurnEvent(2.0, "link_degrade", scope="intra", factor=0.5)
+        )
+        view = controller._project(state)
+        # Planner view: node 1 is half-speed, links degraded.
+        assert view.planner.is_heterogeneous
+        assert view.planner.node_devices[1].efficiency == pytest.approx(
+            view.planner.node_devices[0].efficiency / 2
+        )
+        assert view.planner.intra_node.bandwidth == pytest.approx(
+            cluster42.intra_node.bandwidth * 0.5
+        )
+        # Executor view: nominal links, faults carried separately.
+        assert view.effective.intra_node.bandwidth == pytest.approx(
+            cluster42.intra_node.bandwidth
+        )
+        assert view.fault_view.stragglers[0].device_id == 2
+        assert view.fault_view.link_degradations[0].scope == "intra"
+
+    def test_emits_elastic_telemetry(self, graph, cluster42):
+        from repro.telemetry import CallbackSink, TelemetryBus, using_bus
+
+        events = []
+        bus = TelemetryBus()
+        bus.add_sink(CallbackSink(events.append))
+        timeline = ChurnTimeline(seed=0, events=(
+            ChurnEvent(5.0, "node_preempt", node_id=3),
+        ))
+        with using_bus(bus):
+            ElasticController(
+                graph, cluster42, seed=0, policy=quick_policy()
+            ).run(timeline)
+        names = {event.name for event in events}
+        assert {
+            "elastic.run.begin", "elastic.run.end", "elastic.event",
+            "elastic.decision", "elastic.replan.begin",
+            "elastic.replan.end", "elastic.cluster.shrunk",
+        } <= names
+        from repro.telemetry.events import is_registered
+
+        assert all(
+            is_registered(event.name)
+            for event in events
+            if event.name.startswith("elastic.")
+        )
+
+
+# ======================================================================
+# churn timeline lint
+# ======================================================================
+class TestChurnLint:
+    def test_clean_timeline_lints_clean(self, tmp_path):
+        path = tmp_path / "ok.churn.json"
+        random_churn_timeline(4, 2, seed=1, num_events=6).save(path)
+        from repro.lint import lint_artifact_path
+
+        assert lint_artifact_path(path) == []
+
+    def test_broken_timelines_get_typed_codes(self, tmp_path):
+        from repro.lint import lint_artifact_path
+
+        path = tmp_path / "bad.churn.json"
+        path.write_text(json.dumps({
+            "format_version": 9,
+            "seed": 0,
+            "events": [
+                {"time": 2.0, "kind": "node_join", "node_id": 0},
+                {"time": 1.0, "kind": "warp_core_breach"},
+            ],
+        }))
+        codes = sorted(d.code for d in lint_artifact_path(path))
+        assert codes == ["ACE351", "ACE353"]
+
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "seed": 0,
+            "events": [
+                {"time": 2.0, "kind": "node_join", "node_id": 0},
+                {"time": 1.0, "kind": "node_join", "node_id": 1},
+            ],
+        }))
+        assert [d.code for d in lint_artifact_path(path)] == ["ACE352"]
+
+    def test_unreadable_timeline_is_ace350(self, tmp_path):
+        from repro.lint import lint_churn_timeline_file
+
+        path = tmp_path / "garbage.churn.json"
+        path.write_text("{not json")
+        assert [d.code for d in lint_churn_timeline_file(path)] == [
+            "ACE350"
+        ]
+
+    def test_total_preemption_warns_ace354(self, tmp_path):
+        from repro.lint import lint_artifact_path
+
+        path = tmp_path / "dark.churn.json"
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "seed": 0,
+            "events": [
+                {"time": 1.0, "kind": "node_preempt", "node_id": 0},
+                {"time": 2.0, "kind": "node_preempt", "node_id": 1},
+            ],
+        }))
+        diagnostics = lint_artifact_path(path)
+        assert [d.code for d in diagnostics] == ["ACE354"]
+        assert diagnostics[0].severity == "warning"
+
+    def test_shape_dispatch_without_suffix(self, tmp_path):
+        from repro.lint import lint_artifact_path
+
+        path = tmp_path / "anything.json"
+        random_churn_timeline(2, 2, seed=0, num_events=3).save(path)
+        assert lint_artifact_path(path) == []
+
+
+# ======================================================================
+# churn-aware serving
+# ======================================================================
+class TestChurnServing:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.service import PlannerDaemon, serve
+        from test_service import quick_planner
+
+        daemon = PlannerDaemon(
+            planner=quick_planner, workers=2, queue_limit=8,
+            state_dir=tmp_path,
+        ).start()
+        http_server = serve(daemon, host="127.0.0.1", port=0)
+        thread = threading.Thread(
+            target=http_server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        yield http_server, daemon
+        http_server.shutdown()
+        daemon.drain(timeout=5)
+        http_server.server_close()
+
+    def post(self, server, path, payload):
+        port = server.server_address[1]
+        # One retry on transient connection errors: the assertion is
+        # "the daemon never drops a request", not "the kernel never
+        # resets a socket under a burst".
+        for attempt in (0, 1):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}{path}",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=30
+                ) as reply:
+                    return reply.status, json.loads(reply.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if attempt:
+                    raise
+                time.sleep(0.2)
+
+    def test_churn_endpoint_invalidates_cache(self, server):
+        http_server, daemon = server
+        request = {"model": "m", "gpus": 4}
+        self.post(http_server, "/plan", request)
+        assert len(daemon.cache) == 1
+        code, body = self.post(
+            http_server, "/churn",
+            {"time": 1.0, "kind": "node_preempt", "node_id": 0},
+        )
+        assert code == 200
+        assert body == {"kind": "node_preempt", "dropped": 1}
+        assert len(daemon.cache) == 0
+
+    def test_invalid_churn_event_is_a_client_error(self, server):
+        http_server, _ = server
+        code, body = self.post(
+            http_server, "/churn", {"time": 1.0, "kind": "nope"}
+        )
+        assert code == 400
+        assert "error" in body
+
+    def test_requests_survive_concurrent_churn(self, server):
+        """The chaos assertion: every /plan in flight during a churn
+        storm gets a terminal answer — degraded allowed, drops not."""
+        http_server, daemon = server
+        timeline = random_churn_timeline(4, 2, seed=2, num_events=6)
+        results = [None] * 6
+
+        def client(index):
+            results[index] = self.post(
+                http_server, "/plan",
+                {"model": "m", "gpus": 4 * (1 + index % 2)},
+            )
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(results))
+        ]
+        for thread in threads[:3]:
+            thread.start()
+        for event in timeline.events:
+            self.post(http_server, "/churn", event.to_dict())
+        for thread in threads[3:]:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert all(result is not None for result in results)
+        for code, body in results:
+            assert code == 200
+            assert body.get("status") in ("served", "partial")
+            assert body.get("plan")
+
+    def test_apply_churn_accepts_event_objects(self):
+        from repro.service import PlannerDaemon
+
+        daemon = PlannerDaemon(workers=1)
+        try:
+            result = daemon.apply_churn(
+                ChurnEvent(1.0, "link_degrade", scope="intra", factor=0.5)
+            )
+            assert result == {"kind": "link_degrade", "dropped": 0}
+        finally:
+            daemon.drain(timeout=5)
+
+
+# ======================================================================
+# CLI
+# ======================================================================
+class TestElasticCLI:
+    def test_gen_and_run_round_trip(self, tmp_path, capsys):
+        from repro.cli import elastic_main
+
+        path = tmp_path / "cli.churn.json"
+        assert elastic_main([
+            "gen", "--seed", "4", "--nodes", "4",
+            "--gpus-per-node", "2", "--events", "4",
+            "--output", str(path),
+        ]) == 0
+        assert ChurnTimeline.load(path).seed == 4
+
+        out_path = tmp_path / "run.json"
+        assert elastic_main([
+            "run", "--model", "gpt-2l", "--seed", "4",
+            "--nodes", "4", "--gpus-per-node", "2",
+            "--timeline", str(path), "--iterations", "2",
+            "--output", str(out_path), "--quiet", "--json",
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["seed"] == 4
+        assert payload["decisions"]
+        assert payload["final_feasible"] is True
+
+    def test_replan_churn_replay_mode(self, tmp_path, capsys):
+        from repro.cli import replan_main
+
+        path = tmp_path / "replay.churn.json"
+        random_churn_timeline(2, 2, seed=1, num_events=3).save(path)
+        assert replan_main([
+            "--model", "gpt-2l", "--gpus", "4", "--iterations", "2",
+            "--churn-timeline", str(path), "--quiet", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decisions"]
+
+    def test_replan_rejects_missing_timeline(self, tmp_path):
+        from repro.cli import replan_main
+
+        assert replan_main([
+            "--model", "gpt-2l", "--gpus", "4",
+            "--churn-timeline", str(tmp_path / "nope.churn.json"),
+            "--quiet",
+        ]) == 2
