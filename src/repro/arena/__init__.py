@@ -1,0 +1,19 @@
+"""Tournament harness racing search strategies under equal budgets."""
+
+from .tournament import (
+    ENTRY_KILL_GRACE,
+    TOURNAMENT_FORMAT_VERSION,
+    ArenaEntry,
+    EntryOutcome,
+    TournamentResult,
+    run_tournament,
+)
+
+__all__ = [
+    "ENTRY_KILL_GRACE",
+    "TOURNAMENT_FORMAT_VERSION",
+    "ArenaEntry",
+    "EntryOutcome",
+    "TournamentResult",
+    "run_tournament",
+]

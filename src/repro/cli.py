@@ -23,6 +23,7 @@ from .analysis.compare import compare_systems
 from .analysis.metrics import tflops_per_gpu
 from .cluster.topology import paper_cluster
 from .core.search import SearchFailedError, search_all_stage_counts
+from .core.searcher import StrategyError, available_strategies
 from .ir.models.registry import available_models, build_model
 from .perfmodel.model import build_perf_model
 from .runtime.executor import Executor
@@ -119,6 +120,47 @@ def _emit_output(args, payload: dict, lines: Sequence[str]) -> None:
             print(line)
 
 
+def _parse_strategy_args(pairs: Optional[Sequence[str]]) -> dict:
+    """Parse repeated ``--strategy-arg KEY=VALUE`` flags.
+
+    Values are JSON where they parse as JSON (numbers, booleans,
+    ``null``) and plain strings otherwise, so
+    ``--strategy-arg cooling=0.9 --strategy-arg attach_recompute=false``
+    both land with the types the options dataclasses expect.
+    """
+    kwargs = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--strategy-arg expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            kwargs[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            kwargs[key] = raw
+    return kwargs
+
+
+def _add_strategy_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default="greedy",
+        help="search strategy (default greedy — the paper's iterative "
+        "bottleneck alleviation)",
+    )
+    parser.add_argument(
+        "--strategy-arg",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="strategy option override, repeatable (e.g. "
+        "--strategy-arg initial_temperature=0.5); unknown keys fail "
+        "with an ACE213 diagnostic",
+    )
+
+
 def _format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[str]],
@@ -148,6 +190,7 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         "alleviation)",
     )
     _add_common(parser)
+    _add_strategy_flags(parser)
     parser.add_argument(
         "--stage-counts",
         type=int,
@@ -215,6 +258,13 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--resume requires --checkpoint")
     if args.worker_memory_mb is not None and args.worker_memory_mb <= 0:
         parser.error("--worker-memory-mb must be positive")
+    try:
+        strategy_kwargs = _parse_strategy_args(args.strategy_arg)
+    except ValueError as exc:
+        parser.error(str(exc))
+    # The run seed also seeds the strategy unless pinned explicitly,
+    # mirroring the planner daemon's convention.
+    strategy_kwargs.setdefault("seed", args.seed)
 
     from .core.budget import Deadline
     from .core.checkpoint import CheckpointError
@@ -233,6 +283,8 @@ def search_main(argv: Optional[List[str]] = None) -> int:
                 cluster,
                 perf_model,
                 stage_counts=args.stage_counts,
+                strategy=args.strategy,
+                strategy_kwargs=strategy_kwargs,
                 budget_per_count={"max_iterations": args.iterations},
                 workers=args.workers,
                 timeout_per_count=args.timeout_per_count,
@@ -242,6 +294,13 @@ def search_main(argv: Optional[List[str]] = None) -> int:
                 deadline=deadline,
                 worker_memory_mb=args.worker_memory_mb,
             )
+        except StrategyError as exc:
+            for diagnostic in exc.diagnostics:
+                print(
+                    f"repro-search: {diagnostic.render()}",
+                    file=sys.stderr,
+                )
+            return 2
         except CheckpointError as exc:
             print(f"repro-search: {exc}", file=sys.stderr)
             return 1
@@ -256,6 +315,7 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     payload = {
         "model": args.model,
         "gpus": args.gpus,
+        "strategy": args.strategy,
         "predicted_iteration_time": best.best_objective,
         "actual_iteration_time": run.iteration_time,
         "throughput_samples_per_s": throughput,
@@ -284,7 +344,8 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         save_config(best.best_config, args.output)
         payload["plan_file"] = args.output
     lines = [
-        f"model: {payload['model']}  cluster: {cluster.describe()}",
+        f"model: {payload['model']}  cluster: {cluster.describe()}  "
+        f"strategy: {args.strategy}",
         f"predicted {payload['predicted_iteration_time']:.3f}s / "
         f"measured {payload['actual_iteration_time']:.3f}s per iteration",
         f"throughput {throughput:.2f} samples/s "
@@ -833,6 +894,178 @@ def replan_main(argv: Optional[List[str]] = None) -> int:
     )
     _emit_output(args, payload, lines)
     return 0
+
+
+def arena_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-arena``: race strategies under one budget.
+
+    Every entry (strategy × seed) searches the same model/cluster/stage
+    count from the same initial configuration against a fresh
+    performance model, under the same budget and per-entry deadline;
+    the report is a ``BENCH_strategies.json``-shaped tournament record.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-arena",
+        description="Tournament harness: race search strategies under "
+        "equal budget and deadline on one setting",
+    )
+    parser.add_argument(
+        "--model",
+        required=True,
+        help=f"model name, e.g. {available_models()[:3]} or gpt-<N>l",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=8, help="cluster size (default 8)"
+    )
+    parser.add_argument(
+        "--stage-count",
+        type=int,
+        default=4,
+        help="pipeline stage count every entry searches (default 4)",
+    )
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        choices=available_strategies(),
+        help="strategies to race (default: all registered)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="one tournament lane per strategy x seed (default 0)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="profile-database seed shared by every lane (default 0)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=30,
+        help="iteration budget per entry (default 30)",
+    )
+    parser.add_argument(
+        "--max-estimates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="race on an equal estimate budget instead of iterations "
+        "(the fair cross-strategy comparison)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-entry wall-clock deadline (anytime: partial results "
+        "still report)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes racing entries concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form tournament label"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="BENCH.json",
+        help="write the full tournament record here (atomic)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    _add_telemetry_flags(parser)
+    args = parser.parse_args(argv)
+    if args.stage_count < 1:
+        parser.error("--stage-count must be positive")
+    if args.max_estimates is not None and args.max_estimates < 1:
+        parser.error("--max-estimates must be positive")
+
+    from .arena import ArenaEntry, run_tournament
+
+    strategies = args.strategies or available_strategies()
+    entries = [
+        ArenaEntry(strategy=strategy, seed=seed)
+        for strategy in strategies
+        for seed in args.seeds
+    ]
+    budget = (
+        {"max_estimates": args.max_estimates}
+        if args.max_estimates is not None
+        else {"max_iterations": args.iterations}
+    )
+    label = args.label or (
+        f"{args.model}/gpus={args.gpus}/stages={args.stage_count}"
+    )
+    graph = build_model(args.model)
+    cluster = paper_cluster(args.gpus)
+    perf_model = build_perf_model(graph, cluster, seed=args.seed)
+    with _telemetry(args):
+        result = run_tournament(
+            graph,
+            cluster,
+            perf_model.database,
+            entries=entries,
+            stage_count=args.stage_count,
+            budget_per_entry=budget,
+            deadline_seconds=args.deadline,
+            workers=args.workers,
+            label=label,
+        )
+    if args.output:
+        result.write_json(args.output)
+    payload = result.to_json()
+    if args.output:
+        payload["output"] = args.output
+    rows = []
+    for outcome in result.outcomes:
+        if outcome.failed:
+            rows.append([
+                f"{outcome.strategy}#{outcome.seed}",
+                "FAILED", "-", "-", "-", "-",
+            ])
+            continue
+        rows.append([
+            f"{outcome.strategy}#{outcome.seed}",
+            f"{outcome.best_objective:.6f}",
+            "yes" if outcome.feasible else "NO",
+            str(outcome.num_estimates),
+            str(outcome.estimates_to_best),
+            str(outcome.iterations),
+        ])
+    lines = [
+        f"{label}: {len(result.outcomes)} entries, "
+        f"budget {result.budget}",
+    ]
+    lines.extend(_format_table(
+        ["entry", "objective", "feasible", "estimates", "to-best",
+         "iters"],
+        rows,
+        [14, 12, 8, 10, 8, 6],
+    ))
+    winner = result.winner
+    if winner is not None:
+        lines.append(
+            f"winner: {winner.strategy}#{winner.seed} "
+            f"({winner.best_objective:.6f}, "
+            f"{winner.estimates_to_best} estimates to best)"
+        )
+    else:
+        lines.append("winner: none (every entry failed)")
+    if args.output:
+        lines.append(f"tournament record written to {args.output}")
+    _emit_output(args, payload, lines)
+    return 0 if winner is not None else 1
 
 
 def trace_main(argv: Optional[List[str]] = None) -> int:

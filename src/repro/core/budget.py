@@ -71,6 +71,20 @@ class Deadline:
         return max(0.0, self._expires_at - self._clock())
 
 
+class BudgetKwargsError(ValueError):
+    """Unknown :class:`SearchBudget` keyword argument(s).
+
+    Still a ``ValueError`` for programmatic callers, but carries one
+    typed ``ACE213`` :class:`~repro.lint.diagnostics.Diagnostic` per
+    offending key so the planner daemon's admission path can hand the
+    finding back as HTTP 400 diagnostics instead of a bare string.
+    """
+
+    def __init__(self, message: str, diagnostics=None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
 class SearchBudget:
     """Tracks elapsed wall-clock, iterations, and model estimates."""
 
@@ -80,8 +94,10 @@ class SearchBudget:
 
         The stage-count driver forwards ``budget_per_count`` into every
         worker process; validating here surfaces a bad key once, in the
-        parent, instead of N times inside forked subprocesses.
-        Returns ``kwargs`` unchanged on success.
+        parent, instead of N times inside forked subprocesses.  Unknown
+        keys raise :class:`BudgetKwargsError` with typed ``ACE213``
+        diagnostics — never silently dropped.  Returns ``kwargs``
+        unchanged on success.
         """
         allowed = {
             name
@@ -90,9 +106,25 @@ class SearchBudget:
         }
         unknown = sorted(set(kwargs) - allowed)
         if unknown:
-            raise ValueError(
+            # Imported lazily: repro.lint pulls in artifact checkers
+            # that import repro.core, so a module-level import cycles.
+            from ..lint.diagnostics import Diagnostic
+
+            valid = ", ".join(sorted(allowed))
+            raise BudgetKwargsError(
                 f"unknown SearchBudget argument(s): {', '.join(unknown)}; "
-                f"valid keys: {', '.join(sorted(allowed))}"
+                f"valid keys: {valid}",
+                diagnostics=[
+                    Diagnostic(
+                        code="ACE213",
+                        message=(
+                            f"unknown SearchBudget argument {key!r}"
+                        ),
+                        hint=f"valid keys: {valid}",
+                        attrs={"argument": key},
+                    )
+                    for key in unknown
+                ],
             )
         cls(**kwargs)  # also applies the value checks up front
         return kwargs

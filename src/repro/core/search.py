@@ -52,17 +52,19 @@ from ..telemetry.events import (
     DRIVER_WORKER_RETRY,
     DRIVER_WORKER_SPAWN,
     DRIVER_WORKER_TIMEOUT,
-    SEARCH_BEGIN,
-    SEARCH_DEADLINE,
-    SEARCH_END,
-    SEARCH_ITERATION,
 )
 from .bottleneck import rank_bottlenecks
 from .budget import Deadline, SearchBudget
-from .dedup import UnexploredPool, VisitedSet
 from .finetune import finetune
 from .multihop import MultiHopSearcher
 from .pool import PoolWorker, WorkerPool, _apply_worker_memory_limit  # noqa: F401 - re-export
+from .searcher import (
+    SearchContext,
+    Searcher,
+    build_options,
+    get_searcher_class,
+    register_searcher,
+)
 from .trace import SearchTrace
 
 #: Extra seconds a worker subprocess gets past the request deadline to
@@ -84,6 +86,11 @@ class SearchResult:
     plan is the best found by that point — bit-exact with what an
     undeadlined search held after the same completed iterations — not
     the plan a full budget would have produced.
+
+    ``estimates_to_best`` is the estimate count at the moment the best
+    configuration was last improved — the "cost to best" axis of the
+    strategy arena's quality-vs-cost curves.  It is a runtime-only
+    field (not persisted in checkpoints), defaulting to 0 on restore.
     """
 
     best_config: ParallelConfig
@@ -96,6 +103,7 @@ class SearchResult:
     converged: bool
     visited_signatures: Tuple[str, ...] = ()
     partial: bool = False
+    estimates_to_best: int = 0
 
     @property
     def is_feasible(self) -> bool:
@@ -125,21 +133,13 @@ class AcesoSearchOptions:
     finetune_dirty_only: bool = True
 
 
-class AcesoSearch:
-    """Algorithm 1: iterative bottleneck alleviation."""
+@register_searcher
+class AcesoSearch(Searcher):
+    """Algorithm 1: iterative bottleneck alleviation (the ``greedy``
+    strategy of the :mod:`repro.core.searcher` registry)."""
 
-    def __init__(
-        self,
-        graph: OpGraph,
-        cluster: ClusterSpec,
-        perf_model: PerfModel,
-        *,
-        options: Optional[AcesoSearchOptions] = None,
-    ) -> None:
-        self.graph = graph
-        self.cluster = cluster
-        self.perf_model = perf_model
-        self.options = options or AcesoSearchOptions()
+    strategy = "greedy"
+    options_class = AcesoSearchOptions
 
     def run(
         self,
@@ -166,70 +166,34 @@ class AcesoSearch:
         bit-exact prefix of what an undeadlined search would have done.
         """
         opts = self.options
-        bus = get_bus()
-        events: List[Event] = []
-
-        def emit(name: str, **attrs) -> None:
-            event = Event(
-                name=name,
-                ts=bus.clock(),
-                pid=bus.pid,
-                source="search",
-                attrs=attrs,
-            )
-            events.append(event)
-            if bus.active:
-                bus.emit_event(event)
-
-        estimates_start = self.perf_model.num_estimates
-        budget.start(estimates_start)
+        ctx = SearchContext(
+            self.perf_model, budget, deadline=deadline, top_k=opts.top_k
+        )
         rng = (
             None
             if opts.use_heuristic2
             else np.random.default_rng(opts.seed)
         )
-
-        def should_stop() -> bool:
-            if deadline is not None and deadline.expired():
-                return True
-            return budget.exhausted(
-                estimates=self.perf_model.num_estimates
-            )
-
-        visited = VisitedSet()
-        unexplored = UnexploredPool()
         searcher = MultiHopSearcher(
             self.graph,
             self.cluster,
             self.perf_model,
             max_hops=opts.max_hops,
             rng=rng,
-            should_stop=should_stop,
+            should_stop=ctx.should_stop,
             beam_width=opts.beam_width,
             max_nodes=opts.max_nodes_per_iteration,
             attach_recompute=opts.attach_recompute,
         )
 
         config = init_config
-        best = init_config
-        best_objective = self.perf_model.objective(init_config)
-        top: List[Tuple[float, ParallelConfig]] = [(best_objective, best)]
-        emit(
-            SEARCH_BEGIN,
-            best_objective=best_objective,
-            num_stages=init_config.num_stages,
-        )
-        iteration = 0
-        converged = False
-        partial = False
+        ctx.open(init_config)
 
-        while not budget.exhausted(
-            iterations=iteration, estimates=self.perf_model.num_estimates
-        ):
-            if deadline is not None and deadline.expired():
-                partial = True
+        while not ctx.exhausted():
+            if ctx.deadline_expired():
+                ctx.partial = True
                 break
-            iteration += 1
+            ctx.iteration += 1
             report = self.perf_model.estimate(config)
             bottlenecks = rank_bottlenecks(report)[: opts.max_bottlenecks]
             result = None
@@ -238,19 +202,19 @@ class AcesoSearch:
                 tried += 1
                 result = searcher.search(
                     config,
-                    visited=visited,
-                    unexplored=unexplored,
+                    visited=ctx.visited,
+                    unexplored=ctx.unexplored,
                     bottleneck=bottleneck,
                 )
                 if result is not None:
                     break
-            if deadline is not None and deadline.expired():
+            if ctx.deadline_expired():
                 # The deadline tripped mid-iteration: the multi-hop may
                 # have halted early, so this outcome is not what a full
                 # search would have applied.  Drop it to keep the
                 # applied iterations a bit-exact anytime prefix.
-                iteration -= 1
-                partial = True
+                ctx.iteration -= 1
+                ctx.partial = True
                 break
             if result is not None:
                 new_config = result.config
@@ -271,86 +235,34 @@ class AcesoSearch:
                         max_split_points=opts.finetune_split_points,
                         stages=scope,
                     )
-                if deadline is not None and deadline.expired():
+                if ctx.deadline_expired():
                     # Same prefix rule for a deadline hit in finetune.
-                    iteration -= 1
-                    partial = True
+                    ctx.iteration -= 1
+                    ctx.partial = True
                     break
                 objective = self.perf_model.objective(new_config)
                 config = new_config
-                if objective < best_objective:
-                    best, best_objective = new_config, objective
-                top = _update_top(top, objective, new_config, opts.top_k)
-                emit(
-                    SEARCH_ITERATION,
-                    index=iteration,
-                    elapsed=budget.elapsed(),
+                ctx.observe(objective, new_config)
+                ctx.record_iteration(
                     bottlenecks_tried=tried,
                     hops_used=result.hops_used,
                     improved=True,
                     objective=objective,
-                    best_objective=best_objective,
                 )
             else:
-                restart = unexplored.pop_best()
-                emit(
-                    SEARCH_ITERATION,
-                    index=iteration,
-                    elapsed=budget.elapsed(),
+                restart = ctx.unexplored.pop_best()
+                ctx.record_iteration(
                     bottlenecks_tried=tried,
                     hops_used=0,
                     improved=False,
                     objective=self.perf_model.objective(config),
-                    best_objective=best_objective,
                 )
                 if restart is None:
-                    converged = True
+                    ctx.converged = True
                     break
                 config = restart
 
-        if partial:
-            emit(
-                SEARCH_DEADLINE,
-                iterations_completed=iteration,
-                elapsed=budget.elapsed(),
-                best_objective=best_objective,
-            )
-        emit(
-            SEARCH_END,
-            iterations=iteration,
-            converged=converged,
-            partial=partial,
-            best_objective=best_objective,
-            num_estimates=self.perf_model.num_estimates - estimates_start,
-        )
-        if bus.active:
-            self.perf_model.emit_counters(bus)
-        trace = SearchTrace.from_events(events)
-        return SearchResult(
-            best_config=best,
-            best_objective=best_objective,
-            best_report=self.perf_model.estimate(best),
-            trace=trace,
-            top_configs=top,
-            num_estimates=self.perf_model.num_estimates - estimates_start,
-            elapsed_seconds=budget.elapsed(),
-            converged=converged,
-            visited_signatures=tuple(sorted(visited.signatures())),
-            partial=partial,
-        )
-
-
-def _update_top(
-    top: List[Tuple[float, ParallelConfig]],
-    objective: float,
-    config: ParallelConfig,
-    k: int,
-) -> List[Tuple[float, ParallelConfig]]:
-    signatures = {c.signature() for _, c in top}
-    if config.signature() not in signatures:
-        top = top + [(objective, config)]
-    top.sort(key=lambda pair: pair[0])
-    return top[:k]
+        return ctx.finish()
 
 
 @dataclass
@@ -511,10 +423,11 @@ def _stage_count_worker(payload: tuple) -> StageCountResult:
     fresh model searches exactly like a shared serial one.
     """
     (graph, cluster, database, count, options, budget_kwargs,
-     model_kwargs, deadline_seconds) = payload
+     model_kwargs, deadline_seconds, strategy) = payload
     perf_model = PerfModel(graph, cluster, database, **model_kwargs)
     init = balanced_config(graph, cluster, count)
-    search = AcesoSearch(graph, cluster, perf_model, options=options)
+    searcher_cls = get_searcher_class(strategy)
+    search = searcher_cls(graph, cluster, perf_model, options=options)
     deadline = (
         None if deadline_seconds is None else Deadline(deadline_seconds)
     )
@@ -532,10 +445,10 @@ def _payload_from_task(shared: tuple, task: Tuple[int, Optional[float]]):
     ``(count, deadline_seconds)`` that actually crosses the pipe.
     """
     (graph, cluster, database, options, budget_kwargs,
-     model_kwargs) = shared
+     model_kwargs, strategy) = shared
     count, deadline_seconds = task
     return (graph, cluster, database, count, options, budget_kwargs,
-            model_kwargs, deadline_seconds)
+            model_kwargs, deadline_seconds, strategy)
 
 
 @dataclass
@@ -858,7 +771,9 @@ def search_all_stage_counts(
     perf_model: PerfModel,
     *,
     stage_counts: Optional[Sequence[int]] = None,
-    options: Optional[AcesoSearchOptions] = None,
+    options=None,
+    strategy: str = "greedy",
+    strategy_kwargs: Optional[dict] = None,
     budget_per_count: Optional[dict] = None,
     workers: int = 1,
     timeout_per_count: Optional[float] = None,
@@ -871,6 +786,12 @@ def search_all_stage_counts(
     _worker_fn: Optional[Callable] = None,
 ) -> MultiStageSearchResult:
     """Run one independent search per pipeline stage count.
+
+    ``strategy`` names the registered :class:`Searcher` to run for
+    every stage count (default ``"greedy"``, the Algorithm 1 search);
+    ``strategy_kwargs`` are validated against that strategy's options
+    dataclass (typed ``ACE212``/``ACE213`` errors) and are mutually
+    exclusive with passing a ready-made ``options`` object.
 
     ``budget_per_count`` holds :class:`SearchBudget` keyword arguments
     applied to each stage count's search (default: 60 iterations); its
@@ -925,6 +846,13 @@ def search_all_stage_counts(
     budget_kwargs = SearchBudget.validate_kwargs(
         dict(budget_per_count or {"max_iterations": 60})
     )
+    get_searcher_class(strategy)  # typed ACE212 error on a bad name
+    if options is None:
+        options = build_options(strategy, strategy_kwargs)
+    elif strategy_kwargs:
+        raise ValueError(
+            "pass either options or strategy_kwargs, not both"
+        )
     worker_fn = _worker_fn or _stage_count_worker
     jitter_seed = options.seed if options is not None else 0
 
@@ -932,6 +860,11 @@ def search_all_stage_counts(
         "num_ops": graph.num_ops,
         "num_gpus": cluster.num_gpus,
     }
+    if strategy != "greedy":
+        # Only non-default strategies stamp the checkpoint, so greedy
+        # checkpoints stay byte-identical to pre-refactor files and old
+        # checkpoints keep resuming.
+        context["strategy"] = strategy
     checkpoint = None
     restored: List[StageCountResult] = []
     if checkpoint_path is not None:
@@ -1027,7 +960,7 @@ def search_all_stage_counts(
                 while True:
                     try:
                         init = balanced_config(graph, cluster, count)
-                        search = AcesoSearch(
+                        search = get_searcher_class(strategy)(
                             graph, cluster, perf_model, options=options
                         )
                         result = search.run(
@@ -1093,7 +1026,7 @@ def search_all_stage_counts(
             # once (inherited at fork, or shipped per worker under
             # spawn); each dispatched task is only (count, remaining).
             shared = (graph, cluster, perf_model.database, options,
-                      budget_kwargs, model_kwargs)
+                      budget_kwargs, model_kwargs, strategy)
 
             def task_for(count: int) -> Tuple[int, Optional[float]]:
                 remaining = (

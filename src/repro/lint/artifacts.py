@@ -34,6 +34,9 @@ _STAGE_KEYS = frozenset(
 )
 _STAGE_ARRAY_KEYS = ("tp", "dp", "tp_dim", "recompute")
 _CACHE_KEYS = frozenset(("plan", "objective", "model", "gpus"))
+#: Optional cache-entry keys: allowed but not required, so entries
+#: minted before the field existed keep linting clean.
+_CACHE_OPTIONAL_KEYS = frozenset(("strategy",))
 _CHECKPOINT_KEYS = frozenset(
     ("format_version", "stage_counts", "budget_kwargs", "context",
      "completed", "failures")
@@ -203,7 +206,7 @@ def lint_plan_cache_file(path: Union[str, Path]) -> List[Diagnostic]:
             location=str(path),
         ))
         return out
-    unknown = sorted(set(data) - _CACHE_KEYS)
+    unknown = sorted(set(data) - _CACHE_KEYS - _CACHE_OPTIONAL_KEYS)
     if unknown:
         out.append(Diagnostic(
             "ACE310",
@@ -229,6 +232,11 @@ def lint_plan_cache_file(path: Union[str, Path]) -> List[Diagnostic]:
     if "model" in data and not isinstance(data["model"], str):
         out.append(Diagnostic(
             "ACE310", "cache entry model must be a string",
+            location=str(path),
+        ))
+    if "strategy" in data and not isinstance(data["strategy"], str):
+        out.append(Diagnostic(
+            "ACE310", "cache entry strategy must be a string",
             location=str(path),
         ))
     if "gpus" in data and (

@@ -53,6 +53,8 @@ CODES: Dict[str, str] = {
     "ACE204": "requested model is not in the registry",
     "ACE210": "unknown resource-adjustment primitive",
     "ACE211": "primitive has no registered applier",
+    "ACE212": "unknown search strategy",
+    "ACE213": "unknown search-strategy or budget keyword argument",
     "ACE220": "surviving devices exceed the usable power-of-two snap",
     "ACE221": "no devices survive the fault plan",
     # -- ACE3xx: on-disk artifacts ------------------------------------

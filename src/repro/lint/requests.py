@@ -43,9 +43,28 @@ def analyze_request(data) -> Tuple[Optional[object], List[Diagnostic]]:
 def analyze_plan_request(request) -> List[Diagnostic]:
     """Semantic checks on a well-formed ``PlanRequest``."""
     from ..cluster.topology import paper_cluster
+    from ..core.searcher import StrategyError, build_options
     from ..ir.models.registry import available_models, build_model
 
     out: List[Diagnostic] = []
+    try:
+        # Resolves the strategy name (ACE212) and validates its kwargs
+        # against the strategy's options dataclass (ACE213) in one
+        # shot; the typed diagnostics ride the raised error.
+        build_options(
+            request.strategy, dict(request.strategy_kwargs or {})
+        )
+    except StrategyError as exc:
+        out.extend(exc.diagnostics)
+    except (TypeError, ValueError) as exc:
+        # Known keys with unbuildable values (e.g. a string where the
+        # options dataclass wants a float) still must not reach a
+        # worker fork.
+        out.append(Diagnostic(
+            "ACE213",
+            f"invalid strategy_kwargs for {request.strategy!r}: {exc}",
+            location="strategy_kwargs",
+        ))
     graph = None
     try:
         # The registry accepts both the fixed benchmark names and the

@@ -641,6 +641,7 @@ class PlannerDaemon:
             "objective": outcome.objective,
             "model": request.model,
             "gpus": request.gpus,
+            "strategy": request.strategy,
         }
         if not partial:
             # Partial plans answer their own request but must not be

@@ -55,11 +55,18 @@ def plan_request(
     graph = build_model(request.model)
     cluster = paper_cluster(request.gpus)
     perf_model = build_perf_model(graph, cluster, seed=request.seed)
+    # The request seed also seeds the strategy (MCMC walk, bandit
+    # tie-breaks) unless the client pinned one explicitly — the
+    # fingerprint already covers both fields.
+    strategy_kwargs = dict(request.strategy_kwargs or {})
+    strategy_kwargs.setdefault("seed", request.seed)
     multi = search_all_stage_counts(
         graph,
         cluster,
         perf_model,
         stage_counts=request.stage_counts,
+        strategy=request.strategy,
+        strategy_kwargs=strategy_kwargs,
         budget_per_count={"max_iterations": request.iterations},
         workers=search_workers,
         timeout_per_count=timeout_per_count,

@@ -61,6 +61,8 @@ class PlanRequest:
     seed: int = 0
     deadline_seconds: Optional[float] = None
     priority: int = 0
+    strategy: str = "greedy"
+    strategy_kwargs: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if not self.model or not isinstance(self.model, str):
@@ -71,6 +73,12 @@ class PlanRequest:
             raise ProtocolError("iterations must be >= 1")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ProtocolError("deadline_seconds must be positive")
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise ProtocolError("strategy must be a non-empty string")
+        if self.strategy_kwargs is not None and not isinstance(
+            self.strategy_kwargs, dict
+        ):
+            raise ProtocolError("strategy_kwargs must be an object")
         if self.stage_counts is not None:
             counts = tuple(int(c) for c in self.stage_counts)
             if not counts or any(c < 1 for c in counts):
@@ -81,7 +89,10 @@ class PlanRequest:
         """Canonical digest of the plan-determining fields.
 
         Stage counts are sorted and deduplicated first, so query-order
-        quirks don't defeat the cache.
+        quirks don't defeat the cache.  The strategy participates only
+        when it isn't the default greedy search (and its kwargs only
+        when non-empty), so every fingerprint minted before strategies
+        existed still addresses the same cached plan.
         """
         canonical = {
             "model": self.model,
@@ -94,6 +105,13 @@ class PlanRequest:
             "iterations": self.iterations,
             "seed": self.seed,
         }
+        if self.strategy != "greedy":
+            canonical["strategy"] = self.strategy
+        if self.strategy_kwargs:
+            canonical["strategy_kwargs"] = {
+                key: self.strategy_kwargs[key]
+                for key in sorted(self.strategy_kwargs)
+            }
         digest = hashlib.sha256(
             json.dumps(canonical, sort_keys=True).encode()
         )
@@ -113,6 +131,12 @@ class PlanRequest:
             "seed": self.seed,
             "deadline_seconds": self.deadline_seconds,
             "priority": self.priority,
+            "strategy": self.strategy,
+            "strategy_kwargs": (
+                dict(self.strategy_kwargs)
+                if self.strategy_kwargs is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -129,12 +153,14 @@ class PlanRequest:
             - {
                 "protocol_version", "model", "gpus", "stage_counts",
                 "iterations", "seed", "deadline_seconds", "priority",
+                "strategy", "strategy_kwargs",
             }
         )
         if unknown:
             raise ProtocolError(f"unknown request field(s): {unknown}")
         try:
             stage_counts = data.get("stage_counts")
+            strategy_kwargs = data.get("strategy_kwargs")
             return cls(
                 model=data["model"],
                 gpus=int(data.get("gpus", 8)),
@@ -151,6 +177,12 @@ class PlanRequest:
                     else None
                 ),
                 priority=int(data.get("priority", 0)),
+                strategy=str(data.get("strategy", "greedy")),
+                strategy_kwargs=(
+                    dict(strategy_kwargs)
+                    if strategy_kwargs is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, ProtocolError):

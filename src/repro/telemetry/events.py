@@ -23,6 +23,18 @@ SEARCH_ITERATION = "search.iteration"
 SEARCH_DEADLINE = "search.deadline"
 SEARCH_END = "search.end"
 
+# -- search strategies (per-strategy detail streams) ------------------
+SEARCH_STRATEGY_PROPOSAL = "search.strategy.proposal"
+SEARCH_STRATEGY_ARM = "search.strategy.arm"
+SEARCH_STRATEGY_STATS = "search.strategy.stats"
+
+# -- strategy arena (tournament harness) ------------------------------
+ARENA_BEGIN = "arena.begin"
+ARENA_ENTRY_BEGIN = "arena.entry.begin"
+ARENA_ENTRY_END = "arena.entry.end"
+ARENA_ENTRY_FAILED = "arena.entry.failed"
+ARENA_END = "arena.end"
+
 # -- performance model ------------------------------------------------
 PERFMODEL_ESTIMATE = "perfmodel.estimate"
 PERFMODEL_ESTIMATE_BATCH = "perfmodel.estimate_batch"
@@ -94,6 +106,7 @@ SERVICE_HTTP_ACCESS = "service.http.access"
 #: Subsystem prefixes, in display order.  ``summarize_events`` groups
 #: by these instead of hard-coding strings at each aggregation site.
 SEARCH_PREFIX = "search."
+ARENA_PREFIX = "arena."
 PERFMODEL_PREFIX = "perfmodel."
 DRIVER_PREFIX = "driver."
 DRIVER_WORKER_PREFIX = "driver.worker."
@@ -105,6 +118,7 @@ SERVICE_PREFIX = "service."
 
 EVENT_PREFIXES: Tuple[str, ...] = (
     SEARCH_PREFIX,
+    ARENA_PREFIX,
     PERFMODEL_PREFIX,
     DRIVER_PREFIX,
     RUNTIME_PREFIX,

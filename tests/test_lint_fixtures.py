@@ -192,6 +192,73 @@ class TestNegativeFixtures:
         )
         assert codes(found) == ["ACE903"]
 
+    def test_strategy_and_arena_emits_lint_clean(self):
+        source = (
+            'get_bus().emit("search.strategy.proposal", source="mcmc")\n'
+            'get_bus().emit("search.strategy.arm", source="bandit")\n'
+            'get_bus().emit("search.strategy.stats", source="mcmc")\n'
+            'get_bus().emit("arena.begin", source="arena")\n'
+            'get_bus().emit("arena.entry.begin", source="arena")\n'
+            'get_bus().emit("arena.entry.end", source="arena")\n'
+            'get_bus().emit("arena.entry.failed", source="arena")\n'
+            'get_bus().emit("arena.end", source="arena")\n'
+        )
+        assert analyze_source(
+            source, "fixture.py", module_path="core/fixture.py"
+        ) == []
+
+    def test_unregistered_strategy_or_arena_emit_is_ace903(self):
+        found = analyze_source(
+            'get_bus().emit("search.strategy.blorp", source="mcmc")\n'
+            'get_bus().emit("arena.blorp", source="arena")\n',
+            "fixture.py",
+            module_path="core/fixture.py",
+        )
+        assert codes(found) == ["ACE903", "ACE903"]
+
+    def test_strategy_events_in_run_log_lint_clean(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        base = {
+            "kind": "event", "ts": 0.1, "pid": 1, "level": 20,
+        }
+        log.write_text("\n".join(
+            json.dumps(dict(base, name=name, source=source, attrs={}))
+            for name, source in [
+                ("search.strategy.proposal", "mcmc"),
+                ("search.strategy.arm", "bandit"),
+                ("search.strategy.stats", "mcmc"),
+                ("arena.begin", "arena"),
+                ("arena.entry.begin", "arena"),
+                ("arena.entry.end", "arena"),
+                ("arena.end", "arena"),
+            ]
+        ) + "\n")
+        assert lint_run_log_file(log) == []
+        assert lint_main([str(log)]) == 0
+
+    def test_cache_entry_strategy_field_is_optional_but_typed(
+        self, tmp_path
+    ):
+        entry = {
+            "plan": {"format_version": 1, "microbatch_size": 1,
+                     "stages": [{"start": 0, "end": 1, "num_devices": 4,
+                                 "tp": [2], "dp": [2], "tp_dim": [0],
+                                 "recompute": [False]}]},
+            "objective": 1.0,
+            "model": "gpt-2l",
+            "gpus": 4,
+        }
+        path = tmp_path / "deadbeefdeadbeef.plan.json"
+        # Entries minted before the field existed stay clean, ...
+        path.write_text(json.dumps(entry))
+        assert lint_plan_cache_file(path) == []
+        # ... so do entries stamped with the strategy that planned them,
+        path.write_text(json.dumps(dict(entry, strategy="mcmc")))
+        assert lint_plan_cache_file(path) == []
+        # ... but a non-string strategy is schema rot.
+        path.write_text(json.dumps(dict(entry, strategy=7)))
+        assert codes(lint_plan_cache_file(path)) == ["ACE310"]
+
 
 class TestSearchArtifactsStayClean:
     """Property: a seeded search only produces lint-clean artifacts."""
