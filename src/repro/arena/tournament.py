@@ -22,14 +22,12 @@ tournament.
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..cluster.topology import ClusterSpec
+from ..ioutil import write_json_atomic
 from ..ir.graph import OpGraph
 from ..parallel.initializer import balanced_config
 from ..perfmodel.model import PerfModel
@@ -216,22 +214,7 @@ class TournamentResult:
 
     def write_json(self, path) -> None:
         """Atomic write, matching the repo's artifact conventions."""
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, temp_name = tempfile.mkstemp(
-            prefix=os.path.basename(path), dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(self.to_json(), handle, indent=2)
-                handle.write("\n")
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        write_json_atomic(path, self.to_json())
 
 
 def _outcome_from_result(

@@ -1205,10 +1205,21 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         help="max wait for in-flight searches to checkpoint on "
         "SIGTERM (default 30)",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run N planner replicas behind a fleet router instead of "
+        "one daemon (default 1)",
+    )
     _add_telemetry_flags(parser)
     args = parser.parse_args(argv)
     if args.worker_memory_mb is not None and args.worker_memory_mb <= 0:
         parser.error("--worker-memory-mb must be positive")
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1")
+    if args.replicas > 1:
+        return _run_fleet(args, prog="repro-serve")
 
     import signal
     import threading
@@ -1248,6 +1259,165 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             daemon.drain(timeout=args.drain_timeout)
             server.server_close()
     return 0
+
+
+def _run_fleet(args, *, prog: str) -> int:
+    """Shared launcher behind ``repro-fleet`` and
+    ``repro-serve --replicas N``: boot N in-process planner replicas,
+    shard them behind a :class:`FleetRouter`, serve the same JSON
+    protocol on one port."""
+    import signal
+    import threading
+    from pathlib import Path
+
+    from .service import FleetConfig, FleetRouter, InProcessReplica, \
+        serve_fleet
+
+    state_root = Path(args.state_dir) if args.state_dir else None
+    config = FleetConfig(
+        vnodes=getattr(args, "vnodes", 128),
+        retries=getattr(args, "retries", 1),
+        hedge_factor=getattr(args, "hedge_factor", 1.5),
+        seed=getattr(args, "seed", 0),
+    )
+    with _telemetry(args):
+        replicas = {}
+        for index in range(args.replicas):
+            name = f"replica-{index}"
+            replicas[name] = InProcessReplica(
+                name,
+                state_dir=state_root / name if state_root else None,
+                daemon_kwargs={
+                    "workers": args.workers,
+                    "queue_limit": args.queue_limit,
+                    "breaker_threshold": args.breaker_threshold,
+                    "breaker_reset_seconds": args.breaker_reset,
+                    "search_workers": args.search_workers,
+                    "timeout_per_count": args.timeout_per_count,
+                    "worker_memory_mb": args.worker_memory_mb,
+                },
+            ).start()
+        router = FleetRouter(
+            replicas,
+            config=config,
+            state_path=(
+                state_root / "fleet.fleet.json" if state_root else None
+            ),
+        ).start()
+        server = serve_fleet(router, host=args.host, port=args.port)
+
+        def _handle_signal(signum, _frame):
+            threading.Thread(
+                target=server.shutdown, daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle_signal)
+        signal.signal(signal.SIGINT, _handle_signal)
+        host, port = server.server_address[:2]
+        print(
+            f"{prog}: fleet of {args.replicas} replicas listening on "
+            f"http://{host}:{port}",
+            flush=True,
+        )
+        try:
+            server.serve_forever(poll_interval=0.2)
+        finally:
+            router.stop(close_replicas=True)
+            server.server_close()
+    return 0
+
+
+def fleet_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-fleet``: N planner replicas behind a
+    consistent-hash router with failover, hedging, coalescing, and
+    graceful degradation — one port, same JSON protocol as
+    ``repro-serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Resilient planner fleet: consistent-hash sharding "
+        "across N planner replicas with failover and hedged requests",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8348,
+        help="TCP port (0 picks a free one; default 8348)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="planner replicas behind the router (default 2)",
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=128,
+        help="virtual nodes per replica on the hash ring (default 128)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="transport retries per replica before failover (default 1)",
+    )
+    parser.add_argument(
+        "--hedge-factor",
+        type=float,
+        default=1.5,
+        help="hedge a request once its replica exceeds p99 × this "
+        "(default 1.5)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic retry jitter (default 0)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="planner worker threads per replica (default 2)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="per-replica queued requests before 429 (default 8)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="root directory for per-replica state and the fleet "
+        "state artifact",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures before a config's breaker opens",
+    )
+    parser.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cool-down before a half-open probe",
+    )
+    parser.add_argument(
+        "--search-workers", type=int, default=1,
+        help="stage-count subprocesses per request (default 1)",
+    )
+    parser.add_argument(
+        "--timeout-per-count", type=float, default=None,
+        metavar="SECONDS",
+        help="kill and retry any stage-count worker exceeding this",
+    )
+    parser.add_argument(
+        "--worker-memory-mb", type=float, default=None, metavar="MB",
+        help="address-space cap per stage-count worker",
+    )
+    _add_telemetry_flags(parser)
+    args = parser.parse_args(argv)
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1")
+    if args.worker_memory_mb is not None and args.worker_memory_mb <= 0:
+        parser.error("--worker-memory-mb must be positive")
+    return _run_fleet(args, prog="repro-fleet")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..ioutil import write_json_atomic
 from ..parallel.serialization import config_from_dict, config_to_dict
 
 #: Format marker so future layout changes stay loadable.
@@ -188,21 +188,7 @@ class SearchCheckpoint:
             },
             "failures": self.failures,
         }
-        directory = self.path.parent
-        directory.mkdir(parents=True, exist_ok=True)
-        fd, temp_name = tempfile.mkstemp(
-            prefix=self.path.name, dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=2)
-            os.replace(temp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        write_json_atomic(self.path, payload)
 
     # ------------------------------------------------------------------
     # compatibility

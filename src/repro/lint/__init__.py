@@ -35,6 +35,7 @@ from .artifacts import (
     lint_artifact_path,
     lint_checkpoint_file,
     lint_churn_timeline_file,
+    lint_fleet_state_file,
     lint_journal_file,
     lint_plan_cache_file,
     lint_plan_file,
@@ -56,6 +57,7 @@ __all__ = [
     "lint_artifact_path",
     "lint_checkpoint_file",
     "lint_churn_timeline_file",
+    "lint_fleet_state_file",
     "lint_journal_file",
     "lint_plan_cache_file",
     "lint_plan_file",

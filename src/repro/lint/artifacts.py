@@ -7,7 +7,10 @@ One collect-all linter per artifact family, each returning
 * plan-cache entries (``<fingerprint>.plan.json``) — ``ACE31x``
 * search checkpoints (``<fingerprint>.ckpt.json``) — ``ACE32x``
 * journaled requests (``<fingerprint>.request.json``) — ``ACE33x``
-* telemetry run logs (JSONL) — ``ACE34x``
+* telemetry run logs (JSONL) — ``ACE34x`` (plus the ``fleet.*``
+  cross-event invariants, ``ACE41x``)
+* churn timelines (``*.churn.json``) — ``ACE35x``
+* fleet state artifacts (``*.fleet.json``) — ``ACE40x``
 
 These are *static* checks: nothing is deserialized into live planner
 objects, so a hostile or bit-rotted file can be linted safely before
@@ -447,6 +450,7 @@ def lint_run_log_file(path: Union[str, Path]) -> List[Diagnostic]:
 
     path = Path(path)
     out: List[Diagnostic] = []
+    parsed: List[Tuple[int, str, dict]] = []
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
     except (OSError, UnicodeDecodeError) as exc:
@@ -512,6 +516,199 @@ def lint_run_log_file(path: Union[str, Path]) -> List[Diagnostic]:
                 f"registry",
                 location=loc,
                 hint="register it in repro/telemetry/events.py",
+            ))
+        if isinstance(data.get("attrs"), dict):
+            parsed.append((lineno, data["name"], data["attrs"]))
+    out.extend(_lint_fleet_events(parsed, path))
+    return out
+
+
+def _lint_fleet_events(
+    parsed: List[Tuple[int, str, dict]], path: Path
+) -> List[Diagnostic]:
+    """Cross-event ``fleet.*`` invariants of a router run log (ACE41x).
+
+    * every ``fleet.request.routed`` fingerprint must reach a
+      ``fleet.request.completed`` — a routed request with no terminal
+      event is exactly the "lost request" the fleet promises never to
+      produce (ACE410);
+    * every fleet event naming a replica must name one declared by
+      ``fleet.start`` (or joined via ``fleet.ring.rebuilt``) — an
+      undeclared name means two runs' logs were interleaved or an event
+      was hand-edited (ACE411).
+    """
+    fleet = [
+        (lineno, name, attrs)
+        for lineno, name, attrs in parsed
+        if name.startswith("fleet.")
+    ]
+    if not fleet:
+        return []
+    out: List[Diagnostic] = []
+    declared: set = set()
+    saw_start = False
+    routed: dict = {}
+    for lineno, name, attrs in fleet:
+        loc = f"{path}:{lineno}"
+        if name == "fleet.start":
+            saw_start = True
+            replicas = attrs.get("replicas")
+            if isinstance(replicas, list):
+                declared.update(r for r in replicas if isinstance(r, str))
+        elif name == "fleet.ring.rebuilt":
+            joined = attrs.get("joined")
+            if isinstance(joined, str):
+                declared.add(joined)
+            replicas = attrs.get("replicas")
+            if isinstance(replicas, list):
+                declared.update(r for r in replicas if isinstance(r, str))
+        elif name == "fleet.request.routed":
+            fingerprint = attrs.get("fingerprint")
+            if isinstance(fingerprint, str):
+                routed.setdefault(fingerprint, []).append(lineno)
+        elif name == "fleet.request.completed":
+            fingerprint = attrs.get("fingerprint")
+            if isinstance(fingerprint, str) and fingerprint in routed:
+                pending = routed[fingerprint]
+                if pending:
+                    pending.pop(0)
+                if not pending:
+                    del routed[fingerprint]
+        if saw_start:
+            replica = attrs.get("replica")
+            if isinstance(replica, str) and replica not in declared:
+                out.append(Diagnostic(
+                    "ACE411",
+                    f"{name} references replica {replica!r}, which no "
+                    f"fleet.start or fleet.ring.rebuilt declared",
+                    location=loc,
+                ))
+    for fingerprint, pending in sorted(routed.items()):
+        for lineno in pending:
+            out.append(Diagnostic(
+                "ACE410",
+                f"request {fingerprint} was routed but never reached a "
+                f"fleet.request.completed event",
+                location=f"{path}:{lineno}",
+                hint="a lost request: the router must always answer",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# fleet state artifacts (ACE40x)
+# ----------------------------------------------------------------------
+#: Config fields that must be positive / non-negative, mirroring
+#: ``FleetConfig.__post_init__``.
+_FLEET_POSITIVE = ("vnodes", "request_timeout", "hedge_factor", "down_after")
+_FLEET_NON_NEGATIVE = ("retries",)
+
+
+def lint_fleet_state_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one ``*.fleet.json`` router state artifact (ACE40x)."""
+    path = Path(path)
+    loc = str(path)
+    data, out = _load_json(path, "ACE401")
+    if data is None:
+        return out
+    if not isinstance(data, dict):
+        return [Diagnostic(
+            "ACE401", "fleet state must be a JSON object", location=loc,
+        )]
+    missing = sorted(
+        {"format_version", "fleet", "replicas"} - set(data)
+    )
+    if missing:
+        out.append(Diagnostic(
+            "ACE401",
+            f"fleet state is missing field(s) {missing}",
+            location=loc,
+        ))
+    version = data.get("format_version")
+    if "format_version" in data and version != 1:
+        out.append(Diagnostic(
+            "ACE401",
+            f"unsupported fleet state format_version {version!r} "
+            f"(expected 1)",
+            location=loc,
+        ))
+    config = data.get("fleet")
+    if "fleet" in data and not isinstance(config, dict):
+        out.append(Diagnostic(
+            "ACE401", "fleet config must be a JSON object", location=loc,
+        ))
+        config = None
+    if isinstance(config, dict):
+        for key in _FLEET_POSITIVE:
+            value = config.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value <= 0
+            ):
+                out.append(Diagnostic(
+                    "ACE403",
+                    f"fleet config {key!r} must be positive, got "
+                    f"{value!r}",
+                    location=loc,
+                ))
+        for key in _FLEET_NON_NEGATIVE:
+            value = config.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                out.append(Diagnostic(
+                    "ACE403",
+                    f"fleet config {key!r} must be >= 0, got {value!r}",
+                    location=loc,
+                ))
+    replicas = data.get("replicas")
+    if "replicas" in data and not isinstance(replicas, list):
+        out.append(Diagnostic(
+            "ACE401", "fleet replicas must be a list", location=loc,
+        ))
+        replicas = None
+    if isinstance(replicas, list):
+        if not replicas:
+            out.append(Diagnostic(
+                "ACE403",
+                "fleet state declares zero replicas",
+                location=loc,
+                hint="a fleet needs at least one replica",
+            ))
+        names: List[str] = []
+        for i, replica in enumerate(replicas):
+            if not isinstance(replica, dict) or not isinstance(
+                replica.get("name"), str
+            ) or not replica.get("name"):
+                out.append(Diagnostic(
+                    "ACE401",
+                    f"replicas[{i}] must be an object with a non-empty "
+                    f"'name'",
+                    location=loc,
+                ))
+                continue
+            names.append(replica["name"])
+            if "healthy" in replica and not isinstance(
+                replica["healthy"], bool
+            ):
+                out.append(Diagnostic(
+                    "ACE401",
+                    f"replicas[{i}] 'healthy' must be a boolean",
+                    location=loc,
+                ))
+        duplicates = sorted(
+            {name for name in names if names.count(name) > 1}
+        )
+        if duplicates:
+            out.append(Diagnostic(
+                "ACE402",
+                f"duplicate replica name(s) {duplicates}",
+                location=loc,
+                hint="replica names are ring identities; they must be "
+                "unique",
             ))
     return out
 
@@ -620,6 +817,8 @@ def lint_artifact_path(path: Union[str, Path]) -> List[Diagnostic]:
     name = path.name
     if name.endswith(".churn.json"):
         return lint_churn_timeline_file(path)
+    if name.endswith(".fleet.json"):
+        return lint_fleet_state_file(path)
     if name.endswith(".request.json"):
         return lint_journal_file(path)
     if name.endswith(".ckpt.json"):
@@ -634,6 +833,8 @@ def lint_artifact_path(path: Union[str, Path]) -> List[Diagnostic]:
     if data is None:
         return out
     if isinstance(data, dict):
+        if {"fleet", "replicas"} <= set(data):
+            return lint_fleet_state_file(path)
         if {"events", "seed"} <= set(data):
             return lint_churn_timeline_file(path)
         if {"plan", "objective"} <= set(data):

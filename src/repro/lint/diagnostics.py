@@ -13,6 +13,8 @@ Code taxonomy:
   primitive legality, request-level lower bounds.
 * ``ACE3xx`` — on-disk artifacts: plans, plan-cache entries,
   checkpoints, request journals, telemetry run logs.
+* ``ACE4xx`` — fleet artifacts: ``*.fleet.json`` state files and the
+  cross-event ``fleet.*`` invariants of router run logs.
 * ``ACE9xx`` — codebase invariants enforced by the Tier-B ``ast`` lint.
 
 Codes are append-only: a shipped code never changes meaning, so tests,
@@ -78,6 +80,12 @@ CODES: Dict[str, str] = {
     "ACE352": "churn timeline events are not time-ordered",
     "ACE353": "churn timeline event has an invalid kind or payload",
     "ACE354": "churn timeline preempts every node",
+    # -- ACE4xx: fleet artifacts --------------------------------------
+    "ACE401": "fleet state is not readable or violates the schema",
+    "ACE402": "fleet state declares duplicate replica names",
+    "ACE403": "fleet config value is out of range",
+    "ACE410": "routed fleet request has no terminal completion event",
+    "ACE411": "fleet event references an undeclared replica",
     # -- ACE9xx: codebase invariants ----------------------------------
     "ACE901": "nondeterministic call in a deterministic module",
     "ACE902": "telemetry emit with a non-literal event name",

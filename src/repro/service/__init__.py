@@ -1,5 +1,5 @@
 """Resilient planner service: anytime search behind an
-admission-controlled, self-healing daemon.
+admission-controlled, self-healing daemon — and a fleet of them.
 
 Every piece is usable as a library on its own — the daemon is just the
 composition:
@@ -16,17 +16,40 @@ composition:
 - :func:`~repro.service.planner.plan_request` — one request through
   the crash-safe, deadline-aware stage-count search;
 - :class:`~repro.service.daemon.PlannerDaemon` — the composition, with
-  watchdog, request journal, and SIGTERM drain;
+  watchdog, request journal, coalescing, and SIGTERM drain;
 - :func:`~repro.service.httpd.serve` — the stdlib HTTP front-end
-  (``repro-serve``).
+  (``repro-serve``);
+- :class:`~repro.service.ring.HashRing` /
+  :class:`~repro.service.fleet.FleetRouter` — consistent-hash sharding
+  across replicas with failover, hedging, and graceful degradation
+  (``repro-fleet``);
+- :mod:`~repro.service.chaos` — the seeded kill/restart harness that
+  proves the fleet loses nothing.
 """
 
 from .admission import AdmissionController, QueueFullError
 from .breaker import BreakerOpenError, CircuitBreaker
 from .cache import PlanCache
-from .daemon import PlannerDaemon, Ticket
+from .chaos import (
+    ChaosEvent,
+    ChaosReport,
+    InProcessReplica,
+    run_chaos,
+    seeded_schedule,
+    synthetic_planner,
+)
+from .daemon import PlannerDaemon, Ticket, TicketTimeout
+from .fleet import (
+    FleetConfig,
+    FleetHTTPServer,
+    FleetRouter,
+    HTTPReplicaClient,
+    LocalReplicaClient,
+    ReplicaError,
+    serve_fleet,
+)
 from .httpd import PlannerHTTPServer, serve
-from .planner import PlanOutcome, plan_request
+from .planner import PlanOutcome, plan_digest, plan_request
 from .protocol import (
     PROTOCOL_VERSION,
     STATUS_FAILED,
@@ -38,11 +61,21 @@ from .protocol import (
     PlanResponse,
     ProtocolError,
 )
+from .ring import HashRing
 
 __all__ = [
     "AdmissionController",
     "BreakerOpenError",
+    "ChaosEvent",
+    "ChaosReport",
     "CircuitBreaker",
+    "FleetConfig",
+    "FleetHTTPServer",
+    "FleetRouter",
+    "HTTPReplicaClient",
+    "HashRing",
+    "InProcessReplica",
+    "LocalReplicaClient",
     "PROTOCOL_VERSION",
     "PlanCache",
     "PlanOutcome",
@@ -52,12 +85,19 @@ __all__ = [
     "PlannerHTTPServer",
     "ProtocolError",
     "QueueFullError",
+    "ReplicaError",
     "STATUS_FAILED",
     "STATUS_PARTIAL",
     "STATUS_REJECTED",
     "STATUS_SERVED",
     "TERMINAL_STATUSES",
     "Ticket",
+    "TicketTimeout",
+    "plan_digest",
     "plan_request",
+    "run_chaos",
+    "seeded_schedule",
     "serve",
+    "serve_fleet",
+    "synthetic_planner",
 ]

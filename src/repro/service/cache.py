@@ -22,6 +22,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Optional
 
+from ..ioutil import write_json_atomic
 from ..telemetry import get_bus
 from ..telemetry.events import (
     SERVICE_CACHE_HIT,
@@ -93,10 +94,19 @@ class PlanCache:
                 evicted, _ = self._entries.popitem(last=False)
                 self._unlink(evicted)
             if self.directory is not None:
-                path = self.directory / f"{fingerprint}.plan.json"
-                tmp = path.with_name(path.name + ".tmp")
-                tmp.write_text(json.dumps(entry, indent=2))
-                tmp.replace(path)
+                write_json_atomic(
+                    self.directory / f"{fingerprint}.plan.json", entry
+                )
+
+    def snapshot(self) -> dict:
+        """Copy of every live entry, LRU-oldest first.
+
+        The fleet router demotes these to its stale tier before fanning
+        an invalidation out, so an overloaded fleet can still serve a
+        stale-but-flagged plan instead of shedding the request.
+        """
+        with self._lock:
+            return {fp: dict(entry) for fp, entry in self._entries.items()}
 
     def invalidate(
         self, predicate: Optional[Callable[[str, dict], bool]] = None

@@ -1,0 +1,411 @@
+"""Seeded chaos harness: kill replicas mid-traffic, lose nothing.
+
+The fleet's resilience claims are only worth what a chaos run can
+demonstrate, so this module makes the demonstration deterministic and
+cheap enough for CI:
+
+* :class:`ChaosEvent` schedules a ``kill`` or ``restart`` of a named
+  replica *by request index*, not wall-clock — replaying the same
+  event list over the same request list injects the same faults at the
+  same points regardless of machine speed;
+* :class:`InProcessReplica` hosts one :class:`PlannerDaemon` behind the
+  :class:`LocalReplicaClient` transport; ``kill`` flips the killed
+  flag (every subsequent call is a transport error, exactly what a
+  crashed process looks like to the router) and drains the daemon,
+  ``restart`` boots a fresh daemon on the same state directory so the
+  journal re-admission and warm disk cache paths are exercised too;
+* :func:`run_chaos` drives a request list through a
+  :class:`FleetRouter` over N such replicas while applying the event
+  schedule, then replays every unique request against a fresh
+  single-daemon **oracle** and checks that each non-degraded fleet
+  answer's plan digest is bit-identical to the oracle's.
+
+The resulting :class:`ChaosReport` asserts the two invariants the
+paper-scale deployment needs: **zero lost requests** (every submit got
+a terminal response) and **digest equality** for every full answer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..telemetry import WARNING, get_bus
+from ..telemetry.events import FLEET_CHAOS_KILL, FLEET_CHAOS_RESTART
+from .daemon import PlannerDaemon
+from .fleet import FleetConfig, FleetRouter, LocalReplicaClient, ReplicaError
+from .planner import PlanOutcome, plan_digest
+from .protocol import (
+    STATUS_REJECTED,
+    STATUS_SERVED,
+    PlanRequest,
+    PlanResponse,
+)
+
+_EVENT_KINDS = frozenset(("kill", "restart"))
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """Kill or restart ``replica`` just before request ``after_request``
+    (0-based index into the replayed request list) is submitted."""
+
+    after_request: int
+    kind: str
+    replica: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EVENT_KINDS:
+            raise ValueError(f"unknown chaos event kind: {self.kind!r}")
+        if self.after_request < 0:
+            raise ValueError("after_request must be >= 0")
+
+    def to_json(self) -> dict:
+        return {
+            "after_request": self.after_request,
+            "kind": self.kind,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosEvent":
+        return cls(
+            after_request=int(data["after_request"]),
+            kind=str(data["kind"]),
+            replica=str(data["replica"]),
+        )
+
+
+def seeded_schedule(
+    *,
+    seed: int,
+    requests: int,
+    replicas: Sequence[str],
+    kills: int = 2,
+) -> List[ChaosEvent]:
+    """A reproducible kill/restart schedule: ``kills`` kill events at
+    seeded request indices, each followed by a restart a few requests
+    later (so the run also exercises rejoin + journal re-admission)."""
+    rng = random.Random(f"chaos:{seed}")
+    events: List[ChaosEvent] = []
+    if requests < 2 or not replicas:
+        return events
+    for _ in range(kills):
+        index = rng.randrange(1, requests)
+        name = rng.choice(list(replicas))
+        events.append(ChaosEvent(index, "kill", name))
+        revive = index + rng.randrange(1, 4)
+        if revive < requests:
+            events.append(ChaosEvent(revive, "restart", name))
+    events.sort(key=lambda e: (e.after_request, e.kind, e.replica))
+    return events
+
+
+def synthetic_planner(
+    delay_seconds: float = 0.0,
+) -> Callable[..., PlanOutcome]:
+    """A deterministic stand-in planner: the plan is a pure function of
+    the request, found after ``delay_seconds`` of pretend searching.
+
+    Used by the fleet tests and the service benchmark so chaos replay
+    and latency numbers measure the *service layers*, not the search.
+    """
+
+    def planner(
+        request: PlanRequest, *, deadline=None, checkpoint_path=None
+    ) -> PlanOutcome:
+        if delay_seconds:
+            time.sleep(delay_seconds)
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if deadline.cancelled or (
+                remaining is not None and remaining <= 0
+            ):
+                # Anytime contract: out of time still yields a plan,
+                # flagged partial.
+                return PlanOutcome(
+                    plan={"model": request.model, "cut": True},
+                    objective=1.0,
+                    partial=True,
+                )
+        rng = random.Random(
+            f"{request.model}:{request.gpus}:{request.seed}"
+        )
+        stages = list(request.stage_counts or (min(4, request.gpus),))
+        plan = {
+            "model": request.model,
+            "gpus": request.gpus,
+            "stages": stages,
+            "assignment": [
+                rng.randrange(request.gpus) for _ in range(8)
+            ],
+        }
+        return PlanOutcome(
+            plan=plan,
+            objective=round(rng.uniform(1.0, 2.0), 6),
+            num_estimates=request.iterations,
+        )
+
+    return planner
+
+
+class InProcessReplica:
+    """One named replica: a daemon + local transport, kill/restartable.
+
+    Implements the replica-client protocol itself (delegating to the
+    live :class:`LocalReplicaClient`), so the router keeps one stable
+    client object across restarts.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        state_dir: Optional[Path] = None,
+        planner: Optional[Callable] = None,
+        daemon_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.state_dir = Path(state_dir) if state_dir else None
+        self._planner = planner
+        self._daemon_kwargs = dict(daemon_kwargs or {})
+        self._client: Optional[LocalReplicaClient] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "InProcessReplica":
+        daemon = PlannerDaemon(
+            planner=self._planner,
+            state_dir=self.state_dir,
+            **self._daemon_kwargs,
+        ).start()
+        self._client = LocalReplicaClient(daemon)
+        return self
+
+    def kill(self) -> None:
+        """Crash: every subsequent call is a transport error."""
+        client = self._client
+        if client is None:
+            return
+        client.killed = True
+        # Quick drain so worker threads stop; journals stay on disk for
+        # the restarted daemon to re-admit.
+        client.daemon.drain(timeout=1.0)
+
+    def restart(self) -> None:
+        """Boot a fresh daemon on the same state directory (journal
+        re-admission + warm disk cache) and rejoin the fleet."""
+        self._client = None
+        self.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._client is not None and not self._client.killed
+
+    def _live(self) -> LocalReplicaClient:
+        if self._client is None:
+            raise ReplicaError(f"replica {self.name} is not running")
+        return self._client
+
+    # -- replica-client protocol ---------------------------------------
+    def plan(self, payload: dict, timeout: float) -> PlanResponse:
+        return self._live().plan(payload, timeout)
+
+    def health(self) -> dict:
+        return self._live().health()
+
+    def ready(self) -> bool:
+        return self._live().ready()
+
+    def invalidate(self, *, gpus: Optional[int] = None) -> dict:
+        return self._live().invalidate(gpus=gpus)
+
+    def churn(self, event: dict) -> dict:
+        return self._live().churn(event)
+
+    def close(self) -> None:
+        client = self._client
+        self._client = None
+        if client is not None:
+            client.close()
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run proved (or failed to prove)."""
+
+    total: int
+    lost: int
+    by_status: Dict[str, int] = field(default_factory=dict)
+    degraded: int = 0
+    failovers: int = 0
+    hedged: int = 0
+    coalesced: int = 0
+    digest_checked: int = 0
+    digest_mismatches: List[dict] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Zero lost requests, every answer terminal, all non-degraded
+        plans bit-identical to the single-daemon oracle."""
+        return self.lost == 0 and not self.digest_mismatches
+
+    def to_json(self) -> dict:
+        return {
+            "total": self.total,
+            "lost": self.lost,
+            "by_status": dict(self.by_status),
+            "degraded": self.degraded,
+            "failovers": self.failovers,
+            "hedged": self.hedged,
+            "coalesced": self.coalesced,
+            "digest_checked": self.digest_checked,
+            "digest_mismatches": list(self.digest_mismatches),
+            "events": list(self.events),
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosReport":
+        return cls(
+            total=int(data["total"]),
+            lost=int(data["lost"]),
+            by_status=dict(data.get("by_status", {})),
+            degraded=int(data.get("degraded", 0)),
+            failovers=int(data.get("failovers", 0)),
+            hedged=int(data.get("hedged", 0)),
+            coalesced=int(data.get("coalesced", 0)),
+            digest_checked=int(data.get("digest_checked", 0)),
+            digest_mismatches=list(data.get("digest_mismatches", [])),
+            events=list(data.get("events", [])),
+        )
+
+
+def run_chaos(
+    requests: Sequence[PlanRequest],
+    events: Sequence[ChaosEvent],
+    *,
+    replicas: int = 3,
+    planner: Optional[Callable] = None,
+    state_root: Optional[Path] = None,
+    config: Optional[FleetConfig] = None,
+    daemon_kwargs: Optional[dict] = None,
+) -> ChaosReport:
+    """Replay ``requests`` through a fleet while applying ``events``;
+    compare every non-degraded full answer against a fresh
+    single-daemon oracle.  Deterministic given deterministic inputs."""
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    state_root = Path(state_root) if state_root is not None else None
+    names = [f"replica-{i}" for i in range(replicas)]
+    bad = sorted(
+        {e.replica for e in events} - set(names)
+    )
+    if bad:
+        raise ValueError(f"chaos events name unknown replicas: {bad}")
+    fleet_replicas: Dict[str, InProcessReplica] = {}
+    for name in names:
+        state_dir = state_root / name if state_root else None
+        fleet_replicas[name] = InProcessReplica(
+            name,
+            state_dir=state_dir,
+            planner=planner,
+            daemon_kwargs=daemon_kwargs,
+        ).start()
+    router = FleetRouter(
+        dict(fleet_replicas),
+        config=config or FleetConfig(health_interval=0.1, retries=1),
+        state_path=(
+            state_root / "fleet.fleet.json" if state_root else None
+        ),
+    ).start()
+    schedule: Dict[int, List[ChaosEvent]] = {}
+    for event in events:
+        schedule.setdefault(event.after_request, []).append(event)
+    bus = get_bus()
+    responses: List[Optional[PlanResponse]] = []
+    try:
+        for index, request in enumerate(requests):
+            for event in schedule.get(index, ()):
+                replica = fleet_replicas[event.replica]
+                if event.kind == "kill":
+                    replica.kill()
+                    bus.emit(
+                        FLEET_CHAOS_KILL,
+                        source="chaos",
+                        level=WARNING,
+                        replica=event.replica,
+                        after_request=index,
+                    )
+                else:
+                    replica.restart()
+                    bus.emit(
+                        FLEET_CHAOS_RESTART,
+                        source="chaos",
+                        replica=event.replica,
+                        after_request=index,
+                    )
+            try:
+                responses.append(router.submit(request))
+            except Exception:  # noqa: BLE001 - a lost request is data
+                responses.append(None)
+    finally:
+        router.stop(close_replicas=True)
+    # -- oracle comparison --------------------------------------------
+    oracle_dir = state_root / "oracle" if state_root else None
+    oracle = PlannerDaemon(
+        planner=planner,
+        state_dir=oracle_dir,
+        **dict(daemon_kwargs or {}),
+    ).start()
+    oracle_digests: Dict[str, Optional[str]] = {}
+    try:
+        for request in requests:
+            fingerprint = request.fingerprint()
+            if fingerprint in oracle_digests:
+                continue
+            answer = oracle.submit(request, timeout=120.0)
+            oracle_digests[fingerprint] = (
+                plan_digest(answer.plan) if answer.ok else None
+            )
+    finally:
+        oracle.stop()
+    report = ChaosReport(
+        total=len(responses),
+        lost=sum(1 for r in responses if r is None),
+        events=[e.to_json() for e in events],
+    )
+    for response in responses:
+        if response is None:
+            continue
+        report.by_status[response.status] = (
+            report.by_status.get(response.status, 0) + 1
+        )
+        report.failovers += response.failovers
+        report.hedged += int(response.hedged)
+        report.coalesced += int(response.coalesced)
+        degraded = (
+            response.stale
+            or response.status not in (STATUS_SERVED,)
+        )
+        if degraded:
+            report.degraded += int(
+                response.stale or response.status != STATUS_REJECTED
+            )
+            continue
+        expected = oracle_digests.get(response.fingerprint)
+        if expected is None:
+            continue
+        report.digest_checked += 1
+        got = plan_digest(response.plan)
+        if got != expected:
+            report.digest_mismatches.append({
+                "fingerprint": response.fingerprint,
+                "expected": expected,
+                "got": got,
+                "replica": response.replica,
+            })
+    return report

@@ -33,15 +33,18 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..core.budget import Deadline
+from ..ioutil import write_json_atomic
 from ..lint.diagnostics import ERROR as LINT_ERROR
 from ..lint.requests import analyze_plan_request
 from ..telemetry import WARNING, get_bus
 from ..telemetry.events import (
+    COALESCE_ATTACH,
+    COALESCE_FANOUT,
     ELASTIC_CACHE_INVALIDATE,
     SERVICE_DRAIN_BEGIN,
     SERVICE_DRAIN_END,
@@ -73,6 +76,25 @@ from .protocol import (
 WATCHDOG_GRACE = 2.0
 
 
+@dataclass(frozen=True)
+class TicketTimeout:
+    """Typed :meth:`Ticket.wait` outcome: the caller's patience ran out.
+
+    Distinguishable from a shed request (that is a ``rejected``
+    :class:`PlanResponse`) and from a failed search (``failed``): the
+    search is *still running* — its result will land in the plan cache
+    — only this waiter gave up.
+    """
+
+    request_id: int
+    fingerprint: str
+    waited_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
 @dataclass
 class Ticket:
     """One admitted request in flight through the daemon."""
@@ -84,12 +106,25 @@ class Ticket:
     submitted: float = 0.0
     response: Optional[PlanResponse] = None
     done: threading.Event = field(default_factory=threading.Event)
+    #: Same-fingerprint tickets sharing this ticket's in-flight search;
+    #: resolved by fan-out when this (primary) ticket finishes.
+    waiters: List["Ticket"] = field(default_factory=list)
+    #: Whether this ticket rides another ticket's search.
+    coalesced: bool = False
 
-    def wait(self, timeout: Optional[float] = None) -> Optional[PlanResponse]:
-        """Block until the terminal response (``None`` on wait timeout)."""
+    def wait(
+        self, timeout: Optional[float] = None
+    ) -> Union[PlanResponse, TicketTimeout]:
+        """Block until the terminal response, or a typed
+        :class:`TicketTimeout` when ``timeout`` elapses first."""
+        started = time.monotonic()
         if self.done.wait(timeout):
             return self.response
-        return None
+        return TicketTimeout(
+            request_id=self.request_id,
+            fingerprint=self.fingerprint,
+            waited_seconds=time.monotonic() - started,
+        )
 
 
 class PlannerDaemon:
@@ -141,6 +176,10 @@ class PlannerDaemon:
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._in_flight: Dict[int, Ticket] = {}
+        #: fingerprint -> primary ticket whose search later same-
+        #: fingerprint submissions ride (request coalescing).
+        self._coalesce: Dict[str, Ticket] = {}
+        self._coalesced_total = 0
         self._executor: Optional[ThreadPoolExecutor] = None
         self._watchdog: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -199,12 +238,24 @@ class PlannerDaemon:
         )
         with self._lock:
             in_flight = len(self._in_flight)
+            coalesce = {
+                "in_flight": len(self._coalesce),
+                "waiters": sum(
+                    len(t.waiters) for t in self._coalesce.values()
+                ),
+                "total": self._coalesced_total,
+            }
+        queue = self.admission.stats()
         return {
             "status": "degraded" if degraded else "healthy",
             "ready": self.ready,
             "draining": self._draining,
             "in_flight": in_flight,
-            "queue": self.admission.stats(),
+            # Surfaced top-level so fleet routers can poll the load
+            # factor without digging into the queue sub-dict.
+            "queue_depth": queue.get("depth", 0),
+            "queue": queue,
+            "coalesce": coalesce,
             "breakers": breakers,
             "cache": self.cache.stats(),
             "requests": dict(self.counters),
@@ -282,14 +333,18 @@ class PlannerDaemon:
         if isinstance(ticket_or_response, PlanResponse):
             return ticket_or_response
         response = ticket_or_response.wait(timeout)
-        if response is None:
+        if isinstance(response, TicketTimeout):
             # The caller gave up waiting; the search continues and will
             # land in the cache, but this client sees a failure.
             return PlanResponse(
                 status=STATUS_FAILED,
-                request_id=ticket_or_response.request_id,
-                fingerprint=ticket_or_response.fingerprint,
-                error=f"timed out waiting for a response after {timeout}s",
+                request_id=response.request_id,
+                fingerprint=response.fingerprint,
+                error=(
+                    "timed out waiting for a response after "
+                    f"{response.waited_seconds:.2f}s"
+                ),
+                elapsed_seconds=response.waited_seconds,
             )
         return response
 
@@ -344,6 +399,30 @@ class PlannerDaemon:
                 cached=True,
             )
             return response
+        # Request coalescing: a second request for a fingerprint whose
+        # search is already queued or running attaches to that ticket
+        # instead of burning another search worker — one search, many
+        # waiters, each fanned an identical (flagged) response.
+        with self._lock:
+            primary = self._coalesce.get(fingerprint)
+            if primary is not None:
+                follower = Ticket(
+                    request=request,
+                    request_id=request_id,
+                    fingerprint=fingerprint,
+                    submitted=time.monotonic(),
+                    coalesced=True,
+                )
+                primary.waiters.append(follower)
+                self._coalesced_total += 1
+                bus.emit(
+                    COALESCE_ATTACH,
+                    source="service",
+                    request_id=request_id,
+                    fingerprint=fingerprint,
+                    primary_request_id=primary.request_id,
+                )
+                return follower
         # Admission lint (Tier A): a request naming an unknown model, an
         # unbuildable cluster, or a model whose weight state cannot fit
         # the cluster under any plan is rejected with structured
@@ -384,6 +463,11 @@ class PlannerDaemon:
             fingerprint=fingerprint,
             submitted=time.monotonic(),
         )
+        # Register as the coalescing primary *before* enqueueing so a
+        # concurrent same-fingerprint submit can never slip between
+        # enqueue and registration and start a duplicate search.
+        with self._lock:
+            self._coalesce[fingerprint] = ticket
         # Journal before enqueueing: a worker may pop and finish the
         # ticket (unlinking the journal) the instant it is queued.
         self._journal(ticket)
@@ -396,13 +480,16 @@ class PlannerDaemon:
                     path.unlink()
                 except OSError:
                     pass
-            return self._count(PlanResponse(
+            # Route through _finish so any waiter that attached in the
+            # registration window is fanned the same rejection.
+            self._finish(ticket, PlanResponse(
                 status=STATUS_REJECTED,
                 request_id=request_id,
                 fingerprint=fingerprint,
                 error=str(exc),
                 retry_after=exc.retry_after,
             ))
+            return ticket.response
         return ticket
 
     def invalidate_plans(self, *, gpus: Optional[int] = None) -> int:
@@ -495,9 +582,7 @@ class PlannerDaemon:
         path = self._journal_path(ticket.fingerprint)
         if path is None:
             return
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(ticket.request.to_json(), indent=2))
-        tmp.replace(path)
+        write_json_atomic(path, ticket.request.to_json())
 
     def _readmit_journaled(self) -> None:
         """Re-admit requests a previous daemon journaled but never
@@ -526,9 +611,7 @@ class PlannerDaemon:
                 # path unlinked it) and leave the rest for the next
                 # restart.
                 try:
-                    path.write_text(
-                        json.dumps(request.to_json(), indent=2)
-                    )
+                    write_json_atomic(path, request.to_json())
                 except OSError:
                     pass
                 break
@@ -544,9 +627,34 @@ class PlannerDaemon:
                     path.unlink()
                 except OSError:
                     pass
+        # Atomically retire the coalescing registration and capture the
+        # waiter list; attaches happen under the same lock, so a waiter
+        # either rides this fan-out or finds no primary and queues its
+        # own (cache-warm) search.
+        with self._lock:
+            if self._coalesce.get(ticket.fingerprint) is ticket:
+                del self._coalesce[ticket.fingerprint]
+            waiters = list(ticket.waiters)
+            ticket.waiters.clear()
         ticket.response = response
         self._count(response)
         ticket.done.set()
+        if waiters:
+            get_bus().emit(
+                COALESCE_FANOUT,
+                source="service",
+                fingerprint=ticket.fingerprint,
+                primary_request_id=ticket.request_id,
+                waiters=len(waiters),
+                status=response.status,
+            )
+        for waiter in waiters:
+            waiter.response = self._count(replace(
+                response,
+                request_id=waiter.request_id,
+                coalesced=True,
+            ))
+            waiter.done.set()
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():

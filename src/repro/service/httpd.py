@@ -45,6 +45,18 @@ _STATUS_CODES = {
 }
 
 
+def response_status_code(response) -> int:
+    """HTTP code for a terminal :class:`PlanResponse` (shared by the
+    daemon front-end and the fleet router front-end)."""
+    code = _STATUS_CODES.get(response.status, 500)
+    if response.status == STATUS_REJECTED and response.diagnostics:
+        # Admission lint rejected the request as invalid: that is a
+        # client error (400), not back-pressure (429) — retrying the
+        # same payload can never succeed.
+        code = 400
+    return code
+
+
 class PlannerHTTPServer(ThreadingHTTPServer):
     """HTTP server bound to a :class:`PlannerDaemon`."""
 
@@ -60,16 +72,20 @@ class PlannerHTTPServer(ThreadingHTTPServer):
         self.planner_daemon = daemon
 
 
-class _Handler(BaseHTTPRequestHandler):
-    protocol_version = "HTTP/1.1"
+class JSONHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing (telemetry access log, typed
+    bodies) for the daemon front-end and the fleet router front-end."""
 
-    # -- plumbing ------------------------------------------------------
+    protocol_version = "HTTP/1.1"
+    #: Telemetry source tag for access-log events.
+    telemetry_source = "service"
+
     def log_message(self, fmt: str, *args) -> None:
         # Route access logs onto the telemetry bus instead of stderr so
         # the daemon run log is the single source of truth.
         get_bus().emit(
             SERVICE_HTTP_ACCESS,
-            source="service",
+            source=self.telemetry_source,
             client=self.address_string(),
             line=fmt % args,
         )
@@ -95,6 +111,8 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError("request body must be a JSON object")
         return payload
 
+
+class _Handler(JSONHandler):
     @property
     def _daemon(self) -> PlannerDaemon:
         return self.server.planner_daemon  # type: ignore[attr-defined]
@@ -126,12 +144,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
             return
         response = self._daemon.submit(request)
-        code = _STATUS_CODES.get(response.status, 500)
-        if response.status == STATUS_REJECTED and response.diagnostics:
-            # Admission lint rejected the request as invalid: that is a
-            # client error (400), not back-pressure (429) — retrying the
-            # same payload can never succeed.
-            code = 400
+        code = response_status_code(response)
         self._send_json(
             code,
             response.to_json(),

@@ -17,6 +17,8 @@ requests pick up where the SIGTERM left them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -38,6 +40,21 @@ class PlanOutcome:
     partial: bool = False
     num_estimates: int = 0
     failures: list = field(default_factory=list)
+
+
+def plan_digest(plan: Optional[dict]) -> Optional[str]:
+    """Canonical digest of a plan dict (``None`` for no plan).
+
+    The chaos harness compares fleet answers against a single-daemon
+    oracle with this: two searches are bit-identical exactly when their
+    digests match, regardless of dict ordering.
+    """
+    if plan is None:
+        return None
+    digest = hashlib.sha256(
+        json.dumps(plan, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
 
 
 def plan_request(

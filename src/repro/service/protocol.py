@@ -209,6 +209,18 @@ class PlanResponse:
     #: Structured admission-lint findings (``Diagnostic.to_json()``
     #: dicts) explaining a rejected-as-invalid request.
     diagnostics: list = field(default_factory=list)
+    #: The plan predates the last invalidation: a degraded fleet chose
+    #: a stale-but-flagged answer over shedding the request.
+    stale: bool = False
+    #: This response was fanned out from another request's in-flight
+    #: search (same fingerprint, one search, many waiters).
+    coalesced: bool = False
+    #: Which fleet replica answered (``None`` outside a fleet).
+    replica: Optional[str] = None
+    #: How many replicas failed before this answer arrived.
+    failovers: int = 0
+    #: A hedge (backup request past the p99 budget) won the race.
+    hedged: bool = False
 
     def __post_init__(self) -> None:
         if self.status not in TERMINAL_STATUSES:
@@ -233,6 +245,11 @@ class PlanResponse:
             "elapsed_seconds": self.elapsed_seconds,
             "failures": self.failures,
             "diagnostics": self.diagnostics,
+            "stale": self.stale,
+            "coalesced": self.coalesced,
+            "replica": self.replica,
+            "failovers": self.failovers,
+            "hedged": self.hedged,
         }
 
     @classmethod
@@ -252,6 +269,11 @@ class PlanResponse:
                 elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
                 failures=list(data.get("failures", [])),
                 diagnostics=list(data.get("diagnostics", [])),
+                stale=bool(data.get("stale", False)),
+                coalesced=bool(data.get("coalesced", False)),
+                replica=data.get("replica"),
+                failovers=int(data.get("failovers", 0)),
+                hedged=bool(data.get("hedged", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, ProtocolError):

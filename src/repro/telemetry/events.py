@@ -80,6 +80,25 @@ ELASTIC_FALLBACK = "elastic.fallback"
 ELASTIC_CLUSTER_SHRUNK = "elastic.cluster.shrunk"
 ELASTIC_CACHE_INVALIDATE = "elastic.cache.invalidate"
 
+# -- request coalescing (in-daemon fingerprint sharing) ---------------
+COALESCE_ATTACH = "coalesce.attach"
+COALESCE_FANOUT = "coalesce.fanout"
+
+# -- planner fleet (router, replicas, chaos harness) ------------------
+FLEET_START = "fleet.start"
+FLEET_STOP = "fleet.stop"
+FLEET_REQUEST_ROUTED = "fleet.request.routed"
+FLEET_REQUEST_COMPLETED = "fleet.request.completed"
+FLEET_REQUEST_FAILOVER = "fleet.request.failover"
+FLEET_REQUEST_HEDGED = "fleet.request.hedged"
+FLEET_REQUEST_DEGRADED = "fleet.request.degraded"
+FLEET_REPLICA_UP = "fleet.replica.up"
+FLEET_REPLICA_DOWN = "fleet.replica.down"
+FLEET_RING_REBUILT = "fleet.ring.rebuilt"
+FLEET_FANOUT = "fleet.fanout"
+FLEET_CHAOS_KILL = "fleet.chaos.kill"
+FLEET_CHAOS_RESTART = "fleet.chaos.restart"
+
 # -- planner service --------------------------------------------------
 SERVICE_START = "service.start"
 SERVICE_DRAIN_BEGIN = "service.drain.begin"
@@ -115,6 +134,8 @@ FAULTS_PREFIX = "faults."
 CHECKPOINT_PREFIX = "checkpoint."
 ELASTIC_PREFIX = "elastic."
 SERVICE_PREFIX = "service."
+FLEET_PREFIX = "fleet."
+COALESCE_PREFIX = "coalesce."
 
 EVENT_PREFIXES: Tuple[str, ...] = (
     SEARCH_PREFIX,
@@ -126,6 +147,8 @@ EVENT_PREFIXES: Tuple[str, ...] = (
     CHECKPOINT_PREFIX,
     ELASTIC_PREFIX,
     SERVICE_PREFIX,
+    FLEET_PREFIX,
+    COALESCE_PREFIX,
 )
 
 #: Driver worker lifecycle issues surfaced per-event in summaries.

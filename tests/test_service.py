@@ -37,6 +37,7 @@ from repro.service import (
     PlannerDaemon,
     ProtocolError,
     QueueFullError,
+    TicketTimeout,
     serve,
 )
 from repro.telemetry import CallbackSink, TelemetryBus, using_bus
@@ -485,7 +486,11 @@ class TestDaemon:
             breaker_reset_seconds=0.2,
         )
         requests = (
-            [PlanRequest(model="crash-model") for _ in range(2)]
+            # Distinct fingerprints (identical in-flight requests would
+            # coalesce into one search — one crash, not two) but the
+            # same breaker key, which ignores the seed.
+            [PlanRequest(model="crash-model", seed=i)
+             for i in range(2)]
             + [PlanRequest(model="slow", deadline_seconds=0.3)]
             + [PlanRequest(model=f"burst-{i}") for i in range(9)]
         )
@@ -528,6 +533,110 @@ class TestDaemon:
         )
         assert recovered.status == STATUS_SERVED
         assert daemon.health()["status"] == "healthy"
+
+
+class TestCoalescing:
+    @pytest.fixture(autouse=True)
+    def _cleanup(self):
+        self.daemons = []
+        yield
+        for daemon in self.daemons:
+            daemon.drain(timeout=5)
+
+    def make(self, planner=quick_planner, **kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("queue_limit", 8)
+        daemon = PlannerDaemon(planner=planner, **kwargs).start()
+        self.daemons.append(daemon)
+        return daemon
+
+    def test_concurrent_identical_requests_share_one_search(
+        self, bus_events
+    ):
+        """N same-fingerprint submits in flight -> exactly one planner
+        call; every caller gets an identical plan."""
+        gate = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def gated_planner(request, *, deadline=None,
+                          checkpoint_path=None):
+            with lock:
+                calls.append(request.fingerprint())
+            gate.wait(timeout=10)
+            return ok_outcome(request)
+
+        daemon = self.make(planner=gated_planner, workers=1)
+        request = PlanRequest(model="m", gpus=4)
+        tickets = [daemon.submit_nowait(request) for _ in range(5)]
+        followers = [t for t in tickets if t.coalesced]
+        assert len(followers) == 4
+        gate.set()
+        responses = [t.wait(timeout=10) for t in tickets]
+        assert len(calls) == 1
+        assert all(r.status == STATUS_SERVED for r in responses)
+        plans = {json.dumps(r.plan, sort_keys=True) for r in responses}
+        assert len(plans) == 1
+        # Followers are flagged and keep their own request ids.
+        assert [r.request_id for r in responses] == [
+            t.request_id for t in tickets
+        ]
+        coalesced = [r for r in responses if r.coalesced]
+        assert len(coalesced) == 4
+        names = [e.name for e in bus_events]
+        assert names.count("coalesce.attach") == 4
+        assert "coalesce.fanout" in names
+        stats = daemon.health()["coalesce"]
+        assert stats["total"] == 4
+
+    def test_distinct_fingerprints_do_not_coalesce(self):
+        gate = threading.Event()
+
+        def gated_planner(request, *, deadline=None,
+                          checkpoint_path=None):
+            gate.wait(timeout=10)
+            return ok_outcome(request)
+
+        daemon = self.make(planner=gated_planner, workers=2)
+        one = daemon.submit_nowait(PlanRequest(model="m", gpus=4))
+        two = daemon.submit_nowait(PlanRequest(model="m", gpus=8))
+        assert not one.coalesced and not two.coalesced
+        gate.set()
+        assert one.wait(timeout=10).status == STATUS_SERVED
+        assert two.wait(timeout=10).status == STATUS_SERVED
+
+    def test_wait_timeout_is_typed(self):
+        gate = threading.Event()
+
+        def stuck_planner(request, *, deadline=None,
+                          checkpoint_path=None):
+            gate.wait(timeout=10)
+            return ok_outcome(request)
+
+        daemon = self.make(planner=stuck_planner, workers=1)
+        ticket = daemon.submit_nowait(PlanRequest(model="m"))
+        outcome = ticket.wait(timeout=0.05)
+        assert isinstance(outcome, TicketTimeout)
+        assert not outcome.ok
+        assert outcome.fingerprint == ticket.request.fingerprint()
+        assert outcome.waited_seconds >= 0.05
+        gate.set()
+        final = ticket.wait(timeout=10)
+        assert final.status == STATUS_SERVED
+
+    def test_submit_maps_timeout_to_failed_response(self):
+        gate = threading.Event()
+
+        def stuck_planner(request, *, deadline=None,
+                          checkpoint_path=None):
+            gate.wait(timeout=10)
+            return ok_outcome(request)
+
+        daemon = self.make(planner=stuck_planner, workers=1)
+        response = daemon.submit(PlanRequest(model="m"), timeout=0.05)
+        assert response.status == STATUS_FAILED
+        assert "timed out" in response.error
+        gate.set()
 
 
 class TestHTTP:
