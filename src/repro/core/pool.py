@@ -25,6 +25,7 @@ executor.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
@@ -37,9 +38,14 @@ from ..telemetry.events import (
 
 #: State a forked pool worker inherits instead of unpickling:
 #: ``(worker_fn, payload_builder)``.  Set by :meth:`WorkerPool.spawn`
-#: immediately before each fork and cleared right after, so concurrent
-#: pools cannot observe each other's state.
+#: immediately before each fork and cleared right after, under
+#: :data:`_FORK_LOCK` — pools are spawned concurrently from daemon
+#: worker threads, and an unguarded set/fork/clear lets one pool's
+#: child inherit another pool's state.
 _FORK_STATE: Optional[Tuple[Callable, Callable]] = None
+
+#: Serializes the set-state/fork/clear-state window in :meth:`spawn`.
+_FORK_LOCK = threading.Lock()
 
 #: Seconds to wait for a worker to acknowledge shutdown before
 #: escalating to ``terminate()``.
@@ -197,13 +203,14 @@ class WorkerPool:
             args=(child_conn, self._memory_limit_mb, shipped),
             daemon=True,  # a hung worker must not block interpreter exit
         )
-        if self._fork:
-            _FORK_STATE = self._state
-        try:
-            process.start()
-        finally:
+        with _FORK_LOCK:
             if self._fork:
-                _FORK_STATE = None
+                _FORK_STATE = self._state
+            try:
+                process.start()
+            finally:
+                if self._fork:
+                    _FORK_STATE = None
         child_conn.close()
         worker = PoolWorker(process=process, conn=parent_conn)
         self._workers.append(worker)

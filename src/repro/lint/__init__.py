@@ -13,8 +13,14 @@ Two tiers share one typed-diagnostics core (:mod:`repro.lint.diagnostics`):
 * **Tier B** (codebase): stdlib-``ast`` rules over ``src/repro``
   enforcing the repo's determinism and telemetry contracts
   (:mod:`repro.lint.codebase`).
+* **Tier C** (flow): a module-level call graph plus intraprocedural
+  taint interpretation (:mod:`repro.lint.flow`) powering the
+  determinism-taint, concurrency-discipline, and resource-lifecycle
+  rule packs (:mod:`repro.lint.flow_rules`, codes ACE92x/93x/94x).
 
-The ``repro-lint`` CLI (:mod:`repro.lint.cli`) fronts both tiers.
+The ``repro-lint`` CLI (:mod:`repro.lint.cli`) fronts all tiers and
+adds SARIF export (:mod:`repro.lint.sarif`) and new-findings-only
+gating against a committed baseline (:mod:`repro.lint.baseline`).
 """
 
 from .diagnostics import (
@@ -23,6 +29,8 @@ from .diagnostics import (
     WARNING,
     Diagnostic,
     max_severity,
+    sort_key,
+    sorted_diagnostics,
 )
 from .config_rules import (
     analyze_config,
@@ -42,6 +50,13 @@ from .artifacts import (
     lint_run_log_file,
 )
 from .codebase import analyze_source, analyze_tree
+from .flow_rules import (
+    analyze_flow_paths,
+    analyze_flow_source,
+    analyze_flow_tree,
+)
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .sarif import to_sarif
 
 __all__ = [
     "CODES",
@@ -64,4 +79,13 @@ __all__ = [
     "lint_run_log_file",
     "analyze_source",
     "analyze_tree",
+    "analyze_flow_paths",
+    "analyze_flow_source",
+    "analyze_flow_tree",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "to_sarif",
+    "sort_key",
+    "sorted_diagnostics",
 ]

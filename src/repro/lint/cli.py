@@ -1,16 +1,33 @@
 """The ``repro-lint`` command-line front end.
 
-Dispatches each path to the right analyzer: Python files and source
-trees go through the Tier-B codebase rules, JSON/JSONL artifacts (and
-directories of them) through the Tier-A artifact linters.  Examples::
+Dispatches each path to the selected analyzer tiers: JSON/JSONL
+artifacts go through the Tier-A artifact linters, Python files through
+the Tier-B per-file codebase rules, and — when Tier C is selected —
+every Python file in the invocation is analyzed as *one project* by
+the flow engine (taint, concurrency, resources need the shared call
+graph).  Examples::
 
-    repro-lint src/repro                      # codebase invariants
+    repro-lint src/repro                      # tiers A+B (default)
+    repro-lint --tier C src/repro             # flow analysis only
+    repro-lint --tier B --tier C src/repro scripts
     repro-lint state/ daemon-events.jsonl     # artifact lint
     repro-lint src/repro --format json -o report.json
-    repro-lint plan.json --select ACE30       # one rule family
+    repro-lint --tier C src/repro --format sarif -o report.sarif
+    repro-lint --tier C src/repro --baseline lint-baseline.json
+    repro-lint --tier C src/repro --baseline lint-baseline.json \\
+        --update-baseline                     # (re)write the baseline
+
+Diagnostics are always reported in the total ``(path, line, col,
+code, message)`` order — the same inputs produce byte-identical
+reports no matter which tier or analyzer ran first.
+
+With ``--baseline``, findings recorded in the baseline file are
+subtracted; only *new* findings are reported and gate the exit code.
+``--update-baseline`` instead rewrites the baseline to match the
+current findings and exits 0.
 
 Exit codes: 0 clean (warnings allowed), 1 when any error-severity
-diagnostic survives filtering, 2 on usage errors.
+diagnostic survives filtering/baselining, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -22,11 +39,22 @@ from pathlib import Path
 from typing import List, Optional
 
 from .artifacts import lint_artifact_path
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .codebase import analyze_file
-from .diagnostics import ERROR, WARNING, Diagnostic
+from .diagnostics import ERROR, WARNING, Diagnostic, sorted_diagnostics
+from .flow_rules import analyze_flow_paths
+from .sarif import to_sarif
 
 #: Artifact filename suffixes ``repro-lint`` picks up in directories.
 _ARTIFACT_SUFFIXES = (".json", ".jsonl")
+
+_TIERS = ("A", "B", "C")
+_DEFAULT_TIERS = ("A", "B")
 
 
 def _collect_paths(root: Path) -> List[Path]:
@@ -39,12 +67,6 @@ def _collect_paths(root: Path) -> List[Path]:
     return sorted(p for p in files if p.is_file())
 
 
-def _lint_file(path: Path) -> List[Diagnostic]:
-    if path.suffix == ".py":
-        return analyze_file(path)
-    return lint_artifact_path(path)
-
-
 def _select(
     diagnostics: List[Diagnostic], prefixes: Optional[List[str]]
 ) -> List[Diagnostic]:
@@ -54,13 +76,27 @@ def _select(
     return [d for d in diagnostics if d.code.startswith(wanted)]
 
 
+def _parse_tiers(raw: Optional[List[str]], error) -> List[str]:
+    if not raw:
+        return list(_DEFAULT_TIERS)
+    tiers: List[str] = []
+    for chunk in raw:
+        for tier in chunk.replace(",", " ").upper().split():
+            if tier not in _TIERS:
+                error(f"unknown tier {tier!r} (choose from A, B, C)")
+            if tier not in tiers:
+                tiers.append(tier)
+    return tiers
+
+
 def lint_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
             "Static analysis for Aceso plans, artifacts, and the "
             "repro codebase (diagnostic codes ACE1xx structural, "
-            "ACE2xx feasibility, ACE3xx artifact, ACE9xx codebase)."
+            "ACE2xx feasibility, ACE3xx artifact, ACE9xx codebase; "
+            "tiers: A artifacts, B per-file AST, C flow analysis)."
         ),
     )
     parser.add_argument(
@@ -70,8 +106,17 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         "JSONL run logs",
     )
     parser.add_argument(
+        "--tier",
+        action="append",
+        default=None,
+        metavar="TIER",
+        help="analyzer tiers to run: A (artifacts), B (per-file "
+        "codebase AST), C (flow analysis); repeatable or "
+        "comma-separated (default A,B)",
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default text)",
     )
@@ -86,15 +131,33 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         "e.g. --select ACE9 or --rule ACE331)",
     )
     parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file: subtract its findings and gate on new "
+        "ones only (see --update-baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings "
+        "and exit 0",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=None,
-        help="also write the JSON report to this file",
+        help="also write the report to this file (JSON, or SARIF "
+        "with --format sarif)",
     )
     args = parser.parse_args(argv)
+    tiers = _parse_tiers(args.tier, parser.error)
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline PATH")
 
     diagnostics: List[Diagnostic] = []
     checked: List[str] = []
+    flow_files: List[Path] = []
     for raw in args.paths:
         path = Path(raw)
         if not path.exists():
@@ -102,33 +165,83 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         for file in _collect_paths(path):
             checked.append(str(file))
             try:
-                diagnostics.extend(_lint_file(file))
+                if file.suffix == ".py":
+                    if "B" in tiers:
+                        diagnostics.extend(analyze_file(file))
+                    if "C" in tiers:
+                        flow_files.append(file)
+                elif "A" in tiers:
+                    diagnostics.extend(lint_artifact_path(file))
             except SyntaxError as exc:
                 print(
                     f"repro-lint: cannot parse {file}: {exc}",
                     file=sys.stderr,
                 )
                 return 2
+    if flow_files:
+        try:
+            diagnostics.extend(analyze_flow_paths(flow_files))
+        except SyntaxError as exc:
+            print(
+                f"repro-lint: cannot parse: {exc}", file=sys.stderr
+            )
+            return 2
 
-    diagnostics = _select(diagnostics, args.select)
+    diagnostics = sorted_diagnostics(_select(diagnostics, args.select))
+
+    baseline_stats = None
+    if args.baseline and args.update_baseline:
+        write_baseline(diagnostics, args.baseline)
+        print(
+            f"repro-lint: wrote baseline {args.baseline} "
+            f"({len(diagnostics)} finding(s))"
+        )
+        return 0
+    if args.baseline:
+        try:
+            known = load_baseline(args.baseline)
+        except BaselineError as exc:
+            parser.error(str(exc))
+        diagnostics, matched, stale = apply_baseline(diagnostics, known)
+        baseline_stats = {
+            "matched": matched,
+            "new": len(diagnostics),
+            "stale": len(stale),
+        }
+
     errors = [d for d in diagnostics if d.severity == ERROR]
     warnings = [d for d in diagnostics if d.severity == WARNING]
     report = {
         "diagnostics": [d.to_json() for d in diagnostics],
         "counts": {"error": len(errors), "warning": len(warnings)},
         "files_checked": len(checked),
+        "tiers": tiers,
     }
+    if baseline_stats is not None:
+        report["baseline"] = baseline_stats
+    if args.format == "sarif":
+        rendered = json.dumps(
+            to_sarif(diagnostics), indent=2, sort_keys=True
+        )
+    else:
+        rendered = json.dumps(report, indent=2)
     if args.output:
-        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    if args.format == "json":
-        print(json.dumps(report, indent=2))
+        Path(args.output).write_text(rendered + "\n")
+    if args.format in ("json", "sarif"):
+        print(rendered)
     else:
         for diag in diagnostics:
             print(diag.render())
-        print(
-            f"repro-lint: {len(checked)} file(s), "
+        summary = (
+            f"repro-lint: {len(checked)} file(s), tier {'+'.join(tiers)}, "
             f"{len(errors)} error(s), {len(warnings)} warning(s)"
         )
+        if baseline_stats is not None:
+            summary += (
+                f", baseline matched {baseline_stats['matched']}"
+                f" (stale {baseline_stats['stale']})"
+            )
+        print(summary)
     return 1 if errors else 0
 
 

@@ -26,9 +26,15 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Union
+from typing import List, Optional, Union
 
 from .diagnostics import Diagnostic
+from .source import (
+    ImportMap,
+    filter_suppressed,
+    module_path_for,
+    package_parts_for,
+)
 
 #: Top-level ``repro`` subpackages under the determinism contract.
 DETERMINISTIC_PACKAGES = ("core", "perfmodel", "parallel", "ir")
@@ -59,30 +65,8 @@ _SEEDED_CONSTRUCTORS = frozenset((
     "numpy.random.Philox",
 ))
 
-_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([A-Z0-9,\s]+)\)")
-
 _EVENTS_MODULE_RE = re.compile(r"(?:^|\.)telemetry\.events$")
 _EVENTS_CONST_RE = re.compile(r"(?:^|\.)telemetry\.events\.([A-Za-z_0-9]+)$")
-
-
-def _module_path(filename: Union[str, Path]) -> str:
-    """Posix path below the ``repro`` package, best effort."""
-    parts = Path(filename).parts
-    for i in range(len(parts) - 1, -1, -1):
-        if parts[i] == "repro":
-            return "/".join(parts[i + 1:])
-    return Path(filename).name
-
-
-def _line_suppressions(source: str) -> Dict[int, Set[str]]:
-    out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
-        if match:
-            out[lineno] = {
-                code.strip() for code in match.group(1).split(",")
-            }
-    return out
 
 
 class _Analyzer(ast.NodeVisitor):
@@ -93,38 +77,20 @@ class _Analyzer(ast.NodeVisitor):
         self.module_path = module_path
         self.deterministic = deterministic
         self.diagnostics: List[Diagnostic] = []
-        # binding name -> dotted module ("np" -> "numpy")
-        self._modules: Dict[str, str] = {}
-        # binding name -> dotted attribute ("Random" -> "random.Random")
-        self._names: Dict[str, str] = {}
+        self._imports = ImportMap(package_parts_for(module_path))
 
     # -- imports -------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.asname:
-                self._modules[alias.asname] = alias.name
-            else:
-                first = alias.name.split(".")[0]
-                self._modules[first] = first
+        self._imports.add_import(node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        for alias in node.names:
-            binding = alias.asname or alias.name
-            dotted = f"{module}.{alias.name}" if module else alias.name
-            self._names[binding] = dotted
+        self._imports.add_import_from(node)
         self.generic_visit(node)
 
     # -- resolution ----------------------------------------------------
     def _resolve(self, node) -> Optional[str]:
-        if isinstance(node, ast.Name):
-            return self._names.get(node.id) or self._modules.get(node.id)
-        if isinstance(node, ast.Attribute):
-            base = self._resolve(node.value)
-            if base is not None:
-                return f"{base}.{node.attr}"
-        return None
+        return self._imports.resolve(node)
 
     def _report(
         self, code: str, message: str, node: ast.AST, hint: str = ""
@@ -239,7 +205,7 @@ class _Analyzer(ast.NodeVisitor):
     def _registry_constant(self, node) -> Optional[str]:
         """Identifier when ``node`` reads a registry constant."""
         if isinstance(node, ast.Name):
-            dotted = self._names.get(node.id)
+            dotted = self._imports.names.get(node.id)
             if dotted is not None:
                 match = _EVENTS_CONST_RE.search(dotted)
                 if match:
@@ -304,7 +270,7 @@ def analyze_source(
     explicitly to lint fixture files as if they lived in the package.
     """
     if module_path is None:
-        module_path = _module_path(filename)
+        module_path = module_path_for(filename)
     deterministic = (
         module_path.split("/")[0] in DETERMINISTIC_PACKAGES
         and module_path not in DETERMINISM_ALLOWLIST
@@ -312,17 +278,7 @@ def analyze_source(
     tree = ast.parse(source, filename=filename)
     analyzer = _Analyzer(filename, module_path, deterministic)
     analyzer.visit(tree)
-    suppressions = _line_suppressions(source)
-    if not suppressions:
-        return analyzer.diagnostics
-    kept = []
-    for diag in analyzer.diagnostics:
-        _, _, lineno = diag.location.rpartition(":")
-        allowed = suppressions.get(int(lineno) if lineno.isdigit() else -1)
-        if allowed is not None and diag.code in allowed:
-            continue
-        kept.append(diag)
-    return kept
+    return filter_suppressed(analyzer.diagnostics, source)
 
 
 def analyze_file(path: Union[str, Path]) -> List[Diagnostic]:

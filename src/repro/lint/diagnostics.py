@@ -92,6 +92,24 @@ CODES: Dict[str, str] = {
     "ACE903": "telemetry emit with an unregistered event name",
     "ACE904": "dataclass defines to_json without a matching from_json",
     "ACE905": "bare except clause",
+    # -- ACE92x: Tier-C determinism taint -----------------------------
+    "ACE920": "nondeterministic value reaches a serialized JSON artifact",
+    "ACE921": "nondeterministic value reaches a digest or fingerprint",
+    "ACE922": "nondeterministic value reaches a telemetry event payload",
+    # -- ACE93x: Tier-C concurrency discipline ------------------------
+    "ACE930": "off-lock write to a lock-protected attribute from "
+              "thread-reachable code",
+    "ACE931": "blocking call while holding a lock",
+    "ACE932": "fork or worker-pool start after a non-daemon thread "
+              "was started",
+    "ACE933": "non-daemon thread started but never joined",
+    "ACE934": "worker pool or executor without guaranteed shutdown",
+    "ACE935": "unsynchronized read-modify-write on a shared attribute",
+    "ACE936": "module global mutated without synchronization",
+    # -- ACE94x: Tier-C resource lifecycle ----------------------------
+    "ACE940": "file opened outside with and not closed on every path",
+    "ACE941": "socket opened outside with and not closed on every path",
+    "ACE942": "temporary file or fd not cleaned up on every path",
 }
 
 
@@ -150,6 +168,35 @@ class Diagnostic:
         if self.hint:
             line += f"  [hint: {self.hint}]"
         return line
+
+
+def sort_key(diag: Diagnostic):
+    """Total order over diagnostics: (path, line, col, code, message).
+
+    Analyzer scheduling must never leak into report ordering —
+    ``repro-lint -o report.json`` over the same inputs is byte-identical
+    no matter which tier or analyzer produced each finding first.
+    Location-less diagnostics (config/request analysis) sort before any
+    located one on the empty path, then by code.
+    """
+    location = diag.location
+    path, line, col = location, -1, -1
+    head, sep, tail = path.rpartition(":")
+    if sep and tail.isdigit():
+        path, last = head, int(tail)
+        head, sep, tail = path.rpartition(":")
+        if sep and tail.isdigit():
+            path, line, col = head, int(tail), last
+        else:
+            line = last
+    return (path, line, col, diag.code, diag.message, diag.severity)
+
+
+def sorted_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> List[Diagnostic]:
+    """``diagnostics`` under the total :func:`sort_key` order."""
+    return sorted(diagnostics, key=sort_key)
 
 
 def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[str]:

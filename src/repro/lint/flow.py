@@ -1,0 +1,939 @@
+"""Tier-C flow-analysis core: module models, call graph, taint engine.
+
+This module owns the *machinery* shared by the Tier-C rule packs in
+:mod:`repro.lint.flow_rules`; it produces no diagnostics itself.
+
+Three layers:
+
+* **Module models** — every analyzed file becomes a
+  :class:`ModuleModel`: its :class:`~repro.lint.source.ImportMap`,
+  every function/method as a :class:`FunctionModel`, and every class
+  as a :class:`ClassModel` carrying the attributes the concurrency
+  rules care about (lock/condition/event attributes, thread-entry
+  methods).
+* **Call graph** — :meth:`Project.resolve_callee` resolves
+  ``self.m(...)``, bare ``f(...)``, and ``mod.f(...)`` call sites to
+  analyzed functions, lexically (no execution).  Calls it cannot
+  resolve are a documented false-negative boundary.
+* **Taint engine** — :class:`TaintEngine` runs a forward, branch-
+  joining abstract interpretation over one function body.  The
+  abstract value is a set of taint *kinds* (wall-clock, unseeded RNG,
+  OS entropy, object identity, filesystem order, set-iteration order)
+  plus bookkeeping tags (``param:i`` pseudo-kinds during summary
+  computation, ``_set``/``_hash`` type tags).  Function summaries —
+  which kinds a call returns, which parameters flow to the return
+  value, and which parameters reach a sink inside the callee — give
+  the engine one level of interprocedural reach through the call
+  graph, per the Tier-C contract.
+
+Determinism of the analysis itself is part of the contract: modules
+are processed in sorted path order, functions in source order, and no
+set iteration ever feeds an ordered output (summaries and reports are
+built from lists; the final diagnostic order is the total sort in
+:func:`repro.lint.diagnostics.sort_key`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
+
+from .source import ImportMap, module_path_for, package_parts_for
+
+# ---------------------------------------------------------------------
+# taint kinds
+# ---------------------------------------------------------------------
+WALLCLOCK = "wallclock"
+RNG = "rng"
+ENTROPY = "entropy"
+OBJECT_ID = "object-id"
+FS_ORDER = "fs-order"
+ITER_ORDER = "iter-order"
+
+#: Kinds a ``sorted()`` (or other order-fixing reduction) removes.
+ORDER_KINDS = frozenset((FS_ORDER, ITER_ORDER))
+
+#: Every reportable kind.
+TAINT_KINDS = frozenset(
+    (WALLCLOCK, RNG, ENTROPY, OBJECT_ID, FS_ORDER, ITER_ORDER)
+)
+
+#: Type tags threaded through the same lattice but never reported.
+SET_TAG = "_set"    # value is a set (iterating it is order-taint)
+HASH_TAG = "_hash"  # value is a hashlib digest object
+
+#: Pseudo-kind prefix marking "the value of parameter i" during
+#: summary computation.
+PARAM_PREFIX = "param:"
+
+EMPTY: FrozenSet[str] = frozenset()
+
+
+def param_kind(index: int) -> str:
+    return f"{PARAM_PREFIX}{index}"
+
+
+def real_kinds(kinds: FrozenSet[str]) -> FrozenSet[str]:
+    """Reportable kinds only (tags and param pseudo-kinds dropped)."""
+    return kinds & TAINT_KINDS
+
+
+def param_indices(kinds: FrozenSet[str]) -> Tuple[int, ...]:
+    return tuple(sorted(
+        int(kind[len(PARAM_PREFIX):])
+        for kind in kinds
+        if kind.startswith(PARAM_PREFIX)
+    ))
+
+
+# ---------------------------------------------------------------------
+# source / sanitizer tables
+# ---------------------------------------------------------------------
+#: Fully-resolved call paths that *produce* tainted values.
+TAINT_SOURCE_CALLS: Dict[str, str] = {
+    "time.time": WALLCLOCK,
+    "time.time_ns": WALLCLOCK,
+    "datetime.datetime.now": WALLCLOCK,
+    "datetime.datetime.utcnow": WALLCLOCK,
+    "datetime.datetime.today": WALLCLOCK,
+    "datetime.date.today": WALLCLOCK,
+    "os.urandom": ENTROPY,
+    "uuid.uuid1": ENTROPY,
+    "uuid.uuid4": ENTROPY,
+    "random.SystemRandom": ENTROPY,
+    "secrets.token_bytes": ENTROPY,
+    "secrets.token_hex": ENTROPY,
+    "id": OBJECT_ID,
+    "os.listdir": FS_ORDER,
+    "os.scandir": FS_ORDER,
+    "glob.glob": FS_ORDER,
+    "glob.iglob": FS_ORDER,
+}
+
+#: RNG constructors that are clean when (and only when) seeded.
+SEEDED_CONSTRUCTORS = frozenset((
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+))
+
+#: Attribute names that read filesystem order off a path-like object.
+FS_ORDER_METHODS = frozenset(("iterdir", "glob", "rglob"))
+
+#: Builtins that fix an ordering nondeterminism (reductions and sorts
+#: whose result does not depend on input order).
+ORDER_SANITIZERS = frozenset(("sorted", "min", "max", "sum", "frozenset"))
+
+#: Builtins whose result carries no taint regardless of input.
+FULL_SANITIZERS = frozenset(("len", "bool", "type", "isinstance"))
+
+#: Receiver-mutating methods that fold argument taint into the
+#: receiver's own taint.
+MUTATOR_METHODS = frozenset((
+    "append", "add", "extend", "insert", "update", "setdefault",
+    "appendleft", "push", "put",
+))
+
+#: hashlib constructors (their return value is tagged ``_hash`` and
+#: their data argument is a digest sink).
+HASH_CONSTRUCTORS = frozenset((
+    "hashlib.sha256", "hashlib.sha1", "hashlib.sha512", "hashlib.md5",
+    "hashlib.blake2b", "hashlib.blake2s", "hashlib.new",
+))
+
+#: Function-name patterns whose *return value* is a serialization /
+#: digest sink.
+TO_JSON_NAMES = frozenset(("to_json", "to_dict"))
+FINGERPRINT_NAMES = frozenset(("fingerprint", "digest", "cache_key"))
+
+
+# ---------------------------------------------------------------------
+# models
+# ---------------------------------------------------------------------
+@dataclass
+class FunctionModel:
+    """One analyzed function or method."""
+
+    qualname: str               # "f" or "Class.m"
+    name: str
+    node: ast.AST               # FunctionDef / AsyncFunctionDef
+    class_name: Optional[str]
+    params: Tuple[str, ...]     # positional params, "self" excluded
+    lineno: int
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassModel:
+    """Per-class facts the concurrency rules consume."""
+
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionModel] = field(default_factory=dict)
+    #: self attributes assigned ``threading.Lock/RLock/Condition`` in
+    #: ``__init__`` — the lock names whose ``with`` bodies define the
+    #: protected-attribute set.
+    lock_attrs: Tuple[str, ...] = ()
+    #: The subset of ``lock_attrs`` that are Conditions (their
+    #: ``.wait``/``.wait_for`` releases the lock, so it is not a
+    #: blocking-under-lock violation).
+    condition_attrs: Tuple[str, ...] = ()
+    #: self attributes assigned ``threading.Event()``.
+    event_attrs: Tuple[str, ...] = ()
+    #: self attributes assigned ``threading.Thread(...)``.
+    thread_attrs: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleModel:
+    """One parsed module plus its lexical facts."""
+
+    filename: str
+    module_path: str            # posix path below repro/ (or bare name)
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    functions: Dict[str, FunctionModel] = field(default_factory=dict)
+    classes: Dict[str, ClassModel] = field(default_factory=dict)
+    #: Module-level names bound to ``threading.Lock()``/``RLock()``.
+    lock_globals: Tuple[str, ...] = ()
+    #: Dotted module name ("repro.service.daemon") for cross-module
+    #: call resolution; empty for fixture files outside the package.
+    dotted: str = ""
+
+
+Summary = Tuple[FrozenSet[str], Tuple[int, ...], Tuple[Tuple[int, str], ...]]
+#: (returned kinds, params flowing to return, (param, sink-code) pairs)
+
+EMPTY_SUMMARY: Summary = (EMPTY, (), ())
+
+
+def _positional_params(node) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return tuple(names)
+
+
+def build_module(
+    source: str,
+    filename: str,
+    *,
+    module_path: Optional[str] = None,
+) -> ModuleModel:
+    """Parse one file into a :class:`ModuleModel`."""
+    if module_path is None:
+        module_path = module_path_for(filename)
+    tree = ast.parse(source, filename=filename)
+    package = package_parts_for(module_path)
+    imports = ImportMap(package).collect(tree)
+    dotted = ""
+    if module_path.endswith(".py") and "repro" in Path(filename).parts:
+        stem = module_path[:-3].replace("/", ".")
+        if stem.endswith(".__init__"):
+            stem = stem[: -len(".__init__")]
+        dotted = f"repro.{stem}"
+    module = ModuleModel(
+        filename=filename,
+        module_path=module_path,
+        source=source,
+        tree=tree,
+        imports=imports,
+        dotted=dotted,
+    )
+    lock_globals: List[str] = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[stmt.name] = FunctionModel(
+                qualname=stmt.name,
+                name=stmt.name,
+                node=stmt,
+                class_name=None,
+                params=_positional_params(stmt),
+                lineno=stmt.lineno,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            _build_class(module, stmt)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and isinstance(
+                stmt.value, ast.Call
+            ):
+                ctor = imports.resolve(stmt.value.func)
+                if ctor in ("threading.Lock", "threading.RLock"):
+                    lock_globals.append(target.id)
+    module.lock_globals = tuple(lock_globals)
+    return module
+
+
+def _build_class(module: ModuleModel, node: ast.ClassDef) -> None:
+    model = ClassModel(name=node.name, node=node)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionModel(
+                qualname=f"{node.name}.{item.name}",
+                name=item.name,
+                node=item,
+                class_name=node.name,
+                params=_positional_params(item),
+                lineno=item.lineno,
+            )
+            model.methods[item.name] = fn
+            module.functions[fn.qualname] = fn
+    locks: List[str] = []
+    conditions: List[str] = []
+    events: List[str] = []
+    threads: List[str] = []
+    # Sync primitives assigned to self anywhere in the class body
+    # (conventionally __init__, but start()/reset() patterns count).
+    for item in ast.walk(node):
+        if not isinstance(item, ast.Assign) or len(item.targets) != 1:
+            continue
+        target = item.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        if not isinstance(item.value, ast.Call):
+            continue
+        ctor = module.imports.resolve(item.value.func)
+        if ctor in ("threading.Lock", "threading.RLock"):
+            if target.attr not in locks:
+                locks.append(target.attr)
+        elif ctor == "threading.Condition":
+            if target.attr not in conditions:
+                conditions.append(target.attr)
+        elif ctor == "threading.Event":
+            if target.attr not in events:
+                events.append(target.attr)
+        elif ctor in ("threading.Thread", "threading.Timer"):
+            if target.attr not in threads:
+                threads.append(target.attr)
+    # A Condition wraps a lock: its with-body protects attributes too.
+    model.lock_attrs = tuple(locks + conditions)
+    model.condition_attrs = tuple(conditions)
+    model.event_attrs = tuple(events)
+    model.thread_attrs = tuple(threads)
+    module.classes[node.name] = model
+
+
+# ---------------------------------------------------------------------
+# project: modules + call graph + summaries
+# ---------------------------------------------------------------------
+class Project:
+    """Every analyzed module, with cross-module call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleModel] = {}
+        self._by_dotted: Dict[str, ModuleModel] = {}
+        self.summaries: Dict[Tuple[str, str], Summary] = {}
+
+    # -- construction --------------------------------------------------
+    def add(self, module: ModuleModel) -> None:
+        self.modules[module.module_path] = module
+        if module.dotted:
+            self._by_dotted[module.dotted] = module
+
+    @classmethod
+    def from_sources(
+        cls, sources: List[Tuple[str, str, Optional[str]]]
+    ) -> "Project":
+        """Build from ``(source, filename, module_path)`` triples."""
+        project = cls()
+        for source, filename, module_path in sources:
+            project.add(
+                build_module(source, filename, module_path=module_path)
+            )
+        project.compute_summaries()
+        return project
+
+    @classmethod
+    def from_paths(cls, paths: List[Union[str, Path]]) -> "Project":
+        project = cls()
+        for path in sorted(str(p) for p in paths):
+            project.add(build_module(
+                Path(path).read_text(encoding="utf-8"), path
+            ))
+        project.compute_summaries()
+        return project
+
+    # -- call resolution -----------------------------------------------
+    def resolve_callee(
+        self,
+        module: ModuleModel,
+        func_expr: ast.AST,
+        current_class: Optional[str],
+    ) -> Optional[Tuple[ModuleModel, FunctionModel]]:
+        """The analyzed function a call expression targets, if any."""
+        # self.m(...) -> a method on the enclosing class.
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and isinstance(func_expr.value, ast.Name)
+            and func_expr.value.id == "self"
+            and current_class is not None
+        ):
+            cls_model = module.classes.get(current_class)
+            if cls_model is not None:
+                target = cls_model.methods.get(func_expr.attr)
+                if target is not None:
+                    return module, target
+            return None
+        dotted = module.imports.resolve(func_expr)
+        if dotted is None:
+            # Bare name: a module-level function, or a class in this
+            # module (constructor calls resolve to __init__ for the
+            # param-sink check only — skipped for now).
+            if isinstance(func_expr, ast.Name):
+                target = module.functions.get(func_expr.id)
+                if target is not None and not target.is_method:
+                    return module, target
+            return None
+        # from repro.x import f  /  from . import x; x.f(...)
+        head, _, leaf = dotted.rpartition(".")
+        owner = self._by_dotted.get(head)
+        if owner is None:
+            # "from repro.service import daemon" + daemon.plan(...) —
+            # the dotted path is repro.service.daemon.plan.
+            owner = self._by_dotted.get(head) or self._by_dotted.get(
+                dotted
+            )
+        if owner is not None and leaf in owner.functions:
+            target = owner.functions[leaf]
+            if not target.is_method:
+                return owner, target
+        return None
+
+    def summary_for(
+        self, module: ModuleModel, fn: FunctionModel
+    ) -> Summary:
+        return self.summaries.get(
+            (module.module_path, fn.qualname), EMPTY_SUMMARY
+        )
+
+    # -- summaries -----------------------------------------------------
+    def compute_summaries(self, rounds: int = 2) -> None:
+        """Fixed number of deterministic rounds over every function.
+
+        Round 1 computes each function's local summary with empty
+        callee summaries; round 2 re-runs with round-1 summaries
+        visible, giving the engine its one level of interprocedural
+        reach (a second level accrues for call chains that happen to
+        be processed in order — harmless over-approximation).
+        """
+        for _ in range(rounds):
+            next_summaries: Dict[Tuple[str, str], Summary] = {}
+            for module_path in sorted(self.modules):
+                module = self.modules[module_path]
+                for qualname in module.functions:
+                    fn = module.functions[qualname]
+                    next_summaries[(module_path, qualname)] = (
+                        self._summarize(module, fn)
+                    )
+            self.summaries = next_summaries
+
+    def _summarize(
+        self, module: ModuleModel, fn: FunctionModel
+    ) -> Summary:
+        env = {
+            name: frozenset((param_kind(i),))
+            for i, name in enumerate(fn.params)
+        }
+        sink_hits: List[Tuple[int, str]] = []
+
+        def record(
+            code: str, node: ast.AST, kinds: FrozenSet[str], via: str
+        ) -> None:
+            for index in param_indices(kinds):
+                if (index, code) not in sink_hits:
+                    sink_hits.append((index, code))
+
+        engine = TaintEngine(self, module, fn, report=record)
+        returned = engine.run(env)
+        return (
+            real_kinds(returned),
+            param_indices(returned),
+            tuple(sink_hits),
+        )
+
+
+# ---------------------------------------------------------------------
+# the taint engine
+# ---------------------------------------------------------------------
+class TaintEngine:
+    """Forward taint interpretation over one function body.
+
+    ``report(code, node, kinds)`` is called for every sink reached by
+    a non-empty taint set; pass ``None`` to run silently (summary
+    computation uses a recorder that only keeps param pseudo-kinds).
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleModel,
+        fn: FunctionModel,
+        *,
+        report: Optional[Callable] = None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.fn = fn
+        self.report = report
+        self._return_taint: FrozenSet[str] = EMPTY
+        self._reported: List[Tuple[str, int, int]] = []
+
+    # -- entry ---------------------------------------------------------
+    def run(
+        self, env: Optional[Dict[str, FrozenSet[str]]] = None
+    ) -> FrozenSet[str]:
+        env = dict(env or {})
+        self._interp_body(self.fn.node.body, env)
+        return self._return_taint
+
+    # -- statements ------------------------------------------------------
+    def _interp_body(self, stmts, env) -> None:
+        for stmt in stmts:
+            self._interp_stmt(stmt, env)
+
+    def _merge(self, env, *branches) -> None:
+        keys: List[str] = list(env)
+        for branch in branches:
+            for key in branch:
+                if key not in keys:
+                    keys.append(key)
+        for key in keys:
+            merged = env.get(key, EMPTY)
+            for branch in branches:
+                merged = merged | branch.get(key, EMPTY)
+            env[key] = merged
+
+    def _interp_stmt(self, stmt, env) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(
+                    stmt.target, self._eval(stmt.value, env), env
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, env)
+            current = self._read_target(stmt.target, env)
+            self._assign(stmt.target, current | value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                kinds = self._eval(stmt.value, env)
+                self._return_taint = self._return_taint | kinds
+                self._check_return_sink(stmt, kinds)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env, else_env = dict(env), dict(env)
+            self._interp_body(stmt.body, then_env)
+            self._interp_body(stmt.orelse, else_env)
+            self._merge(env, then_env, else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self._eval(stmt.iter, env)
+            element = iter_taint - frozenset((SET_TAG,))
+            if SET_TAG in iter_taint:
+                element = element | frozenset((ITER_ORDER,))
+            # Two passes pick up loop-carried taint.
+            for _ in range(2):
+                self._assign(stmt.target, element, env)
+                body_env = dict(env)
+                self._interp_body(stmt.body, body_env)
+                self._merge(env, body_env)
+            self._interp_body(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            for _ in range(2):
+                body_env = dict(env)
+                self._interp_body(stmt.body, body_env)
+                self._merge(env, body_env)
+            self._interp_body(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                ctx = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, ctx, env)
+            self._interp_body(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self._interp_body(stmt.body, body_env)
+            handler_envs = []
+            for handler in stmt.handlers:
+                handler_env = dict(body_env)
+                if handler.name:
+                    handler_env[handler.name] = EMPTY
+                self._interp_body(handler.body, handler_env)
+                handler_envs.append(handler_env)
+            self._merge(env, body_env, *handler_envs)
+            self._interp_body(stmt.orelse, env)
+            self._interp_body(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Nested function/class definitions are analyzed on their own;
+        # globals/nonlocals/imports/pass/break/continue carry no taint.
+
+    def _assign(self, target, kinds: FrozenSet[str], env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = kinds
+        elif isinstance(target, ast.Attribute):
+            key = self._attr_key(target)
+            if key is not None:
+                env[key] = kinds
+        elif isinstance(target, ast.Subscript):
+            # d[k] = v taints the container.
+            base = self._read_target(target.value, env)
+            self._assign(target.value, base | kinds, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Starred):
+                    element = element.value
+                self._assign(element, kinds, env)
+
+    def _read_target(self, target, env) -> FrozenSet[str]:
+        if isinstance(target, ast.Name):
+            return env.get(target.id, EMPTY)
+        if isinstance(target, ast.Attribute):
+            key = self._attr_key(target)
+            if key is not None:
+                return env.get(key, EMPTY)
+        if isinstance(target, ast.Subscript):
+            return self._read_target(target.value, env)
+        return EMPTY
+
+    def _attr_key(self, node: ast.Attribute) -> Optional[str]:
+        if isinstance(node.value, ast.Name):
+            return f"{node.value.id}.{node.attr}"
+        return None
+
+    # -- expressions -----------------------------------------------------
+    def _eval(self, node, env) -> FrozenSet[str]:
+        if node is None:
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY)
+        if isinstance(node, ast.Attribute):
+            key = self._attr_key(node)
+            if key is not None and key in env:
+                return env[key]
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, (ast.List, ast.Tuple)):
+            out = EMPTY
+            for element in node.elts:
+                if isinstance(element, ast.Starred):
+                    element = element.value
+                out = out | self._eval(element, env)
+            return out
+        if isinstance(node, ast.Set):
+            out = frozenset((SET_TAG,))
+            for element in node.elts:
+                out = out | self._eval(element, env)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key, value in zip(node.keys, node.values):
+                out = out | self._eval(key, env) | self._eval(value, env)
+            return out
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, env, SET_TAG not in EMPTY)
+        if isinstance(node, ast.SetComp):
+            return self._eval_comprehension(node, env, False) | frozenset(
+                (SET_TAG,)
+            )
+        if isinstance(node, ast.DictComp):
+            comp_env = dict(env)
+            for generator in node.generators:
+                self._bind_comprehension(generator, comp_env)
+            return (
+                self._eval(node.key, comp_env)
+                | self._eval(node.value, comp_env)
+            )
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, env) | self._eval(node.right, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out = out | self._eval(value, env)
+            return out
+        if isinstance(node, ast.Compare):
+            # A comparison result is a bool; ordering taint does not
+            # survive, but identity/time taint does (x == id(y)).
+            out = self._eval(node.left, env)
+            for comparator in node.comparators:
+                out = out | self._eval(comparator, env)
+            return out - ORDER_KINDS - frozenset((SET_TAG,))
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._eval(node.body, env) | self._eval(
+                node.orelse, env
+            )
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value, env) - frozenset((SET_TAG,))
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out = out | self._eval(value.value, env)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._assign(node.target, value, env)
+            return value
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env)
+        return EMPTY
+
+    def _eval_comprehension(self, node, env, _unused) -> FrozenSet[str]:
+        comp_env = dict(env)
+        for generator in node.generators:
+            self._bind_comprehension(generator, comp_env)
+        return self._eval(node.elt, comp_env)
+
+    def _bind_comprehension(self, generator, comp_env) -> None:
+        iter_taint = self._eval(generator.iter, comp_env)
+        element = iter_taint - frozenset((SET_TAG,))
+        if SET_TAG in iter_taint:
+            element = element | frozenset((ITER_ORDER,))
+        self._assign(generator.target, element, comp_env)
+        for condition in generator.ifs:
+            self._eval(condition, comp_env)
+
+    # -- calls -----------------------------------------------------------
+    def _resolve_path(self, func_expr) -> Optional[str]:
+        path = self.module.imports.resolve(func_expr)
+        if path is None and isinstance(func_expr, ast.Name):
+            return func_expr.id
+        return path
+
+    def _arg_taints(self, node: ast.Call, env) -> List[FrozenSet[str]]:
+        return [self._eval(arg, env) for arg in node.args]
+
+    def _eval_call(self, node: ast.Call, env) -> FrozenSet[str]:
+        path = self._resolve_path(node.func)
+        arg_taints = self._arg_taints(node, env)
+        kw_taints = [
+            (kw.arg, self._eval(kw.value, env)) for kw in node.keywords
+        ]
+        all_args = arg_taints + [t for _, t in kw_taints]
+        union_args = EMPTY
+        for taint in all_args:
+            union_args = union_args | taint
+
+        self._check_call_sinks(
+            node, path, arg_taints, kw_taints, env
+        )
+
+        if path is not None:
+            # Direct sources.
+            kind = TAINT_SOURCE_CALLS.get(path)
+            if kind is not None:
+                return frozenset((kind,))
+            if path in SEEDED_CONSTRUCTORS:
+                if node.args or node.keywords:
+                    return EMPTY
+                return frozenset((RNG,))
+            if path.startswith("random.") or path.startswith(
+                "numpy.random."
+            ):
+                return frozenset((RNG,))
+            if path in HASH_CONSTRUCTORS:
+                return frozenset((HASH_TAG,))
+            # Sanitizers.
+            if path in FULL_SANITIZERS:
+                return EMPTY
+            if path in ORDER_SANITIZERS:
+                return (union_args - ORDER_KINDS) - frozenset((SET_TAG,))
+            if path in ("set", "frozenset"):
+                return union_args | frozenset((SET_TAG,))
+            if path in ("list", "tuple"):
+                # list(a_set) inherits the set's iteration order.
+                if SET_TAG in union_args:
+                    return (
+                        union_args - frozenset((SET_TAG,))
+                    ) | frozenset((ITER_ORDER,))
+                return union_args
+            if path == "dict":
+                return union_args - frozenset((SET_TAG,))
+
+        # Analyzed callee: apply its summary.
+        resolved = self.project.resolve_callee(
+            self.module, node.func, self.fn.class_name
+        )
+        if resolved is not None:
+            callee_module, callee = resolved
+            returns, flows, param_sinks = self.project.summary_for(
+                callee_module, callee
+            )
+            out = frozenset(returns)
+            for index in flows:
+                if index < len(arg_taints):
+                    out = out | arg_taints[index]
+            # Keyword args matched by name.
+            name_to_index = {
+                name: i for i, name in enumerate(callee.params)
+            }
+            for kw_name, taint in kw_taints:
+                index = name_to_index.get(kw_name or "")
+                if index is not None and index in flows:
+                    out = out | taint
+            for index, code in param_sinks:
+                taint = EMPTY
+                if index < len(arg_taints):
+                    taint = arg_taints[index]
+                else:
+                    for kw_name, kw_taint in kw_taints:
+                        if name_to_index.get(kw_name or "") == index:
+                            taint = kw_taint
+                if real_kinds(taint) or param_indices(taint):
+                    self._report(
+                        code, node, taint,
+                        via=f"a sink inside {callee.qualname}()",
+                    )
+            return out
+
+        # Method call on a tainted receiver keeps the receiver's taint
+        # (now.isoformat(), rng.random(), path-order chains) and
+        # mutator methods fold argument taint back into the receiver.
+        if isinstance(node.func, ast.Attribute):
+            receiver_taint = self._eval(node.func.value, env)
+            if node.func.attr in FS_ORDER_METHODS:
+                return frozenset((FS_ORDER,))
+            if node.func.attr in MUTATOR_METHODS:
+                base = self._read_target(node.func.value, env)
+                self._assign(
+                    node.func.value, base | union_args, env
+                )
+                return EMPTY
+            if node.func.attr in ("sort",):
+                base = self._read_target(node.func.value, env)
+                self._assign(
+                    node.func.value, base - ORDER_KINDS, env
+                )
+                return EMPTY
+            if node.func.attr in ("pop", "popitem") and SET_TAG in (
+                receiver_taint
+            ):
+                return (
+                    receiver_taint - frozenset((SET_TAG,))
+                ) | frozenset((ITER_ORDER,))
+            return (
+                (receiver_taint | union_args)
+                - frozenset((SET_TAG, HASH_TAG))
+            )
+
+        # Unknown callable: conservative propagation of argument taint.
+        return union_args - frozenset((SET_TAG, HASH_TAG))
+
+    # -- sinks -----------------------------------------------------------
+    def _check_call_sinks(
+        self, node, path, arg_taints, kw_taints, env
+    ) -> None:
+        def taint_at(index: int) -> FrozenSet[str]:
+            return (
+                arg_taints[index] if index < len(arg_taints) else EMPTY
+            )
+
+        if path in ("json.dump", "json.dumps"):
+            self._sink("ACE920", node, taint_at(0), "json payload")
+            return
+        if path is not None and (
+            path == "write_json_atomic"
+            or path.endswith(".write_json_atomic")
+        ):
+            payload = taint_at(1)
+            for kw_name, taint in kw_taints:
+                if kw_name == "payload":
+                    payload = payload | taint
+            self._sink(
+                "ACE920", node, payload, "write_json_atomic payload"
+            )
+            return
+        if path in HASH_CONSTRUCTORS:
+            combined = EMPTY
+            for taint in arg_taints:
+                combined = combined | taint
+            self._sink("ACE921", node, combined, "digest input")
+            return
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "update":
+                receiver = self._eval(node.func.value, env)
+                if HASH_TAG in receiver:
+                    combined = EMPTY
+                    for taint in arg_taints:
+                        combined = combined | taint
+                    self._sink(
+                        "ACE921", node, combined, "digest input"
+                    )
+                    return
+            if attr == "emit":
+                # First positional arg is the event name; everything
+                # else is payload.
+                combined = EMPTY
+                for taint in arg_taints[1:]:
+                    combined = combined | taint
+                for _, taint in kw_taints:
+                    combined = combined | taint
+                self._sink(
+                    "ACE922", node, combined, "telemetry event payload"
+                )
+
+    def _check_return_sink(self, stmt, kinds: FrozenSet[str]) -> None:
+        if self.fn.name in TO_JSON_NAMES:
+            self._sink(
+                "ACE920", stmt, kinds,
+                f"return value of {self.fn.qualname}()",
+            )
+        elif self.fn.name in FINGERPRINT_NAMES:
+            self._sink(
+                "ACE921", stmt, kinds,
+                f"return value of {self.fn.qualname}()",
+            )
+
+    def _sink(
+        self, code: str, node, kinds: FrozenSet[str], what: str
+    ) -> None:
+        if real_kinds(kinds) or param_indices(kinds):
+            self._report(code, node, kinds, via=what)
+
+    def _report(
+        self, code: str, node, kinds: FrozenSet[str], *, via: str = ""
+    ) -> None:
+        if self.report is None:
+            return
+        key = (code, node.lineno, getattr(node, "col_offset", 0))
+        if key in self._reported:
+            return
+        self._reported.append(key)
+        self.report(code, node, kinds, via)

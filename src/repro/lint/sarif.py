@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 export for ``repro-lint`` diagnostics.
+
+One static-analysis run becomes one SARIF ``run``: the tool driver
+lists every ``ACE***`` code that appears (id + short description from
+the registry), and each diagnostic becomes a ``result`` with its
+``ruleId``, level, message, and — when the location carries one — a
+``physicalLocation`` with 1-based line/column.  CI annotation UIs
+(GitHub code scanning among them) consume exactly this subset.
+
+Output is deterministic: results follow the total diagnostic sort
+order and the rule list is sorted by code, so the same findings always
+produce byte-identical SARIF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .diagnostics import CODES, Diagnostic, sorted_diagnostics
+from .source import split_location
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    diagnostics: Iterable[Diagnostic],
+    *,
+    tool_name: str = "repro-lint",
+) -> Dict[str, object]:
+    """SARIF 2.1.0 document for ``diagnostics``."""
+    ordered = sorted_diagnostics(diagnostics)
+    codes = sorted({d.code for d in ordered})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES.get(code, code)},
+        }
+        for code in codes
+    ]
+    results: List[Dict[str, object]] = []
+    for diag in ordered:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "level": diag.severity,
+            "message": {"text": diag.message},
+        }
+        path, line, col = split_location(diag.location)
+        if path:
+            region: Dict[str, object] = {}
+            if line > 0:
+                region["startLine"] = line
+            if col > 0:
+                region["startColumn"] = col
+            location: Dict[str, object] = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                }
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        if diag.hint:
+            result["properties"] = {"hint": diag.hint}
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

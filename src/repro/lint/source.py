@@ -1,0 +1,165 @@
+"""Shared source-model helpers for the Tier-B and Tier-C analyzers.
+
+Both codebase tiers work from the same primitives: a best-effort map
+from local binding names to the dotted paths they import
+(:class:`ImportMap`), the repo-relative module path a filename denotes
+(:func:`module_path_for`), and the ``# lint: allow(CODE, ...)``
+suppression comments that silence diagnostics on one line
+(:func:`line_suppressions` / :func:`filter_suppressed`).
+
+The import map resolves *lexically*, never by executing anything:
+``import numpy as np`` binds ``np -> numpy``; ``from ..telemetry import
+get_bus`` inside ``repro/service/daemon.py`` binds ``get_bus ->
+repro.telemetry.get_bus`` (relative levels are folded against the
+module's own package).  Dynamic imports and attribute reassignment are
+invisible — a deliberate false-negative boundary shared by every rule
+built on top.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from .diagnostics import Diagnostic
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([A-Z0-9,\s]+)\)")
+
+
+def module_path_for(filename: Union[str, Path]) -> str:
+    """Posix path below the ``repro`` package, best effort.
+
+    Falls back to the bare filename when the path does not contain a
+    ``repro`` component (fixture files, scripts).
+    """
+    parts = Path(filename).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1:])
+    return Path(filename).name
+
+
+def package_parts_for(module_path: str) -> List[str]:
+    """Dotted-package components of a repo-relative module path.
+
+    ``service/daemon.py`` lives in package ``repro.service``;
+    ``ioutil.py`` lives in ``repro``.  Used to fold relative imports.
+    """
+    parts = ["repro"] + module_path.split("/")
+    # Drop the module filename itself; __init__.py *is* the package.
+    leaf = parts.pop()
+    if leaf == "__init__.py":
+        return parts
+    return parts
+
+
+class ImportMap:
+    """Lexical import bindings of one module.
+
+    ``modules`` maps binding name -> dotted module ("np" -> "numpy");
+    ``names`` maps binding name -> dotted attribute
+    ("Random" -> "random.Random").  :meth:`resolve` walks ``Name`` /
+    ``Attribute`` chains into full dotted paths.
+    """
+
+    def __init__(self, package_parts: Optional[List[str]] = None) -> None:
+        self.modules: Dict[str, str] = {}
+        self.names: Dict[str, str] = {}
+        self._package = list(package_parts or [])
+
+    # -- construction --------------------------------------------------
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.modules[alias.asname] = alias.name
+            else:
+                first = alias.name.split(".")[0]
+                self.modules[first] = first
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        module = self._absolutize(node.module or "", node.level)
+        for alias in node.names:
+            binding = alias.asname or alias.name
+            dotted = f"{module}.{alias.name}" if module else alias.name
+            self.names[binding] = dotted
+
+    def _absolutize(self, module: str, level: int) -> str:
+        """Fold a relative import against the module's own package."""
+        if level == 0:
+            return module
+        base = self._package[: len(self._package) - (level - 1)]
+        if not base:
+            return module
+        return ".".join(base + ([module] if module else []))
+
+    def collect(self, tree: ast.AST) -> "ImportMap":
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                self.add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                self.add_import_from(node)
+        return self
+
+    # -- resolution ----------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path for a ``Name``/``Attribute`` chain, or ``None``."""
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id) or self.modules.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+
+def line_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line number -> codes allowed by a ``# lint: allow(...)`` comment."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            out[lineno] = {
+                code.strip() for code in match.group(1).split(",")
+            }
+    return out
+
+
+def filter_suppressed(
+    diagnostics: Iterable[Diagnostic], source: str
+) -> List[Diagnostic]:
+    """Drop diagnostics whose line carries a matching allow comment.
+
+    A diagnostic's line is the second ``:``-separated location field
+    (``path:line`` or ``path:line:col``).
+    """
+    suppressions = line_suppressions(source)
+    if not suppressions:
+        return list(diagnostics)
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        _, lineno, _ = split_location(diag.location)
+        allowed = suppressions.get(lineno)
+        if allowed is not None and diag.code in allowed:
+            continue
+        kept.append(diag)
+    return kept
+
+
+def split_location(location: str):
+    """``(path, line, col)`` from ``path[:line[:col]]``.
+
+    Line and column are parsed off the right end (the path itself may
+    contain colons); missing fields come back as ``-1``.
+    """
+    path, line, col = location, -1, -1
+    head, sep, tail = path.rpartition(":")
+    if sep and tail.isdigit():
+        path, last = head, int(tail)
+        head, sep, tail = path.rpartition(":")
+        if sep and tail.isdigit():
+            path, line, col = head, int(tail), last
+        else:
+            line = last
+    return path, line, col

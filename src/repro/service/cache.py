@@ -87,16 +87,22 @@ class PlanCache:
             return dict(entry)
 
     def put(self, fingerprint: str, entry: dict) -> None:
+        stored = dict(entry)
         with self._lock:
-            self._entries[fingerprint] = dict(entry)
+            self._entries[fingerprint] = stored
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.max_entries:
                 evicted, _ = self._entries.popitem(last=False)
                 self._unlink(evicted)
-            if self.directory is not None:
-                write_json_atomic(
-                    self.directory / f"{fingerprint}.plan.json", entry
-                )
+        # Persist outside the lock: the atomic write is disk I/O, and
+        # holding the cache lock across it stalls every hit/miss while
+        # the kernel fsyncs.  Concurrent puts of the same fingerprint
+        # race benignly — os.replace is atomic, last writer wins, and
+        # the in-memory entry is the authority on the next get().
+        if self.directory is not None:
+            write_json_atomic(
+                self.directory / f"{fingerprint}.plan.json", stored
+            )
 
     def snapshot(self) -> dict:
         """Copy of every live entry, LRU-oldest first.

@@ -245,6 +245,7 @@ class PlannerDaemon:
                 ),
                 "total": self._coalesced_total,
             }
+            counters = dict(self.counters)
         queue = self.admission.stats()
         return {
             "status": "degraded" if degraded else "healthy",
@@ -258,7 +259,7 @@ class PlannerDaemon:
             "coalesce": coalesce,
             "breakers": breakers,
             "cache": self.cache.stats(),
-            "requests": dict(self.counters),
+            "requests": counters,
         }
 
     def drain(self, timeout: Optional[float] = 30.0) -> dict:
@@ -555,7 +556,11 @@ class PlannerDaemon:
 
     def _count(self, response: PlanResponse) -> PlanResponse:
         key = response.status
-        self.counters[key] = self.counters.get(key, 0) + 1
+        # Worker threads finish requests concurrently; the counter
+        # update is a read-modify-write and must hold the lock (every
+        # caller invokes _count outside the locked regions).
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + 1
         if response.status == STATUS_REJECTED:
             get_bus().emit(
                 SERVICE_REQUEST_REJECTED,

@@ -305,7 +305,10 @@ def set_bus(bus: TelemetryBus) -> TelemetryBus:
     """Replace the global bus; returns the previous one."""
     global _GLOBAL_BUS
     previous = _GLOBAL_BUS
-    _GLOBAL_BUS = bus
+    # Swapping the bus is a single reference assignment, done from the
+    # main thread during setup/teardown (using_bus in tests, CLI boot)
+    # before worker threads exist; a lock here would buy nothing.
+    _GLOBAL_BUS = bus  # lint: allow(ACE936)
     return previous
 
 

@@ -1,0 +1,62 @@
+"""Clean: disciplined threading — every ACE93x rule satisfied."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_STATE = None
+_STATE_LOCK = threading.Lock()
+
+
+def set_state(value):
+    global _STATE
+    with _STATE_LOCK:
+        _STATE = value
+
+
+def job():
+    return 1
+
+
+def compute():
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return pool.submit(job).result()
+
+
+def compute_finally():
+    pool = ThreadPoolExecutor(max_workers=2)
+    try:
+        return pool.submit(job).result()
+    finally:
+        pool.shutdown()
+
+
+def run_joined():
+    helper = threading.Thread(target=job)
+    helper.start()
+    helper.join()
+
+
+def run_daemon():
+    helper = threading.Thread(target=job, daemon=True)
+    helper.start()
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.status = "idle"
+        self.counts = {}
+
+    def start(self):
+        worker = threading.Thread(target=self._loop, daemon=True)
+        worker.start()
+
+    def _loop(self):
+        with self._lock:
+            self.status = "running"
+            self.counts["loops"] = self.counts.get("loops", 0) + 1
+
+    def wait_done(self):
+        with self._cond:
+            self._cond.wait(timeout=1.0)

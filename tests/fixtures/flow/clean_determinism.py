@@ -1,0 +1,31 @@
+"""Clean: sanitized/seeded values may reach serialization sinks.
+
+Every pattern here is the sanctioned fix for an ACE92x finding:
+sorted() fixes filesystem and set order, an explicitly seeded RNG is
+deterministic, and monotonic clocks are accepted in artifacts.
+"""
+
+import json
+import os
+import random
+import time
+
+
+def manifest(root, out):
+    files = sorted(os.listdir(root))
+    json.dump({"files": files}, out)
+
+
+def dump_names(out):
+    names = {"b", "a", "c"}
+    json.dump(sorted(names), out)
+
+
+def replayable(seed, out):
+    rng = random.Random(seed)
+    json.dump({"draw": rng.random()}, out)
+
+
+def timed(out):
+    elapsed = time.monotonic()
+    json.dump({"elapsed": elapsed}, out)

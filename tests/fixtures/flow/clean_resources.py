@@ -1,0 +1,44 @@
+"""Clean: every resource is with-scoped, finally-released, adopted by
+a consumer, or handed to an owner."""
+
+import os
+import socket
+import tempfile
+
+
+def read_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def read_closed(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def probe(host):
+    with socket.create_connection((host, 80)) as conn:
+        conn.sendall(b"ping")
+        return conn.recv(16)
+
+
+def atomic_write(path, data):
+    fd, temp_name = tempfile.mkstemp(dir=os.path.dirname(path))
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(data)
+        os.replace(temp_name, path)
+    finally:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+
+
+class Sink:
+    def __init__(self, path):
+        self._handle = open(path, "a")
+
+    def close(self):
+        self._handle.close()

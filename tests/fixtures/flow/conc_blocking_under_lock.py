@@ -1,0 +1,15 @@
+"""ACE931: time.sleep while holding the instance lock."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def poll(self):
+        with self._lock:
+            time.sleep(0.5)
+            self.value += 1

@@ -1,0 +1,16 @@
+"""ACE932: os.fork after a non-daemon thread was started."""
+
+import os
+import threading
+
+
+def work():
+    pass
+
+
+def main():
+    helper = threading.Thread(target=work)
+    helper.start()
+    pid = os.fork()
+    helper.join()
+    return pid

@@ -1,0 +1,8 @@
+"""ACE936: module global reassigned without synchronization."""
+
+_STATE = None
+
+
+def set_state(value):
+    global _STATE
+    _STATE = value

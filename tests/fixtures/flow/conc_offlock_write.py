@@ -1,0 +1,21 @@
+"""ACE930: thread-reachable method writes a lock-protected attribute
+without the lock."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.status = "idle"
+
+    def start(self):
+        worker = threading.Thread(target=self._loop, daemon=True)
+        worker.start()
+
+    def _loop(self):
+        self.status = "running"
+
+    def finish(self):
+        with self._lock:
+            self.status = "done"

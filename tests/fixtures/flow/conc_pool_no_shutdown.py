@@ -1,0 +1,13 @@
+"""ACE934: executor created without with/finally shutdown."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def job():
+    return 1
+
+
+def compute():
+    pool = ThreadPoolExecutor(max_workers=2)
+    future = pool.submit(job)
+    return future.result()

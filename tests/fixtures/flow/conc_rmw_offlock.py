@@ -1,0 +1,16 @@
+"""ACE935: read-modify-write of a shared counter without the lock."""
+
+import threading
+
+
+class Stats:
+    def __init__(self, executor):
+        self._lock = threading.Lock()
+        self.counts = {}
+        self._executor = executor
+
+    def start(self):
+        self._executor.submit(self._work)
+
+    def _work(self):
+        self.counts["done"] = self.counts.get("done", 0) + 1

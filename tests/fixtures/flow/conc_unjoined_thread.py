@@ -1,0 +1,12 @@
+"""ACE933: non-daemon thread started and abandoned."""
+
+import threading
+
+
+def work():
+    pass
+
+
+def launch():
+    helper = threading.Thread(target=work)
+    helper.start()

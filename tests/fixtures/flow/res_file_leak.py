@@ -1,0 +1,7 @@
+"""ACE940: file opened outside with and never closed."""
+
+
+def read_config(path):
+    handle = open(path)
+    data = handle.read()
+    return data

@@ -1,0 +1,9 @@
+"""ACE941: socket opened outside with and not closed on every path."""
+
+import socket
+
+
+def probe(host):
+    conn = socket.create_connection((host, 80))
+    conn.sendall(b"ping")
+    return conn.recv(16)

@@ -1,0 +1,8 @@
+"""ACE942: mkstemp fd neither adopted nor closed."""
+
+import tempfile
+
+
+def scratch_path():
+    fd, name = tempfile.mkstemp(suffix=".tmp")
+    return name

@@ -1,0 +1,12 @@
+"""ACE920 via one level of call summary: helper returns wall-clock."""
+
+import json
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def save(out):
+    json.dump({"at": stamp()}, out)

@@ -1,0 +1,9 @@
+"""ACE921: object identity fed into a sha256 fingerprint."""
+
+import hashlib
+
+
+def hash_plan(plan):
+    sha = hashlib.sha256()
+    sha.update(str(id(plan)).encode())
+    return sha.hexdigest()

@@ -1,0 +1,7 @@
+"""ACE922: wall-clock timestamp in a telemetry event payload."""
+
+import time
+
+
+def report(bus):
+    bus.emit("search.step", wall=time.time())

@@ -1,0 +1,9 @@
+"""ACE920: unsorted os.listdir order serialized into an artifact."""
+
+import json
+import os
+
+
+def manifest(root, out):
+    files = os.listdir(root)
+    json.dump({"files": files}, out)

@@ -1,0 +1,10 @@
+"""ACE920: wall-clock time flows through a local into json.dump."""
+
+import json
+import time
+
+
+def save(out):
+    started = time.time()
+    payload = {"started": started}
+    json.dump(payload, out)

@@ -1,0 +1,13 @@
+"""ACE920 via a parameter sink: tainted arg reaches json.dumps inside
+the callee; the finding is reported at the call site."""
+
+import json
+import time
+
+
+def serialize(value):
+    return json.dumps({"value": value})
+
+
+def snapshot():
+    return serialize(time.time())

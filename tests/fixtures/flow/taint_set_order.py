@@ -1,0 +1,9 @@
+"""ACE920: set iteration order reaches ordered JSON output."""
+
+import json
+
+
+def dump_names(out):
+    names = {"b", "a", "c"}
+    ordered = list(names)
+    json.dump(ordered, out)

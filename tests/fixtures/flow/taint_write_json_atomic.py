@@ -1,0 +1,10 @@
+"""ACE920: unseeded RNG value written via write_json_atomic."""
+
+import random
+
+from repro.ioutil import write_json_atomic
+
+
+def checkpoint(path):
+    jitter = random.random()
+    write_json_atomic(path, {"jitter": jitter})

@@ -1,0 +1,435 @@
+"""Tier-C flow analysis: fixtures, taint unit suite, baseline, SARIF,
+total diagnostic ordering, and the determinism property.
+
+The fixture matrix pins *exact* codes: each negative fixture under
+``tests/fixtures/flow/`` must produce precisely its advertised
+diagnostics, and every ``clean_*`` fixture must produce none — zero
+false positives is part of the Tier-C contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import lint_main
+from repro.lint.diagnostics import Diagnostic, sorted_diagnostics
+from repro.lint.flow_rules import (
+    analyze_flow_source,
+    analyze_flow_tree,
+)
+from repro.lint.sarif import to_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# ---------------------------------------------------------------------
+# fixture matrix: exact codes per rule
+# ---------------------------------------------------------------------
+FIXTURE_CODES = {
+    "taint_json_dump.py": ["ACE920"],
+    "taint_write_json_atomic.py": ["ACE920"],
+    "taint_digest.py": ["ACE921"],
+    "taint_emit.py": ["ACE922"],
+    "taint_fs_order.py": ["ACE920"],
+    "taint_set_order.py": ["ACE920"],
+    "taint_call_summary.py": ["ACE920"],
+    "taint_param_sink.py": ["ACE920"],
+    "conc_offlock_write.py": ["ACE930"],
+    "conc_blocking_under_lock.py": ["ACE931"],
+    "conc_fork_after_thread.py": ["ACE932"],
+    "conc_unjoined_thread.py": ["ACE933"],
+    "conc_pool_no_shutdown.py": ["ACE934"],
+    "conc_rmw_offlock.py": ["ACE935"],
+    "conc_global_mutation.py": ["ACE936"],
+    "res_file_leak.py": ["ACE940"],
+    "res_socket_leak.py": ["ACE941"],
+    "res_tempfile_leak.py": ["ACE942"],
+}
+
+CLEAN_FIXTURES = (
+    "clean_determinism.py",
+    "clean_concurrency.py",
+    "clean_resources.py",
+)
+
+
+class TestFixtures:
+    @pytest.mark.parametrize(
+        "name,expected", sorted(FIXTURE_CODES.items())
+    )
+    def test_negative_fixture_exact_codes(self, name, expected):
+        diagnostics = analyze_flow_tree(FIXTURES / name)
+        assert codes(diagnostics) == expected
+
+    @pytest.mark.parametrize("name", CLEAN_FIXTURES)
+    def test_clean_fixture_no_findings(self, name):
+        assert analyze_flow_tree(FIXTURES / name) == []
+
+    def test_matrix_covers_every_fixture(self):
+        on_disk = {p.name for p in FIXTURES.glob("*.py")}
+        assert on_disk == set(FIXTURE_CODES) | set(CLEAN_FIXTURES)
+
+
+# ---------------------------------------------------------------------
+# taint propagation unit suite
+# ---------------------------------------------------------------------
+def flow(source: str):
+    return analyze_flow_source(source, "unit.py")
+
+
+class TestTaintPropagation:
+    def test_assignment_chain(self):
+        diags = flow(
+            "import json, time\n"
+            "def f(out):\n"
+            "    a = time.time()\n"
+            "    b = a\n"
+            "    c = b\n"
+            "    json.dump(c, out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+        assert "wallclock" in diags[0].message
+
+    def test_container_propagation(self):
+        diags = flow(
+            "import json, time\n"
+            "def f(out):\n"
+            "    items = []\n"
+            "    items.append(time.time())\n"
+            "    json.dump({'items': items}, out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+
+    def test_call_summary_one_level(self):
+        diags = flow(
+            "import json, time\n"
+            "def helper():\n"
+            "    return time.time()\n"
+            "def f(out):\n"
+            "    json.dump(helper(), out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+
+    def test_param_flow_through_callee(self):
+        diags = flow(
+            "import json, time\n"
+            "def wrap(x):\n"
+            "    return {'v': x}\n"
+            "def f(out):\n"
+            "    json.dump(wrap(time.time()), out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+
+    def test_param_sink_reported_at_call_site(self):
+        diags = flow(
+            "import json, time\n"
+            "def save(x, out):\n"
+            "    json.dump(x, out)\n"
+            "def f(out):\n"
+            "    save(time.time(), out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+        assert "save()" in diags[0].message
+        # The finding anchors at f's call site, not inside save.
+        assert diags[0].location.startswith("unit.py:5")
+
+    def test_sorted_sanitizes_order(self):
+        assert flow(
+            "import json, os\n"
+            "def f(root, out):\n"
+            "    json.dump(sorted(os.listdir(root)), out)\n"
+        ) == []
+
+    def test_seeded_rng_is_clean(self):
+        assert flow(
+            "import json, random\n"
+            "def f(seed, out):\n"
+            "    rng = random.Random(seed)\n"
+            "    json.dump(rng.random(), out)\n"
+        ) == []
+
+    def test_unseeded_rng_is_tainted(self):
+        diags = flow(
+            "import json, random\n"
+            "def f(out):\n"
+            "    rng = random.Random()\n"
+            "    json.dump(rng.random(), out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+        assert "rng" in diags[0].message
+
+    def test_sanitizer_does_not_strip_value_taint(self):
+        # sorted() fixes *order* nondeterminism, not value taint.
+        diags = flow(
+            "import json, time\n"
+            "def f(out):\n"
+            "    json.dump(sorted([time.time()]), out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+
+    def test_branch_join_unions_taint(self):
+        diags = flow(
+            "import json, time\n"
+            "def f(flag, out):\n"
+            "    v = 0\n"
+            "    if flag:\n"
+            "        v = time.time()\n"
+            "    json.dump(v, out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+
+    def test_loop_carried_taint(self):
+        diags = flow(
+            "import json, time\n"
+            "def f(n, out):\n"
+            "    total = 0\n"
+            "    for _ in range(n):\n"
+            "        total = total + time.time()\n"
+            "    json.dump(total, out)\n"
+        )
+        assert codes(diags) == ["ACE920"]
+
+    def test_monotonic_is_not_a_source(self):
+        assert flow(
+            "import json, time\n"
+            "def f(out):\n"
+            "    json.dump(time.monotonic(), out)\n"
+        ) == []
+
+    def test_allow_comment_suppresses(self):
+        assert flow(
+            "import json, time\n"
+            "def f(out):\n"
+            "    json.dump(time.time(), out)"
+            "  # lint: allow(ACE920)\n"
+        ) == []
+
+
+# ---------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------
+class TestBaseline:
+    def diag(self, code="ACE920", message="m", location="a.py:3:1"):
+        return Diagnostic(code, message, location=location)
+
+    def test_key_ignores_line_numbers(self):
+        a = self.diag(location="a.py:3:1")
+        b = self.diag(location="a.py:99:7")
+        assert baseline_key(a) == baseline_key(b)
+
+    def test_roundtrip_and_apply(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        known = [self.diag(message="old finding")]
+        write_baseline(known, path)
+        current = known + [self.diag(message="new finding")]
+        new, matched, stale = apply_baseline(
+            current, load_baseline(path)
+        )
+        assert matched == 1
+        assert [d.message for d in new] == ["new finding"]
+        assert stale == []
+
+    def test_stale_entries_surface(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self.diag(message="paid down")], path)
+        new, matched, stale = apply_baseline([], load_baseline(path))
+        assert new == [] and matched == 0
+        assert stale == [("a.py", "ACE920", "paid down")]
+
+    def test_multiset_semantics(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self.diag()], path)
+        twice = [self.diag(location="a.py:1:1"),
+                 self.diag(location="a.py:2:1")]
+        new, matched, _ = apply_baseline(twice, load_baseline(path))
+        assert matched == 1 and len(new) == 1
+
+    def test_written_file_is_deterministic(self, tmp_path):
+        one, two = tmp_path / "1.json", tmp_path / "2.json"
+        findings = [self.diag(message="x"), self.diag(message="y")]
+        write_baseline(findings, one)
+        write_baseline(list(reversed(findings)), two)
+        assert one.read_bytes() == two.read_bytes()
+
+
+# ---------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------
+class TestSarif:
+    def test_structure_and_location(self):
+        diags = analyze_flow_tree(FIXTURES / "taint_json_dump.py")
+        doc = to_sarif(diags)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == (
+            ["ACE920"]
+        )
+        result = run["results"][0]
+        assert result["ruleId"] == "ACE920"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] > 0 and region["startColumn"] > 0
+
+    def test_empty_run_is_valid(self):
+        doc = to_sarif([])
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+# ---------------------------------------------------------------------
+# total diagnostic order (satellite bugfix)
+# ---------------------------------------------------------------------
+class TestTotalOrder:
+    def test_sort_key_orders_path_line_col_code(self):
+        diags = [
+            Diagnostic("ACE920", "m", location="b.py:1:1"),
+            Diagnostic("ACE905", "m", location="a.py:10"),
+            Diagnostic("ACE940", "m", location="a.py:2:7"),
+            Diagnostic("ACE921", "m", location="a.py:2:3"),
+            Diagnostic("ACE920", "m", location="a.py:2:3"),
+            Diagnostic("ACE101", "config-level, no location"),
+        ]
+        ordered = sorted_diagnostics(diags)
+        assert [
+            (d.location, d.code) for d in ordered
+        ] == [
+            ("", "ACE101"),
+            ("a.py:2:3", "ACE920"),
+            ("a.py:2:3", "ACE921"),
+            ("a.py:2:7", "ACE940"),
+            ("a.py:10", "ACE905"),
+            ("b.py:1:1", "ACE920"),
+        ]
+
+    def test_sort_is_analyzer_order_independent(self):
+        diags = analyze_flow_tree(FIXTURES)
+        assert diags == sorted_diagnostics(reversed(diags))
+
+    def test_cli_report_is_byte_identical_across_runs(
+        self, tmp_path, capsys
+    ):
+        outs = []
+        for name in ("one.json", "two.json"):
+            target = tmp_path / name
+            code = lint_main([
+                "--tier", "B,C", str(FIXTURES),
+                "--format", "json", "-o", str(target),
+            ])
+            assert code == 1
+            capsys.readouterr()
+            outs.append(target.read_bytes())
+        assert outs[0] == outs[1]
+
+
+# ---------------------------------------------------------------------
+# determinism property
+# ---------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_diagnostics_across_runs(self):
+        first = analyze_flow_tree(FIXTURES)
+        second = analyze_flow_tree(FIXTURES)
+        assert [d.to_json() for d in first] == [
+            d.to_json() for d in second
+        ]
+        assert first  # the fixture tree is not trivially empty
+
+    def test_byte_identical_under_hashseed_variation(self, tmp_path):
+        """PYTHONHASHSEED must not leak into the report bytes."""
+        reports = []
+        for seed in ("0", "1", "31337"):
+            target = tmp_path / f"report-{seed}.json"
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.lint.cli",
+                    "--tier", "C", str(FIXTURES),
+                    "--format", "json", "-o", str(target),
+                ],
+                cwd=REPO_ROOT,
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            assert result.returncode == 1, result.stderr
+            reports.append(target.read_bytes())
+        assert reports[0] == reports[1] == reports[2]
+        assert json.loads(reports[0])["counts"]["error"] > 0
+
+
+# ---------------------------------------------------------------------
+# CLI tier selection / baseline gating
+# ---------------------------------------------------------------------
+class TestCLI:
+    def test_tier_c_gates_on_fixtures(self, capsys):
+        assert lint_main(["--tier", "C", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "tier C" in out
+
+    def test_default_tiers_exclude_c(self, capsys):
+        # Tier B alone sees none of the flow-only violations.
+        clean = FIXTURES / "res_file_leak.py"
+        assert lint_main([str(clean)]) == 0
+        capsys.readouterr()
+
+    def test_unknown_tier_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            lint_main(["--tier", "Z", str(FIXTURES)])
+        assert exc_info.value.code == 2
+
+    def test_baseline_gates_new_findings_only(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([
+            "--tier", "C", str(FIXTURES),
+            "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        capsys.readouterr()
+        # Same tree against its own baseline: clean.
+        assert lint_main([
+            "--tier", "C", str(FIXTURES),
+            "--baseline", str(baseline), "--format", "json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["error"] == 0
+        assert report["baseline"]["new"] == 0
+        assert report["baseline"]["matched"] > 0
+
+    def test_committed_repo_baseline_is_current(self, capsys):
+        """src/repro + scripts stay clean against lint-baseline.json."""
+        assert lint_main([
+            "--tier", "C",
+            str(REPO_ROOT / "src" / "repro"),
+            str(REPO_ROOT / "scripts"),
+            "--baseline", str(REPO_ROOT / "lint-baseline.json"),
+        ]) == 0
+        capsys.readouterr()
+
+    def test_sarif_output(self, tmp_path, capsys):
+        target = tmp_path / "report.sarif"
+        code = lint_main([
+            "--tier", "C", str(FIXTURES / "taint_json_dump.py"),
+            "--format", "sarif", "-o", str(target),
+        ])
+        assert code == 1
+        capsys.readouterr()
+        doc = json.loads(target.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "ACE920"
